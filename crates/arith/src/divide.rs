@@ -1,0 +1,176 @@
+//! SC division.
+//!
+//! Division is implemented with the classic stochastic feedback integrator
+//! (Gaines; refined by Chen & Hayes, ISVLSI 2016 — reference [6] of the
+//! paper): a counter integrates the error between the numerator stream and
+//! the gated output, and the output bit is produced by comparing the counter
+//! against a random value. In steady state the output rate `pZ` satisfies
+//! `pX = pZ · pY`, i.e. `pZ = pX / pY` (clamped to 1).
+//!
+//! Like Fig. 2e notes, the divider prefers *positively correlated* inputs;
+//! feeding it uncorrelated inputs increases convergence noise.
+
+use sc_bitstream::{Bitstream, Error, Result};
+use sc_rng::RandomSource;
+
+/// A feedback SC divider computing `pZ = min(1, pX / pY)`.
+#[derive(Debug, Clone)]
+pub struct Divider<S> {
+    source: S,
+    counter_bits: u32,
+    state: i64,
+}
+
+impl<S: RandomSource> Divider<S> {
+    /// Creates a divider with the default 6-bit integration counter.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        Self::with_counter_bits(source, 6)
+    }
+
+    /// Creates a divider with a `counter_bits`-bit saturating integration
+    /// counter. Larger counters integrate longer (more accurate, slower to
+    /// converge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 20.
+    #[must_use]
+    pub fn with_counter_bits(source: S, counter_bits: u32) -> Self {
+        assert!(
+            (1..=20).contains(&counter_bits),
+            "counter width {counter_bits} outside supported range 1..=20"
+        );
+        Divider { source, counter_bits, state: 0 }
+    }
+
+    /// Maximum counter value.
+    fn max_count(&self) -> i64 {
+        (1i64 << self.counter_bits) - 1
+    }
+
+    /// Divides two equal-length streams, producing `pZ ≈ min(1, pX / pY)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ and
+    /// [`Error::EmptyStream`] if the streams are empty.
+    pub fn divide(&mut self, x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+        if x.len() != y.len() {
+            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+        }
+        if x.is_empty() {
+            return Err(Error::EmptyStream);
+        }
+        let max = self.max_count();
+        let mut out = Bitstream::zeros(x.len());
+        for i in 0..x.len() {
+            // Output bit: compare the scaled counter against a random value.
+            let threshold = self.source.next_unit();
+            let z = (self.state as f64 / max as f64) > threshold;
+            out.set(i, z);
+            // Integrate the error pX - pZ·pY.
+            let delta = i64::from(x.bit(i)) - i64::from(z && y.bit(i));
+            self.state = (self.state + delta).clamp(0, max);
+        }
+        Ok(out)
+    }
+
+    /// Resets the integrator and the comparison source.
+    pub fn reset(&mut self) {
+        self.state = 0;
+        self.source.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sc_bitstream::Probability;
+    use sc_convert::DigitalToStochastic;
+    use sc_rng::{Lfsr, VanDerCorput};
+
+    const N: usize = 2048;
+
+    fn correlated_pair(px: f64, py: f64) -> (Bitstream, Bitstream) {
+        let mut g = DigitalToStochastic::new(VanDerCorput::new());
+        g.generate_correlated_pair(
+            Probability::new(px).unwrap(),
+            Probability::new(py).unwrap(),
+            N,
+        )
+    }
+
+    #[test]
+    fn division_converges_to_quotient() {
+        for &(px, py) in &[(0.25, 0.5), (0.3, 0.6), (0.1, 0.8), (0.4, 0.5)] {
+            let (x, y) = correlated_pair(px, py);
+            let mut div = Divider::new(Lfsr::new(16, 0x1D0D));
+            let z = div.divide(&x, &y).unwrap();
+            let expected = px / py;
+            assert!(
+                (z.value() - expected).abs() < 0.08,
+                "px={px} py={py}: got {} expected {expected}",
+                z.value()
+            );
+        }
+    }
+
+    #[test]
+    fn division_saturates_at_one() {
+        let (x, y) = correlated_pair(0.8, 0.4);
+        let mut div = Divider::new(Lfsr::new(16, 0x1D0D));
+        let z = div.divide(&x, &y).unwrap();
+        assert!(z.value() > 0.9, "got {}", z.value());
+    }
+
+    #[test]
+    fn zero_numerator_gives_near_zero() {
+        let (x, y) = correlated_pair(0.0, 0.5);
+        let mut div = Divider::new(Lfsr::new(16, 0x1D0D));
+        let z = div.divide(&x, &y).unwrap();
+        assert!(z.value() < 0.1, "got {}", z.value());
+    }
+
+    #[test]
+    fn reset_restores_behaviour() {
+        let (x, y) = correlated_pair(0.25, 0.5);
+        let mut div = Divider::new(Lfsr::new(16, 0x1D0D));
+        let a = div.divide(&x, &y).unwrap();
+        div.reset();
+        let b = div.divide(&x, &y).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let mut div = Divider::new(Lfsr::new(16, 1));
+        assert!(div.divide(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+        assert!(div.divide(&Bitstream::new(), &Bitstream::new()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn zero_counter_bits_panics() {
+        let _ = Divider::with_counter_bits(Lfsr::new(16, 1), 0);
+    }
+
+    proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_quotient_error_bounded(kx in 1u64..=8, ky_extra in 0u64..=7) {
+            // Ensure py >= px (quotient in [0, 1]) and py >= 0.25: feedback
+            // dividers converge with a time constant proportional to 1/pY, so
+            // very small denominators need longer streams than N = 2048.
+            let ky = (kx + ky_extra).clamp(4, 16);
+            let kx = kx.min(ky);
+            let px = kx as f64 / 16.0;
+            let py = ky as f64 / 16.0;
+            let (x, y) = correlated_pair(px, py);
+            let mut div = Divider::new(Lfsr::new(16, 0x7331));
+            let z = div.divide(&x, &y).unwrap();
+            prop_assert!((z.value() - px / py).abs() < 0.12, "got {} expected {}", z.value(), px / py);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! SC multiplication.
+//!
+//! * Unipolar: a single AND gate computes `pZ = pX · pY` when the inputs are
+//!   uncorrelated (Fig. 1a / 2d).
+//! * Bipolar: a single XNOR gate computes `z = x · y` when the inputs are
+//!   uncorrelated.
+//!
+//! With correlated inputs the same gates compute different functions
+//! (Table I), which is exactly the failure mode the paper's decorrelator
+//! repairs.
+
+use sc_bitstream::{Bitstream, Result};
+
+/// Unipolar SC multiplication: bitwise AND of two uncorrelated streams.
+///
+/// # Errors
+///
+/// Returns a length-mismatch error if the streams differ in length.
+///
+/// # Example
+///
+/// ```
+/// use sc_arith::multiply::and_multiply;
+/// use sc_bitstream::Bitstream;
+///
+/// let x = Bitstream::parse("01010101")?;
+/// let y = Bitstream::parse("11111100")?;
+/// assert_eq!(and_multiply(&x, &y)?.value(), 0.375);
+/// # Ok::<(), sc_bitstream::Error>(())
+/// ```
+pub fn and_multiply(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    x.try_and(y)
+}
+
+/// Bipolar SC multiplication: bitwise XNOR of two uncorrelated streams.
+///
+/// # Errors
+///
+/// Returns a length-mismatch error if the streams differ in length.
+pub fn xnor_multiply(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    x.try_xnor(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sc_bitstream::Probability;
+    use sc_convert::DigitalToStochastic;
+    use sc_rng::{Halton, VanDerCorput};
+
+    const N: usize = 256;
+
+    fn uncorrelated_pair(px: f64, py: f64) -> (Bitstream, Bitstream) {
+        let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+        let mut gy = DigitalToStochastic::new(Halton::new(3));
+        (
+            gx.generate(Probability::new(px).unwrap(), N),
+            gy.generate(Probability::new(py).unwrap(), N),
+        )
+    }
+
+    #[test]
+    fn paper_example_multiplication() {
+        let x = Bitstream::parse("01010101").unwrap();
+        let y = Bitstream::parse("11111100").unwrap();
+        let z = and_multiply(&x, &y).unwrap();
+        assert_eq!(z.to_bit_string(), "01010100");
+        assert_eq!(z.value(), 0.375);
+    }
+
+    #[test]
+    fn uncorrelated_multiplication_is_accurate() {
+        for &(px, py) in &[(0.5, 0.75), (0.25, 0.25), (0.9, 0.1), (1.0, 0.5), (0.0, 0.7)] {
+            let (x, y) = uncorrelated_pair(px, py);
+            let z = and_multiply(&x, &y).unwrap();
+            assert!(
+                (z.value() - px * py).abs() < 0.03,
+                "px={px} py={py}: got {} expected {}",
+                z.value(),
+                px * py
+            );
+        }
+    }
+
+    #[test]
+    fn positively_correlated_multiplication_computes_min_instead() {
+        // Table I: shared-source generation gives min(pX, pY), not the product.
+        let mut g = DigitalToStochastic::new(VanDerCorput::new());
+        let (x, y) = g.generate_correlated_pair(
+            Probability::new(0.5).unwrap(),
+            Probability::new(0.75).unwrap(),
+            N,
+        );
+        let z = and_multiply(&x, &y).unwrap();
+        assert!((z.value() - 0.5).abs() < 0.02, "got {}", z.value());
+        assert!((z.value() - 0.375).abs() > 0.05, "should NOT equal the product");
+    }
+
+    #[test]
+    fn bipolar_multiplication_is_accurate() {
+        // x = 0.5 (bipolar) -> p = 0.75; y = -0.5 -> p = 0.25.
+        let (sx, sy) = uncorrelated_pair(0.75, 0.25);
+        let z = xnor_multiply(&sx, &sy).unwrap();
+        let expected = 0.5 * -0.5;
+        assert!(
+            (z.bipolar_value() - expected).abs() < 0.06,
+            "got {} expected {}",
+            z.bipolar_value(),
+            expected
+        );
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let x = Bitstream::zeros(8);
+        let y = Bitstream::zeros(9);
+        assert!(and_multiply(&x, &y).is_err());
+        assert!(xnor_multiply(&x, &y).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_unipolar_multiply_error_small(kx in 0u64..=64, ky in 0u64..=64) {
+            let px = kx as f64 / 64.0;
+            let py = ky as f64 / 64.0;
+            let (x, y) = uncorrelated_pair(px, py);
+            let z = and_multiply(&x, &y).unwrap();
+            prop_assert!((z.value() - px * py).abs() < 0.05);
+        }
+
+        #[test]
+        fn prop_bipolar_multiply_sign_correct(kx in 0u64..=64, ky in 0u64..=64) {
+            let px = kx as f64 / 64.0;
+            let py = ky as f64 / 64.0;
+            let bx = 2.0 * px - 1.0;
+            let by = 2.0 * py - 1.0;
+            prop_assume!(bx.abs() > 0.3 && by.abs() > 0.3);
+            let (x, y) = uncorrelated_pair(px, py);
+            let z = xnor_multiply(&x, &y).unwrap();
+            prop_assert!((z.bipolar_value() - bx * by).abs() < 0.15);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! SC subtraction (absolute difference).
+//!
+//! A single XOR gate computes `pZ = |pX − pY|` when the inputs are
+//! *positively* correlated (Fig. 2c): with the 1s of both streams aligned,
+//! the XOR output is 1 exactly at the positions where the longer run of 1s
+//! extends past the shorter one. With uncorrelated inputs the same gate
+//! computes `pX(1 − pY) + pY(1 − pX)` instead, which is why the edge-detector
+//! kernel in §IV needs positively correlated inputs.
+
+use sc_bitstream::{Bitstream, Result};
+
+/// SC absolute difference: bitwise XOR of two positively correlated streams.
+///
+/// # Errors
+///
+/// Returns a length-mismatch error if the streams differ in length.
+///
+/// # Example
+///
+/// ```
+/// use sc_arith::subtract::xor_subtract;
+/// use sc_bitstream::Bitstream;
+///
+/// // Maximally positively correlated: 1s at the front.
+/// let x = Bitstream::parse("11110000")?; // 0.5
+/// let y = Bitstream::parse("11000000")?; // 0.25
+/// assert_eq!(xor_subtract(&x, &y)?.value(), 0.25);
+/// # Ok::<(), sc_bitstream::Error>(())
+/// ```
+pub fn xor_subtract(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    x.try_xor(y)
+}
+
+/// The value an XOR gate produces for *uncorrelated* inputs with the given
+/// values: `pX(1 − pY) + pY(1 − pX)`. Exposed so experiments can quantify the
+/// error made when the correlation requirement is violated.
+#[must_use]
+pub fn xor_uncorrelated_expectation(px: f64, py: f64) -> f64 {
+    px * (1.0 - py) + py * (1.0 - px)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sc_bitstream::{scc, Probability};
+    use sc_convert::DigitalToStochastic;
+    use sc_rng::{Halton, VanDerCorput};
+
+    const N: usize = 256;
+
+    #[test]
+    fn correlated_subtraction_is_exact() {
+        for &(px, py) in &[(0.5, 0.25), (0.75, 0.75), (1.0, 0.0), (0.125, 0.625)] {
+            let mut g = DigitalToStochastic::new(VanDerCorput::new());
+            let (x, y) = g.generate_correlated_pair(
+                Probability::new(px).unwrap(),
+                Probability::new(py).unwrap(),
+                N,
+            );
+            let z = xor_subtract(&x, &y).unwrap();
+            assert!(
+                (z.value() - (px - py).abs()) < 0.02,
+                "px={px} py={py}: got {}",
+                z.value()
+            );
+        }
+    }
+
+    #[test]
+    fn uncorrelated_subtraction_is_wrong() {
+        // With uncorrelated inputs the XOR value follows the closed form, not |pX - pY|.
+        let px = 0.5;
+        let py = 0.5;
+        let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+        let mut gy = DigitalToStochastic::new(Halton::new(3));
+        let x = gx.generate(Probability::new(px).unwrap(), N);
+        let y = gy.generate(Probability::new(py).unwrap(), N);
+        assert!(scc(&x, &y).abs() < 0.2);
+        let z = xor_subtract(&x, &y).unwrap();
+        let wrong_expected = xor_uncorrelated_expectation(px, py); // 0.5
+        assert!((z.value() - wrong_expected).abs() < 0.1);
+        assert!((z.value() - 0.0).abs() > 0.3, "must differ from the true |pX - pY| = 0");
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        assert!(xor_subtract(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn closed_form_examples() {
+        assert_eq!(xor_uncorrelated_expectation(0.5, 0.5), 0.5);
+        assert_eq!(xor_uncorrelated_expectation(1.0, 0.0), 1.0);
+        assert_eq!(xor_uncorrelated_expectation(0.0, 0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_correlated_xor_matches_abs_difference(kx in 0u64..=64, ky in 0u64..=64) {
+            let px = kx as f64 / 64.0;
+            let py = ky as f64 / 64.0;
+            let mut g = DigitalToStochastic::new(VanDerCorput::new());
+            let (x, y) = g.generate_correlated_pair(
+                Probability::new(px).unwrap(),
+                Probability::new(py).unwrap(),
+                N,
+            );
+            let z = xor_subtract(&x, &y).unwrap();
+            prop_assert!((z.value() - (px - py).abs()).abs() < 0.03);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for SC arithmetic operators and the improved
+//! correlation-manipulating operators (Table III designs).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sc_arith::add::{ca_add, MuxAdder};
+use sc_arith::maxmin::{and_min, ca_max, or_max};
+use sc_arith::multiply::and_multiply;
+use sc_bitstream::{Bitstream, Probability};
+use sc_convert::DigitalToStochastic;
+use sc_core::ops::{desync_saturating_add, sync_max, sync_min};
+use sc_rng::{Halton, Lfsr, VanDerCorput};
+
+fn input_pair(n: usize) -> (Bitstream, Bitstream) {
+    let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+    let mut gy = DigitalToStochastic::new(Halton::new(3));
+    (
+        gx.generate(Probability::saturating(0.5), n),
+        gy.generate(Probability::saturating(0.75), n),
+    )
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let n = 1024usize;
+    let (x, y) = input_pair(n);
+    let mut group = c.benchmark_group("arith/operators");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("and-multiply", |b| b.iter(|| and_multiply(&x, &y).expect("lengths")));
+    group.bench_function("mux-add", |b| {
+        b.iter(|| {
+            let mut adder = MuxAdder::new(Lfsr::new(16, 0xACE1));
+            adder.add(&x, &y).expect("lengths")
+        })
+    });
+    group.bench_function("ca-add", |b| b.iter(|| ca_add(&x, &y).expect("lengths")));
+    group.bench_function("or-max", |b| b.iter(|| or_max(&x, &y).expect("lengths")));
+    group.bench_function("and-min", |b| b.iter(|| and_min(&x, &y).expect("lengths")));
+    group.bench_function("ca-max", |b| b.iter(|| ca_max(&x, &y).expect("lengths")));
+    group.finish();
+}
+
+fn bench_improved_operators(c: &mut Criterion) {
+    let n = 1024usize;
+    let (x, y) = input_pair(n);
+    let mut group = c.benchmark_group("arith/improved-operators");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("sync-max-d1", |b| b.iter(|| sync_max(&x, &y, 1).expect("lengths")));
+    group.bench_function("sync-min-d1", |b| b.iter(|| sync_min(&x, &y, 1).expect("lengths")));
+    group.bench_function("desync-satadd-d1", |b| {
+        b.iter(|| desync_saturating_add(&x, &y, 1).expect("lengths"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_operators, bench_improved_operators
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion throughput benchmarks for the correlation manipulating circuits:
+//! synchronizer, desynchronizer, and decorrelator versus stream length and
+//! save depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_bitstream::{Bitstream, Probability};
+use sc_convert::DigitalToStochastic;
+use sc_core::{CorrelationManipulator, Decorrelator, Desynchronizer, Isolator, Synchronizer};
+use sc_rng::{Halton, VanDerCorput};
+
+fn input_pair(n: usize) -> (Bitstream, Bitstream) {
+    let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+    let mut gy = DigitalToStochastic::new(Halton::new(3));
+    (
+        gx.generate(Probability::saturating(0.5), n),
+        gy.generate(Probability::saturating(0.75), n),
+    )
+}
+
+fn bench_stream_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manipulators/stream-length");
+    for &n in &[256usize, 1024, 4096] {
+        let (x, y) = input_pair(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("synchronizer-d1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Synchronizer::new(1);
+                m.process(&x, &y).expect("lengths")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("desynchronizer-d1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Desynchronizer::new(1);
+                m.process(&x, &y).expect("lengths")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decorrelator-d4", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Decorrelator::new(4);
+                m.process(&x, &y).expect("lengths")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("isolator-k1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Isolator::new(1);
+                m.process(&x, &y).expect("lengths")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_save_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manipulators/save-depth");
+    let (x, y) = input_pair(1024);
+    for &depth in &[1u32, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("synchronizer", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let mut m = Synchronizer::new(d);
+                m.process(&x, &y).expect("lengths")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stream_length, bench_save_depth
+}
+criterion_main!(benches);

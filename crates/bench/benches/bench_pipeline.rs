@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the Gaussian-blur → edge-detector accelerator
+//! simulation (Table IV workload) across the three correlation-handling
+//! variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_image::{run_float_pipeline, run_sc_pipeline, GrayImage, PipelineConfig, PipelineVariant};
+use std::time::Duration;
+
+fn bench_variants(c: &mut Criterion) {
+    let image = GrayImage::gaussian_blob(12, 12);
+    let config = PipelineConfig { stream_length: 64, tile_size: 6, ..PipelineConfig::default() };
+    let mut group = c.benchmark_group("pipeline/sc-variants");
+    group.throughput(Throughput::Elements(image.pixel_count() as u64));
+    for variant in PipelineVariant::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| b.iter(|| run_sc_pipeline(&image, variant, &config).expect("pipeline")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_float_reference(c: &mut Criterion) {
+    let image = GrayImage::gaussian_blob(64, 64);
+    let mut group = c.benchmark_group("pipeline/float-reference");
+    group.throughput(Throughput::Elements(image.pixel_count() as u64));
+    group.bench_function("gaussian-blur+roberts-cross", |b| {
+        b.iter(|| run_float_pipeline(&image))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4));
+    targets = bench_variants, bench_float_reference
+}
+criterion_main!(benches);

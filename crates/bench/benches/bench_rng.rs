@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the stochastic-number sources: raw sample
+//! generation and full digital-to-stochastic conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_bitstream::Probability;
+use sc_convert::DigitalToStochastic;
+use sc_rng::{build_source, RandomSource, RngKind};
+
+const KINDS: [RngKind; 5] = [
+    RngKind::Lfsr,
+    RngKind::VanDerCorput,
+    RngKind::Halton,
+    RngKind::Sobol,
+    RngKind::Counter,
+];
+
+fn bench_raw_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng/raw-samples");
+    let samples = 4096u64;
+    group.throughput(Throughput::Elements(samples));
+    for kind in KINDS {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut source = build_source(kind);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..samples {
+                    acc += source.next_unit();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng/d2s-generation");
+    let n = 1024usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in KINDS {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut d2s = DigitalToStochastic::new(build_source(kind));
+                d2s.generate(Probability::saturating(0.375), n)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_raw_samples, bench_stream_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Reproduces Table IV: quality, area, and energy of the Gaussian-blur →
+//! Roberts-cross edge-detector accelerator in its three correlation-handling
+//! variants (no manipulation, regeneration, synchronizer), plus the §IV.B
+//! correlation-manipulation-overhead comparison.
+//!
+//! The paper's input images are not published; a synthetic scene (Gaussian
+//! blob over a gradient, plus a checkerboard patch) provides both smooth
+//! regions and strong edges. Quality is the mean absolute error against the
+//! floating-point pipeline on the same image. Pass `--quick` for a smaller
+//! image and shorter streams (useful in debug builds).
+
+use sc_bench::{cell, cell1, print_comparisons, print_table, Comparison};
+use sc_image::{
+    accelerator::cost_all_variants, pipeline::compare_variants, GrayImage, PipelineConfig,
+    PipelineVariant,
+};
+
+fn synthetic_scene(size: usize) -> GrayImage {
+    let blob = GrayImage::gaussian_blob(size, size);
+    GrayImage::from_fn(size, size, |x, y| {
+        let base = 0.5 * blob.get(x, y) + 0.3 * (x as f64 / size as f64);
+        // A checkerboard patch in one corner adds hard edges.
+        if x < size / 3 && y < size / 3 && (x / 3 + y / 3) % 2 == 0 {
+            (base + 0.4).min(1.0)
+        } else {
+            base
+        }
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (image_size, config) = if quick {
+        (12, PipelineConfig { stream_length: 64, tile_size: 6, ..PipelineConfig::default() })
+    } else {
+        (30, PipelineConfig::default())
+    };
+    let image = synthetic_scene(image_size);
+    println!(
+        "Table IV — GB + ED accelerator ({}x{} synthetic image, N = {}, {}x{} tiles)",
+        image_size, image_size, config.stream_length, config.tile_size, config.tile_size
+    );
+
+    // Quality column.
+    let quality = compare_variants(&image, &config).expect("pipeline run");
+    // Area / energy columns (frame = 100x100 pixels as a representative frame).
+    let costs = cost_all_variants(&config, 100, 100);
+
+    let paper = |variant: PipelineVariant| -> (f64, f64, f64) {
+        match variant {
+            PipelineVariant::NoManipulation => (24313.0, 1383.0, 0.076),
+            PipelineVariant::Regeneration => (34802.0, 1971.0, 0.019),
+            PipelineVariant::Synchronizer => (36202.0, 1505.0, 0.020),
+        }
+    };
+
+    // Our absolute energy scale differs from the paper's by a constant factor
+    // (the effective cycle time is calibrated against the per-operation energy
+    // of Table III, not against Table IV); report both the raw model output
+    // and the values normalised so the no-manipulation baseline matches the
+    // paper's 1383 nJ/frame, which makes the ratios directly comparable.
+    let baseline_energy = costs
+        .iter()
+        .find(|c| c.variant == PipelineVariant::NoManipulation)
+        .expect("baseline cost")
+        .energy_per_frame_nj;
+    let normalise = 1383.0 / baseline_energy;
+
+    let rows: Vec<Vec<String>> = PipelineVariant::all()
+        .into_iter()
+        .map(|variant| {
+            let q = quality.iter().find(|q| q.variant == variant).expect("quality row");
+            let c = costs.iter().find(|c| c.variant == variant).expect("cost row");
+            let (p_area, p_energy, p_err) = paper(variant);
+            vec![
+                variant.label().to_string(),
+                cell1(p_area),
+                cell1(c.area_um2),
+                cell1(p_energy),
+                cell1(c.energy_per_frame_nj * normalise),
+                cell(p_err),
+                cell(q.mean_abs_error),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table IV (paper vs measured; energy normalised to the paper's no-manipulation baseline)",
+        &[
+            "design",
+            "area p. (um2)",
+            "area ours",
+            "energy p. (nJ/frame)",
+            "energy ours (norm.)",
+            "abs err p.",
+            "abs err ours",
+        ],
+        &rows,
+    );
+    println!(
+        "(raw model energies before normalisation: {} nJ/frame for the baseline)",
+        cell1(baseline_energy)
+    );
+
+    let cost = |v: PipelineVariant| costs.iter().find(|c| c.variant == v).expect("cost");
+    let err = |v: PipelineVariant| {
+        quality.iter().find(|q| q.variant == v).expect("quality").mean_abs_error
+    };
+    let regen = cost(PipelineVariant::Regeneration);
+    let sync = cost(PipelineVariant::Synchronizer);
+    let none = cost(PipelineVariant::NoManipulation);
+
+    print_comparisons(
+        "Headline claims (Sec. IV.B)",
+        &[
+            Comparison::new(
+                "total energy saving of synchronizer vs regeneration",
+                0.24,
+                1.0 - sync.energy_per_frame_nj / regen.energy_per_frame_nj,
+            ),
+            Comparison::new(
+                "manipulation-overhead energy ratio (regen / sync)",
+                3.0,
+                regen.manipulation_energy_nj / sync.manipulation_energy_nj,
+            ),
+            Comparison::new(
+                "error ratio: no-manipulation / synchronizer",
+                0.076 / 0.020,
+                err(PipelineVariant::NoManipulation) / err(PipelineVariant::Synchronizer).max(1e-9),
+            ),
+            Comparison::new(
+                "error gap: |regeneration - synchronizer|",
+                0.001,
+                (err(PipelineVariant::Regeneration) - err(PipelineVariant::Synchronizer)).abs(),
+            ),
+            Comparison::new(
+                "energy overhead of no-manipulation baseline (nJ/frame)",
+                1383.0,
+                none.energy_per_frame_nj,
+            ),
+        ],
+    );
+}

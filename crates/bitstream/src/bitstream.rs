@@ -1,0 +1,760 @@
+//! The bit-packed stochastic number type.
+
+use crate::error::{Error, Result};
+use crate::value::{BipolarValue, Probability};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A stochastic number (SN): a finite unary bitstream of 1s and 0s.
+///
+/// The value of the stream under the **unipolar** encoding is the fraction of
+/// 1s ([`Bitstream::value`]); under the **bipolar** encoding it is
+/// `2·(fraction of 1s) − 1` ([`Bitstream::bipolar_value`]).
+///
+/// Bits are stored packed, 64 per word, in stream order (bit `i` of the stream
+/// is bit `i % 64` of word `i / 64`).
+///
+/// # Example
+///
+/// ```
+/// use sc_bitstream::Bitstream;
+///
+/// let x = Bitstream::parse("01000100")?;
+/// assert_eq!(x.len(), 8);
+/// assert_eq!(x.count_ones(), 2);
+/// assert_eq!(x.value(), 0.25); // paper §I example
+/// # Ok::<(), sc_bitstream::Error>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bitstream {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitstream {
+    /// Creates an empty bitstream.
+    #[must_use]
+    pub fn new() -> Self {
+        Bitstream { words: Vec::new(), len: 0 }
+    }
+
+    /// Creates an all-zeros bitstream of length `len`.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Bitstream {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Creates an all-ones bitstream of length `len`.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut s = Bitstream {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        s.mask_tail();
+        s
+    }
+
+    /// Creates a bitstream from an iterator of booleans.
+    #[must_use]
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = Bitstream::new();
+        for b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Creates a bitstream of length `len` where bit `i` is `f(i)`.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
+        let mut s = Bitstream::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                s.set(i, true);
+            }
+        }
+        s
+    }
+
+    /// Parses a bitstream from a string of `'0'` and `'1'` characters.
+    ///
+    /// Whitespace and `_` separators are ignored; the first character is the
+    /// first bit emitted in time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyStream`] if the string contains no `0`/`1`
+    /// characters, and [`Error::ProbabilityOutOfRange`] is never returned; any
+    /// other character yields [`Error::EmptyStream`]? No — invalid characters
+    /// are reported via [`Error::IndexOutOfBounds`]. To keep the error surface
+    /// small, invalid characters are rejected as [`Error::EmptyStream`] only
+    /// when nothing was parsed; otherwise they are skipped.
+    pub fn parse(s: &str) -> Result<Self> {
+        let mut out = Bitstream::new();
+        for c in s.chars() {
+            match c {
+                '0' => out.push(false),
+                '1' => out.push(true),
+                c if c.is_whitespace() || c == '_' => {}
+                _ => {}
+            }
+        }
+        if out.is_empty() {
+            Err(Error::EmptyStream)
+        } else {
+            Ok(out)
+        }
+    }
+
+    /// Number of bits in the stream.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream contains no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit to the end of the stream.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / WORD_BITS;
+        let offset = self.len % WORD_BITS;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        }
+        self.len += 1;
+    }
+
+    /// Returns bit `index`, or `None` if out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        let word = index / WORD_BITS;
+        let offset = index % WORD_BITS;
+        Some((self.words[word] >> offset) & 1 == 1)
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn bit(&self, index: usize) -> bool {
+        self.get(index)
+            .unwrap_or_else(|| panic!("bit index {index} out of bounds for length {}", self.len))
+    }
+
+    /// Sets bit `index` to `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(
+            index < self.len,
+            "bit index {index} out of bounds for length {}",
+            self.len
+        );
+        let word = index / WORD_BITS;
+        let offset = index % WORD_BITS;
+        if bit {
+            self.words[word] |= 1u64 << offset;
+        } else {
+            self.words[word] &= !(1u64 << offset);
+        }
+    }
+
+    /// Number of 1s in the stream.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of 0s in the stream.
+    #[must_use]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Unipolar value of the stream (fraction of 1s). Returns 0 for an empty stream.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Unipolar value as a validated [`Probability`].
+    #[must_use]
+    pub fn probability(&self) -> Probability {
+        Probability::saturating(self.value())
+    }
+
+    /// Bipolar value of the stream (`2·value − 1`). Returns −1 for an empty stream.
+    #[must_use]
+    pub fn bipolar_value(&self) -> f64 {
+        2.0 * self.value() - 1.0
+    }
+
+    /// Bipolar value as a validated [`BipolarValue`].
+    #[must_use]
+    pub fn bipolar(&self) -> BipolarValue {
+        BipolarValue::saturating(self.bipolar_value())
+    }
+
+    /// Iterates over the bits in stream order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { stream: self, index: 0 }
+    }
+
+    /// Collects the bits into a `Vec<bool>`.
+    #[must_use]
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Renders the stream as a string of `0`/`1` characters in stream order.
+    #[must_use]
+    pub fn to_bit_string(&self) -> String {
+        self.iter().map(|b| if b { '1' } else { '0' }).collect()
+    }
+
+    /// Bitwise AND of two equal-length streams.
+    ///
+    /// With uncorrelated unipolar inputs this is SC multiplication (paper Fig. 1a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams have different lengths; use [`Bitstream::try_and`]
+    /// for a fallible variant.
+    #[must_use]
+    pub fn and(&self, other: &Bitstream) -> Bitstream {
+        self.try_and(other).expect("bitstream length mismatch in and()")
+    }
+
+    /// Fallible bitwise AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn try_and(&self, other: &Bitstream) -> Result<Bitstream> {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR of two equal-length streams.
+    ///
+    /// With negatively correlated unipolar inputs this is SC saturating
+    /// addition; with positively correlated inputs it is SC maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams have different lengths.
+    #[must_use]
+    pub fn or(&self, other: &Bitstream) -> Bitstream {
+        self.try_or(other).expect("bitstream length mismatch in or()")
+    }
+
+    /// Fallible bitwise OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn try_or(&self, other: &Bitstream) -> Result<Bitstream> {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR of two equal-length streams.
+    ///
+    /// With positively correlated unipolar inputs this computes `|pX − pY|`
+    /// (SC subtraction, paper Fig. 2c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams have different lengths.
+    #[must_use]
+    pub fn xor(&self, other: &Bitstream) -> Bitstream {
+        self.try_xor(other).expect("bitstream length mismatch in xor()")
+    }
+
+    /// Fallible bitwise XOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn try_xor(&self, other: &Bitstream) -> Result<Bitstream> {
+        self.zip_words(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise XNOR of two equal-length streams (bipolar SC multiplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams have different lengths.
+    #[must_use]
+    pub fn xnor(&self, other: &Bitstream) -> Bitstream {
+        self.try_xnor(other).expect("bitstream length mismatch in xnor()")
+    }
+
+    /// Fallible bitwise XNOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn try_xnor(&self, other: &Bitstream) -> Result<Bitstream> {
+        self.zip_words(other, |a, b| !(a ^ b))
+    }
+
+    /// Bitwise NOT of the stream (computes `1 − pX` in unipolar, `−x` in bipolar).
+    #[must_use]
+    pub fn not(&self) -> Bitstream {
+        let mut out = Bitstream {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Multiplexes two equal-length streams with a select stream:
+    /// output bit `i` is `hi[i]` when `select[i]` is 1, else `lo[i]`.
+    ///
+    /// With an uncorrelated 0.5-valued select this is the SC scaled adder
+    /// (paper Fig. 1b / 2a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if any of the lengths differ.
+    pub fn mux(lo: &Bitstream, hi: &Bitstream, select: &Bitstream) -> Result<Bitstream> {
+        if lo.len != hi.len {
+            return Err(Error::LengthMismatch { left: lo.len, right: hi.len });
+        }
+        if lo.len != select.len {
+            return Err(Error::LengthMismatch { left: lo.len, right: select.len });
+        }
+        let mut out = Bitstream::zeros(lo.len);
+        for i in 0..out.words.len() {
+            out.words[i] = (select.words[i] & hi.words[i]) | (!select.words[i] & lo.words[i]);
+        }
+        out.mask_tail();
+        Ok(out)
+    }
+
+    /// Returns a stream delayed by `k` cycles: the first `k` output bits are
+    /// `fill`, and bit `i + k` of the output equals bit `i` of the input; the
+    /// last `k` input bits are dropped so the length is preserved.
+    ///
+    /// This is the behaviour of `k` isolator flip-flops in series.
+    #[must_use]
+    pub fn delayed(&self, k: usize, fill: bool) -> Bitstream {
+        let mut out = Bitstream::zeros(self.len);
+        for i in 0..self.len {
+            let bit = if i < k { fill } else { self.bit(i - k) };
+            out.set(i, bit);
+        }
+        out
+    }
+
+    /// Returns a rotated copy: bit `i` of the output is bit `(i + k) % len` of the input.
+    #[must_use]
+    pub fn rotated(&self, k: usize) -> Bitstream {
+        if self.len == 0 {
+            return self.clone();
+        }
+        let k = k % self.len;
+        Bitstream::from_fn(self.len, |i| self.bit((i + k) % self.len))
+    }
+
+    /// Concatenates two streams.
+    #[must_use]
+    pub fn concat(&self, other: &Bitstream) -> Bitstream {
+        let mut out = self.clone();
+        for b in other.iter() {
+            out.push(b);
+        }
+        out
+    }
+
+    /// Returns the sub-stream `[start, start + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if the range extends past the end.
+    pub fn slice(&self, start: usize, len: usize) -> Result<Bitstream> {
+        if start + len > self.len {
+            return Err(Error::IndexOutOfBounds { index: start + len, len: self.len });
+        }
+        Ok(Bitstream::from_fn(len, |i| self.bit(start + i)))
+    }
+
+    /// Clears any set bits beyond `len` in the last storage word.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        // Drop any excess words (possible after not()) — keep invariant tight.
+        let needed = self.len.div_ceil(WORD_BITS);
+        self.words.truncate(needed);
+    }
+
+    fn zip_words<F: Fn(u64, u64) -> u64>(&self, other: &Bitstream, f: F) -> Result<Bitstream> {
+        if self.len != other.len {
+            return Err(Error::LengthMismatch { left: self.len, right: other.len });
+        }
+        let mut out = Bitstream {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 64 {
+            write!(f, "Bitstream({}, p={:.4})", self.to_bit_string(), self.value())
+        } else {
+            write!(
+                f,
+                "Bitstream(len={}, ones={}, p={:.4})",
+                self.len,
+                self.count_ones(),
+                self.value()
+            )
+        }
+    }
+}
+
+impl fmt::Display for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+impl FromIterator<bool> for Bitstream {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Bitstream::from_bools(iter)
+    }
+}
+
+impl Extend<bool> for Bitstream {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitstream {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the bits of a [`Bitstream`] in stream order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    stream: &'a Bitstream,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let bit = self.stream.get(self.index)?;
+        self.index += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.stream.len - self.index.min(self.stream.len);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_intro_example_value() {
+        // X = 01000100 encodes 0.25 (paper §I).
+        let x = Bitstream::parse("01000100").unwrap();
+        assert_eq!(x.len(), 8);
+        assert_eq!(x.count_ones(), 2);
+        assert_eq!(x.value(), 0.25);
+    }
+
+    #[test]
+    fn paper_intro_example_multiplication() {
+        // X = 01010101 (0.5), Y = 11111100 (0.75), Z = X & Y = 01010100 (0.375).
+        let x = Bitstream::parse("01010101").unwrap();
+        let y = Bitstream::parse("11111100").unwrap();
+        let z = x.and(&y);
+        assert_eq!(z.to_bit_string(), "01010100");
+        assert_eq!(z.value(), 0.375);
+    }
+
+    #[test]
+    fn bipolar_encoding_example() {
+        // X = 01100001 has unipolar 3/8 and bipolar -1/4 (paper §II.A).
+        let x = Bitstream::parse("01100001").unwrap();
+        assert_eq!(x.value(), 3.0 / 8.0);
+        assert!((x.bipolar_value() - (-0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_ones_and_counts() {
+        let z = Bitstream::zeros(100);
+        let o = Bitstream::ones(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(z.value(), 0.0);
+        assert_eq!(o.value(), 1.0);
+        assert_eq!(o.count_zeros(), 0);
+    }
+
+    #[test]
+    fn ones_masks_tail_bits() {
+        let o = Bitstream::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        let n = o.not();
+        assert_eq!(n.count_ones(), 0);
+        assert_eq!(n.len(), 70);
+    }
+
+    #[test]
+    fn push_get_set_round_trip() {
+        let mut s = Bitstream::new();
+        for i in 0..200 {
+            s.push(i % 3 == 0);
+        }
+        assert_eq!(s.len(), 200);
+        for i in 0..200 {
+            assert_eq!(s.bit(i), i % 3 == 0, "bit {i}");
+        }
+        s.set(7, true);
+        assert!(s.bit(7));
+        s.set(7, false);
+        assert!(!s.bit(7));
+        assert_eq!(s.get(200), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut s = Bitstream::zeros(8);
+        s.set(8, true);
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert_eq!(Bitstream::parse("   "), Err(Error::EmptyStream));
+    }
+
+    #[test]
+    fn parse_skips_separators() {
+        let s = Bitstream::parse("1010_1010 11").unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.count_ones(), 6);
+    }
+
+    #[test]
+    fn not_computes_complement_value() {
+        let x = Bitstream::parse("11110000").unwrap();
+        let n = x.not();
+        assert_eq!(n.value(), 0.5);
+        assert_eq!(n.to_bit_string(), "00001111");
+        assert_eq!(x.and(&n).count_ones(), 0);
+        assert_eq!(x.or(&n).count_ones(), 8);
+    }
+
+    #[test]
+    fn mux_selects_bitwise() {
+        // Paper Fig. 1b: X = 01110111 (0.75), Y = 11000000 (0.25), R = 10100110 (0.5).
+        let x = Bitstream::parse("01110111").unwrap();
+        let y = Bitstream::parse("11000000").unwrap();
+        let r = Bitstream::parse("10100110").unwrap();
+        // select = R: output takes X when R=1 else Y.
+        let z = Bitstream::mux(&y, &x, &r).unwrap();
+        assert_eq!(z.value(), 0.5);
+    }
+
+    #[test]
+    fn mux_length_mismatch_errors() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(9);
+        let r = Bitstream::zeros(8);
+        assert!(matches!(
+            Bitstream::mux(&a, &b, &r),
+            Err(Error::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Bitstream::mux(&a, &a, &b),
+            Err(Error::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_op_length_mismatch_errors() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(16);
+        assert!(a.try_and(&b).is_err());
+        assert!(a.try_or(&b).is_err());
+        assert!(a.try_xor(&b).is_err());
+        assert!(a.try_xnor(&b).is_err());
+    }
+
+    #[test]
+    fn xnor_is_not_of_xor() {
+        let a = Bitstream::parse("1100110011").unwrap();
+        let b = Bitstream::parse("1010101010").unwrap();
+        assert_eq!(a.xnor(&b), a.xor(&b).not());
+    }
+
+    #[test]
+    fn delayed_shifts_and_preserves_length() {
+        let x = Bitstream::parse("10110011").unwrap();
+        let d = x.delayed(2, false);
+        assert_eq!(d.to_bit_string(), "00101100");
+        assert_eq!(d.len(), 8);
+        let d0 = x.delayed(0, true);
+        assert_eq!(d0, x);
+    }
+
+    #[test]
+    fn rotated_preserves_value() {
+        let x = Bitstream::parse("10110010").unwrap();
+        let r = x.rotated(3);
+        assert_eq!(r.count_ones(), x.count_ones());
+        assert_eq!(x.rotated(0), x);
+        assert_eq!(x.rotated(8), x);
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let x = Bitstream::parse("1011").unwrap();
+        let y = Bitstream::parse("0001").unwrap();
+        let c = x.concat(&y);
+        assert_eq!(c.to_bit_string(), "10110001");
+        assert_eq!(c.slice(4, 4).unwrap(), y);
+        assert!(c.slice(6, 4).is_err());
+    }
+
+    #[test]
+    fn iterator_round_trip() {
+        let x = Bitstream::parse("1001110").unwrap();
+        let collected: Bitstream = x.iter().collect();
+        assert_eq!(collected, x);
+        assert_eq!(x.iter().len(), 7);
+        let bools = x.to_bools();
+        assert_eq!(bools.len(), 7);
+        assert_eq!(Bitstream::from_bools(bools), x);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut x = Bitstream::parse("10").unwrap();
+        x.extend([true, false, true]);
+        assert_eq!(x.to_bit_string(), "10101");
+    }
+
+    #[test]
+    fn debug_format_short_and_long() {
+        let short = Bitstream::parse("1010").unwrap();
+        assert!(format!("{short:?}").contains("1010"));
+        let long = Bitstream::zeros(200);
+        assert!(format!("{long:?}").contains("len=200"));
+    }
+
+    #[test]
+    fn from_fn_matches_definition() {
+        let s = Bitstream::from_fn(10, |i| i % 2 == 0);
+        assert_eq!(s.to_bit_string(), "1010101010");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_and_value_never_exceeds_either_input(bits_a in proptest::collection::vec(any::<bool>(), 1..300),
+                                                     bits_b in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let n = bits_a.len().min(bits_b.len());
+            let a = Bitstream::from_bools(bits_a.into_iter().take(n));
+            let b = Bitstream::from_bools(bits_b.into_iter().take(n));
+            let z = a.and(&b);
+            prop_assert!(z.value() <= a.value() + 1e-12);
+            prop_assert!(z.value() <= b.value() + 1e-12);
+        }
+
+        #[test]
+        fn prop_or_value_at_least_either_input(bits_a in proptest::collection::vec(any::<bool>(), 1..300),
+                                               bits_b in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let n = bits_a.len().min(bits_b.len());
+            let a = Bitstream::from_bools(bits_a.into_iter().take(n));
+            let b = Bitstream::from_bools(bits_b.into_iter().take(n));
+            let z = a.or(&b);
+            prop_assert!(z.value() + 1e-12 >= a.value());
+            prop_assert!(z.value() + 1e-12 >= b.value());
+        }
+
+        #[test]
+        fn prop_not_complements_value(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let a = Bitstream::from_bools(bits);
+            prop_assert!((a.not().value() - (1.0 - a.value())).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_inclusion_exclusion(bits_a in proptest::collection::vec(any::<bool>(), 1..300),
+                                    bits_b in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let n = bits_a.len().min(bits_b.len());
+            let a = Bitstream::from_bools(bits_a.into_iter().take(n));
+            let b = Bitstream::from_bools(bits_b.into_iter().take(n));
+            let and_ones = a.and(&b).count_ones();
+            let or_ones = a.or(&b).count_ones();
+            prop_assert_eq!(and_ones + or_ones, a.count_ones() + b.count_ones());
+        }
+
+        #[test]
+        fn prop_parse_round_trip(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let a = Bitstream::from_bools(bits);
+            let s = a.to_bit_string();
+            prop_assert_eq!(Bitstream::parse(&s).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_rotation_preserves_ones(bits in proptest::collection::vec(any::<bool>(), 1..300), k in 0usize..600) {
+            let a = Bitstream::from_bools(bits);
+            prop_assert_eq!(a.rotated(k).count_ones(), a.count_ones());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Accumulative parallel counter (APC).
+//!
+//! SC addition forces the output precision to equal the input precision,
+//! dropping the least significant bit of the true sum (§II.A). The APC of
+//! Ting & Hayes avoids this by adding the bits of many parallel streams into a
+//! binary accumulator each cycle: the result is a *binary* value with full
+//! precision, at the cost of leaving the stochastic domain.
+
+use sc_bitstream::{Bitstream, Error, Result};
+
+/// An accumulative parallel counter summing `k` parallel stochastic inputs.
+///
+/// # Example
+///
+/// ```
+/// use sc_convert::AccumulativeParallelCounter;
+/// use sc_bitstream::Bitstream;
+///
+/// let a = Bitstream::parse("1100")?;
+/// let b = Bitstream::parse("1110")?;
+/// let c = Bitstream::parse("1000")?;
+/// let mut apc = AccumulativeParallelCounter::new(3);
+/// apc.accumulate_streams(&[a, b, c])?;
+/// // Total ones = 2 + 3 + 1 = 6 over 4 cycles: unscaled sum of values = 1.5.
+/// assert_eq!(apc.total(), 6);
+/// assert!((apc.sum_of_values() - 1.5).abs() < 1e-12);
+/// # Ok::<(), sc_bitstream::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccumulativeParallelCounter {
+    inputs: usize,
+    total: u64,
+    cycles: u64,
+}
+
+impl AccumulativeParallelCounter {
+    /// Creates an APC with `inputs` parallel input lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs == 0`.
+    #[must_use]
+    pub fn new(inputs: usize) -> Self {
+        assert!(inputs > 0, "APC needs at least one input lane");
+        AccumulativeParallelCounter { inputs, total: 0, cycles: 0 }
+    }
+
+    /// Number of parallel input lanes.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Clocks one cycle: `bits` holds one bit per input lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if `bits.len()` differs from the lane count.
+    pub fn push_cycle(&mut self, bits: &[bool]) -> Result<()> {
+        if bits.len() != self.inputs {
+            return Err(Error::LengthMismatch { left: bits.len(), right: self.inputs });
+        }
+        self.total += bits.iter().filter(|&&b| b).count() as u64;
+        self.cycles += 1;
+        Ok(())
+    }
+
+    /// Accumulates entire equal-length streams, one per lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the stream count differs from the
+    /// lane count or the streams have different lengths.
+    pub fn accumulate_streams(&mut self, streams: &[Bitstream]) -> Result<()> {
+        if streams.len() != self.inputs {
+            return Err(Error::LengthMismatch { left: streams.len(), right: self.inputs });
+        }
+        let n = streams[0].len();
+        for s in streams {
+            if s.len() != n {
+                return Err(Error::LengthMismatch { left: s.len(), right: n });
+            }
+        }
+        for s in streams {
+            self.total += s.count_ones() as u64;
+        }
+        self.cycles += n as u64;
+        Ok(())
+    }
+
+    /// Raw accumulator value (total number of 1s seen across all lanes).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of cycles observed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The *unscaled* sum of the input values, `Σ pᵢ = total / cycles`.
+    ///
+    /// Unlike the MUX adder there is no `1/k` scale factor, so no precision is
+    /// lost. Returns 0 before any cycle.
+    #[must_use]
+    pub fn sum_of_values(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.cycles as f64
+        }
+    }
+
+    /// The scaled mean of the input values, `Σ pᵢ / k`, comparable to the MUX
+    /// adder output.
+    #[must_use]
+    pub fn mean_of_values(&self) -> f64 {
+        self.sum_of_values() / self.inputs as f64
+    }
+
+    /// Clears the accumulator.
+    pub fn reset(&mut self) {
+        self.total = 0;
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn apc_sums_exactly() {
+        let a = Bitstream::parse("10101010").unwrap(); // 0.5
+        let b = Bitstream::parse("11111100").unwrap(); // 0.75
+        let mut apc = AccumulativeParallelCounter::new(2);
+        apc.accumulate_streams(&[a, b]).unwrap();
+        assert!((apc.sum_of_values() - 1.25).abs() < 1e-12);
+        assert!((apc.mean_of_values() - 0.625).abs() < 1e-12);
+        assert_eq!(apc.inputs(), 2);
+        assert_eq!(apc.cycles(), 8);
+    }
+
+    #[test]
+    fn apc_preserves_sub_lsb_precision() {
+        // Two length-8 streams each encoding 1/8: the MUX adder output (1/8 + 1/8)/2
+        // = 1/8 would be representable, but 1/8 + 3/8 = 0.5 exceeds what a
+        // *scaled* adder can represent without dropping the LSB when the
+        // operands are 1/8 and 2/8: (1/8 + 2/8)/2 = 3/16 is NOT on the 1/8 grid.
+        let a = Bitstream::parse("10000000").unwrap(); // 1/8
+        let b = Bitstream::parse("11000000").unwrap(); // 2/8
+        let mut apc = AccumulativeParallelCounter::new(2);
+        apc.accumulate_streams(&[a, b]).unwrap();
+        // The APC keeps the exact sum 3/8 (and mean 3/16).
+        assert!((apc.sum_of_values() - 0.375).abs() < 1e-12);
+        assert!((apc.mean_of_values() - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_cycle_interface() {
+        let mut apc = AccumulativeParallelCounter::new(3);
+        apc.push_cycle(&[true, false, true]).unwrap();
+        apc.push_cycle(&[false, false, false]).unwrap();
+        assert_eq!(apc.total(), 2);
+        assert_eq!(apc.cycles(), 2);
+        assert!(apc.push_cycle(&[true]).is_err());
+        apc.reset();
+        assert_eq!(apc.total(), 0);
+        assert_eq!(apc.sum_of_values(), 0.0);
+    }
+
+    #[test]
+    fn mismatched_stream_sets_rejected() {
+        let a = Bitstream::parse("1010").unwrap();
+        let b = Bitstream::parse("10100").unwrap();
+        let mut apc = AccumulativeParallelCounter::new(2);
+        assert!(apc.accumulate_streams(&[a.clone()]).is_err());
+        assert!(apc.accumulate_streams(&[a, b]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_lanes_panics() {
+        let _ = AccumulativeParallelCounter::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apc_total_equals_sum_of_ones(
+            streams in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 64), 1..6)
+        ) {
+            let lanes = streams.len();
+            let bs: Vec<Bitstream> = streams.into_iter().map(Bitstream::from_bools).collect();
+            let expect: u64 = bs.iter().map(|s| s.count_ones() as u64).sum();
+            let mut apc = AccumulativeParallelCounter::new(lanes);
+            apc.accumulate_streams(&bs).unwrap();
+            prop_assert_eq!(apc.total(), expect);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Digital-to-stochastic (D/S) conversion — the stochastic number generator.
+//!
+//! The D/S converter of Fig. 2g compares a binary target value `x ∈ [0, N]`
+//! against a fresh sample `r` of a random source every cycle and emits a 1
+//! whenever `x > r`. Over `N` cycles the emitted stream encodes `x / N`.
+//!
+//! Correlation between generated streams is controlled by the choice of
+//! sources: streams generated from the *same* source instance are maximally
+//! positively correlated; streams generated from independent (or
+//! low-discrepancy, different-base) sources are close to uncorrelated.
+
+use sc_bitstream::{Bitstream, Probability};
+use sc_rng::{RandomSource, RngKind};
+
+/// A digital-to-stochastic converter wrapping a random source.
+///
+/// # Example
+///
+/// ```
+/// use sc_convert::DigitalToStochastic;
+/// use sc_rng::{Halton, VanDerCorput};
+/// use sc_bitstream::{scc, Probability};
+///
+/// // Streams generated from different low-discrepancy bases are uncorrelated.
+/// let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+/// let mut gy = DigitalToStochastic::new(Halton::new(3));
+/// let x = gx.generate(Probability::new(0.5)?, 256);
+/// let y = gy.generate(Probability::new(0.75)?, 256);
+/// assert!(scc(&x, &y).abs() < 0.15);
+/// # Ok::<(), sc_bitstream::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DigitalToStochastic<S> {
+    source: S,
+}
+
+impl<S: RandomSource> DigitalToStochastic<S> {
+    /// Creates a converter around the given source.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        DigitalToStochastic { source }
+    }
+
+    /// Returns a reference to the underlying source.
+    #[must_use]
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Consumes the converter and returns the underlying source.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.source
+    }
+
+    /// The family of the wrapped source.
+    #[must_use]
+    pub fn kind(&self) -> RngKind {
+        self.source.kind()
+    }
+
+    /// Resets the underlying source to its initial state.
+    pub fn reset(&mut self) {
+        self.source.reset();
+    }
+
+    /// Generates a length-`n` stochastic number encoding `p`.
+    ///
+    /// The stream's exact value is `p` quantized to the grid `{0/n, …, n/n}`
+    /// only when the source is a full-period low-discrepancy sequence; with an
+    /// LFSR the value fluctuates around `p` as in real hardware.
+    #[must_use]
+    pub fn generate(&mut self, p: Probability, n: usize) -> Bitstream {
+        let target = p.get();
+        Bitstream::from_fn(n, |_| target > self.source.next_unit())
+    }
+
+    /// Generates a length-`n` stream for the binary value `x` out of `max`
+    /// (i.e. the probability `x / max`), mirroring the hardware comparator
+    /// interface of Fig. 2g.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max == 0` or `x > max`.
+    #[must_use]
+    pub fn generate_binary(&mut self, x: u64, max: u64, n: usize) -> Bitstream {
+        assert!(max > 0, "binary range must be non-zero");
+        assert!(x <= max, "binary value {x} exceeds range {max}");
+        self.generate(Probability::from_ratio(x, max), n)
+    }
+
+    /// Generates two streams from the *same* source samples, producing a
+    /// maximally positively correlated pair — the "shared RNG" technique of
+    /// §II.B.
+    #[must_use]
+    pub fn generate_correlated_pair(
+        &mut self,
+        px: Probability,
+        py: Probability,
+        n: usize,
+    ) -> (Bitstream, Bitstream) {
+        let mut x = Bitstream::zeros(n);
+        let mut y = Bitstream::zeros(n);
+        for i in 0..n {
+            let r = self.source.next_unit();
+            x.set(i, px.get() > r);
+            y.set(i, py.get() > r);
+        }
+        (x, y)
+    }
+}
+
+/// Convenience generator owning a boxed source, used by experiment harnesses
+/// that select the source family at run time (Table II rows).
+pub struct StreamGenerator {
+    inner: DigitalToStochastic<Box<dyn RandomSource>>,
+    label: String,
+}
+
+impl std::fmt::Debug for StreamGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamGenerator").field("label", &self.label).finish()
+    }
+}
+
+impl StreamGenerator {
+    /// Creates a generator from any boxed source.
+    #[must_use]
+    pub fn new(source: Box<dyn RandomSource>) -> Self {
+        let label = source.label();
+        StreamGenerator { inner: DigitalToStochastic::new(source), label }
+    }
+
+    /// Creates a generator for a source family with the default configuration.
+    #[must_use]
+    pub fn of_kind(kind: RngKind) -> Self {
+        Self::new(sc_rng::build_source(kind))
+    }
+
+    /// Creates a generator for the `variant`-th member of a source family.
+    #[must_use]
+    pub fn of_kind_variant(kind: RngKind, variant: usize) -> Self {
+        Self::new(sc_rng::build_source_variant(kind, variant))
+    }
+
+    /// Short label of the wrapped source (e.g. `"Halton-3"`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Generates a length-`n` stream encoding `p`.
+    #[must_use]
+    pub fn generate(&mut self, p: Probability, n: usize) -> Bitstream {
+        self.inner.generate(p, n)
+    }
+
+    /// Generates a maximally positively correlated pair from shared samples.
+    #[must_use]
+    pub fn generate_correlated_pair(
+        &mut self,
+        px: Probability,
+        py: Probability,
+        n: usize,
+    ) -> (Bitstream, Bitstream) {
+        self.inner.generate_correlated_pair(px, py, n)
+    }
+
+    /// Resets the underlying source.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sc_bitstream::scc;
+    use sc_rng::{CounterSource, Halton, Lfsr, Sobol, VanDerCorput};
+
+    #[test]
+    fn vdc_generation_is_exact_at_power_of_two_lengths() {
+        let mut g = DigitalToStochastic::new(VanDerCorput::new());
+        for k in 0..=16u64 {
+            g.reset();
+            let p = Probability::from_ratio(k, 16);
+            let s = g.generate(p, 256);
+            assert!(
+                (s.value() - p.get()).abs() < 1e-12,
+                "k={k}: got {} expected {}",
+                s.value(),
+                p.get()
+            );
+        }
+    }
+
+    #[test]
+    fn counter_generation_is_exact_and_bunched() {
+        let mut g = DigitalToStochastic::new(CounterSource::new(256));
+        let s = g.generate(Probability::new(0.25).unwrap(), 256);
+        assert_eq!(s.count_ones(), 64);
+    }
+
+    #[test]
+    fn lfsr_generation_is_close() {
+        let mut g = DigitalToStochastic::new(Lfsr::new(16, 0xACE1));
+        let s = g.generate(Probability::new(0.7).unwrap(), 1024);
+        assert!((s.value() - 0.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn sobol_generation_is_accurate() {
+        let mut g = DigitalToStochastic::new(Sobol::new(2));
+        let s = g.generate(Probability::new(0.3).unwrap(), 256);
+        assert!((s.value() - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn shared_source_pair_is_positively_correlated() {
+        let mut g = DigitalToStochastic::new(Lfsr::new(16, 0xACE1));
+        let (x, y) = g.generate_correlated_pair(
+            Probability::new(0.5).unwrap(),
+            Probability::new(0.75).unwrap(),
+            256,
+        );
+        assert!(scc(&x, &y) > 0.95, "scc = {}", scc(&x, &y));
+        // Correlated-pair AND realises min (Table I).
+        assert!((x.and(&y).value() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn independent_sources_are_uncorrelated() {
+        let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+        let mut gy = DigitalToStochastic::new(Halton::new(3));
+        let x = gx.generate(Probability::new(0.5).unwrap(), 256);
+        let y = gy.generate(Probability::new(0.75).unwrap(), 256);
+        assert!(scc(&x, &y).abs() < 0.15, "scc = {}", scc(&x, &y));
+        // Uncorrelated AND realises the product (Table I).
+        assert!((x.and(&y).value() - 0.375).abs() < 0.05);
+    }
+
+    #[test]
+    fn generate_binary_matches_probability() {
+        let mut g = DigitalToStochastic::new(VanDerCorput::new());
+        let s = g.generate_binary(64, 256, 256);
+        assert!((s.value() - 0.25).abs() < 1e-12);
+        assert_eq!(g.kind(), sc_rng::RngKind::VanDerCorput);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds range")]
+    fn generate_binary_rejects_overflow() {
+        let mut g = DigitalToStochastic::new(VanDerCorput::new());
+        let _ = g.generate_binary(300, 256, 256);
+    }
+
+    #[test]
+    fn stream_generator_by_kind() {
+        use sc_rng::RngKind;
+        for kind in [
+            RngKind::Lfsr,
+            RngKind::VanDerCorput,
+            RngKind::Halton,
+            RngKind::Sobol,
+            RngKind::Counter,
+        ] {
+            let mut g = StreamGenerator::of_kind(kind);
+            let s = g.generate(Probability::new(0.5).unwrap(), 256);
+            assert!((s.value() - 0.5).abs() < 0.1, "{kind:?}");
+            assert!(!g.label().is_empty());
+            g.reset();
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities_give_constant_streams() {
+        let mut g = DigitalToStochastic::new(VanDerCorput::new());
+        let zeros = g.generate(Probability::ZERO, 128);
+        assert_eq!(zeros.count_ones(), 0);
+        g.reset();
+        let ones = g.generate(Probability::ONE, 128);
+        assert_eq!(ones.count_ones(), 128);
+    }
+
+    #[test]
+    fn into_inner_returns_source() {
+        let g = DigitalToStochastic::new(VanDerCorput::new());
+        assert_eq!(g.source().index(), 1);
+        let src = g.into_inner();
+        assert_eq!(src.index(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vdc_value_error_bounded(k in 0u64..=256) {
+            let mut g = DigitalToStochastic::new(VanDerCorput::new());
+            let p = Probability::from_ratio(k, 256);
+            let s = g.generate(p, 256);
+            // Low-discrepancy generation error is at most one bit.
+            prop_assert!((s.value() - p.get()).abs() <= 1.5 / 256.0);
+        }
+
+        #[test]
+        fn prop_correlated_pair_preserves_values(
+            px in 0u64..=64, py in 0u64..=64
+        ) {
+            let mut g = DigitalToStochastic::new(CounterSource::new(64));
+            let (x, y) = g.generate_correlated_pair(
+                Probability::from_ratio(px, 64),
+                Probability::from_ratio(py, 64),
+                64,
+            );
+            prop_assert_eq!(x.count_ones() as u64, px);
+            prop_assert_eq!(y.count_ones() as u64, py);
+            if px > 0 && py > 0 && px < 64 && py < 64 {
+                prop_assert_eq!(scc(&x, &y), 1.0);
+            }
+        }
+    }
+}

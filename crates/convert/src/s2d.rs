@@ -1,0 +1,137 @@
+//! Stochastic-to-digital (S/D) conversion.
+//!
+//! The S/D converter of Fig. 2f is a counter that sums the bits of a
+//! stochastic number; after `N` cycles the counter holds the binary value
+//! `B = pX · N`. In hardware it is one of the dominant overheads of SC
+//! (one to two orders of magnitude larger than the arithmetic gates), which is
+//! the economic argument for correlation manipulating circuits over
+//! regeneration.
+
+use sc_bitstream::{Bitstream, Probability};
+
+/// A stochastic-to-digital converter (bit counter).
+///
+/// The converter can be used in one shot via [`StochasticToDigital::convert`]
+/// or incrementally via [`StochasticToDigital::push`]/[`StochasticToDigital::count`]
+/// to mirror the cycle-by-cycle hardware behaviour.
+///
+/// # Example
+///
+/// ```
+/// use sc_convert::StochasticToDigital;
+/// use sc_bitstream::Bitstream;
+///
+/// let sn = Bitstream::parse("01100001")?;
+/// let value = StochasticToDigital::convert(&sn);
+/// assert_eq!(value.get(), 3.0 / 8.0);
+/// # Ok::<(), sc_bitstream::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct StochasticToDigital {
+    count: u64,
+    cycles: u64,
+}
+
+impl StochasticToDigital {
+    /// Creates an empty (zeroed) counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts a whole stream in one shot.
+    #[must_use]
+    pub fn convert(stream: &Bitstream) -> Probability {
+        stream.probability()
+    }
+
+    /// Converts a whole stream to the binary count of 1s (the register value `B`).
+    #[must_use]
+    pub fn convert_to_count(stream: &Bitstream) -> u64 {
+        stream.count_ones() as u64
+    }
+
+    /// Clocks one bit into the counter.
+    pub fn push(&mut self, bit: bool) {
+        self.cycles += 1;
+        if bit {
+            self.count += 1;
+        }
+    }
+
+    /// Number of 1s accumulated so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of cycles observed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current value estimate (`count / cycles`), 0 before any cycle.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.cycles as f64
+        }
+    }
+
+    /// Clears the counter.
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_shot_conversion_matches_value() {
+        let s = Bitstream::parse("11110000").unwrap();
+        assert_eq!(StochasticToDigital::convert(&s).get(), 0.5);
+        assert_eq!(StochasticToDigital::convert_to_count(&s), 4);
+    }
+
+    #[test]
+    fn incremental_conversion_matches_one_shot() {
+        let s = Bitstream::parse("1011001110").unwrap();
+        let mut c = StochasticToDigital::new();
+        for b in s.iter() {
+            c.push(b);
+        }
+        assert_eq!(c.count(), s.count_ones() as u64);
+        assert_eq!(c.cycles(), s.len() as u64);
+        assert!((c.value() - s.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = StochasticToDigital::new();
+        c.push(true);
+        c.push(false);
+        c.reset();
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.cycles(), 0);
+        assert_eq!(c.value(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_equals_batch(bits in proptest::collection::vec(any::<bool>(), 1..500)) {
+            let s = Bitstream::from_bools(bits);
+            let mut c = StochasticToDigital::new();
+            for b in s.iter() {
+                c.push(b);
+            }
+            prop_assert!((c.value() - StochasticToDigital::convert(&s).get()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The [`CorrelationManipulator`] trait implemented by every correlation
+//! manipulating circuit in this crate.
+
+use sc_bitstream::{Bitstream, Error, Result};
+
+/// A circuit that transforms a pair of stochastic numbers cycle by cycle,
+/// changing their mutual correlation while (ideally) preserving their values.
+///
+/// Implementors are Mealy machines: [`CorrelationManipulator::step`] consumes
+/// one bit from each input stream and produces one bit for each output stream.
+/// The default [`CorrelationManipulator::process`] drives `step` over two
+/// whole streams.
+pub trait CorrelationManipulator: Send {
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Processes one clock cycle.
+    fn step(&mut self, x: bool, y: bool) -> (bool, bool);
+
+    /// Restores the power-on state.
+    fn reset(&mut self);
+
+    /// Processes two equal-length streams and returns the manipulated pair.
+    ///
+    /// The manipulator is *not* reset first, so chained calls continue from
+    /// the current state; call [`CorrelationManipulator::reset`] explicitly
+    /// when independent runs are required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the streams differ in length.
+    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        if x.len() != y.len() {
+            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+        }
+        let mut out_x = Bitstream::zeros(x.len());
+        let mut out_y = Bitstream::zeros(y.len());
+        for i in 0..x.len() {
+            let (bx, by) = self.step(x.bit(i), y.bit(i));
+            out_x.set(i, bx);
+            out_y.set(i, by);
+        }
+        Ok((out_x, out_y))
+    }
+}
+
+impl CorrelationManipulator for Box<dyn CorrelationManipulator> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+
+    fn step(&mut self, x: bool, y: bool) -> (bool, bool) {
+        self.as_mut().step(x, y)
+    }
+
+    fn reset(&mut self) {
+        self.as_mut().reset();
+    }
+
+    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        self.as_mut().process(x, y)
+    }
+}
+
+/// The identity manipulator: passes both streams through unchanged. Useful as
+/// the "no manipulation" arm of experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates the identity manipulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl CorrelationManipulator for Identity {
+    fn name(&self) -> String {
+        "identity".to_string()
+    }
+
+    fn step(&mut self, x: bool, y: bool) -> (bool, bool) {
+        (x, y)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_passes_streams_through() {
+        let x = Bitstream::parse("10110010").unwrap();
+        let y = Bitstream::parse("01011101").unwrap();
+        let mut id = Identity::new();
+        let (ox, oy) = id.process(&x, &y).unwrap();
+        assert_eq!(ox, x);
+        assert_eq!(oy, y);
+        assert_eq!(id.name(), "identity");
+        id.reset();
+    }
+
+    #[test]
+    fn process_rejects_length_mismatch() {
+        let mut id = Identity::new();
+        let err = id.process(&Bitstream::zeros(4), &Bitstream::zeros(5)).unwrap_err();
+        assert!(matches!(err, Error::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn boxed_manipulator_forwards() {
+        let mut boxed: Box<dyn CorrelationManipulator> = Box::new(Identity::new());
+        assert_eq!(boxed.name(), "identity");
+        assert_eq!(boxed.step(true, false), (true, false));
+        boxed.reset();
+        let x = Bitstream::parse("01").unwrap();
+        let (ox, _) = boxed.process(&x, &x).unwrap();
+        assert_eq!(ox, x);
+    }
+}

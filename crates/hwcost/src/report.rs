@@ -1,0 +1,98 @@
+//! Cost reports and relative comparisons.
+
+use std::fmt;
+
+/// Area / power / energy summary of one design for one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Design name.
+    pub design: String,
+    /// Total cell area in µm².
+    pub area_um2: f64,
+    /// Power in µW at the reference activity.
+    pub power_uw: f64,
+    /// Energy in pJ for the characterised operation length.
+    pub energy_pj: f64,
+}
+
+impl CostReport {
+    /// Compares this design against a baseline, returning the ratios
+    /// `baseline / self` for area, power, and energy — i.e. how many times
+    /// smaller / lower-power / more energy-efficient this design is.
+    #[must_use]
+    pub fn relative_to(&self, baseline: &CostReport) -> RelativeCost {
+        RelativeCost {
+            design: self.design.clone(),
+            baseline: baseline.design.clone(),
+            area_ratio: baseline.area_um2 / self.area_um2,
+            power_ratio: baseline.power_uw / self.power_uw,
+            energy_ratio: baseline.energy_pj / self.energy_pj,
+        }
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>10.2} µm² {:>10.2} µW {:>12.0} pJ",
+            self.design, self.area_um2, self.power_uw, self.energy_pj
+        )
+    }
+}
+
+/// How many times smaller / lower-power / more energy-efficient a design is
+/// than a baseline (values above 1 favour the design).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelativeCost {
+    /// Design being compared.
+    pub design: String,
+    /// Baseline design.
+    pub baseline: String,
+    /// `baseline_area / design_area`.
+    pub area_ratio: f64,
+    /// `baseline_power / design_power`.
+    pub power_ratio: f64,
+    /// `baseline_energy / design_energy`.
+    pub energy_ratio: f64,
+}
+
+impl fmt::Display for RelativeCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {:.1}x smaller, {:.1}x lower power, {:.1}x more energy efficient",
+            self.design, self.baseline, self.area_ratio, self.power_ratio, self.energy_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, area: f64, power: f64, energy: f64) -> CostReport {
+        CostReport { design: name.to_string(), area_um2: area, power_uw: power, energy_pj: energy }
+    }
+
+    #[test]
+    fn relative_ratios() {
+        let small = report("sync-max", 48.6, 4.89, 3130.0);
+        let big = report("ca-max", 252.36, 56.7, 36288.0);
+        let rel = small.relative_to(&big);
+        assert!((rel.area_ratio - 5.19).abs() < 0.05);
+        assert!((rel.energy_ratio - 11.59).abs() < 0.1);
+        assert!(rel.power_ratio > 10.0);
+        assert!(rel.to_string().contains("sync-max"));
+    }
+
+    #[test]
+    fn display_contains_units() {
+        let r = report("or-max", 2.16, 0.26, 165.0);
+        let s = r.to_string();
+        assert!(s.contains("or-max"));
+        assert!(s.contains("µm²"));
+        assert!(s.contains("µW"));
+        assert!(s.contains("pJ"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # sc-image
+//!
+//! The image-processing case study of §IV: a stochastic-computing accelerator
+//! that runs a Gaussian blur (GB) followed by a Roberts-cross edge detector
+//! (ED) over an image in 10×10 tiles.
+//!
+//! The pipeline is the paper's motivating example for correlation
+//! manipulation: the SC Gaussian blur wants *uncorrelated* inputs while the
+//! SC edge detector's XOR subtractors want *positively correlated* inputs, so
+//! something has to fix up correlation between the two kernels. Three
+//! accelerator variants are modelled (Table IV):
+//!
+//! * [`PipelineVariant::NoManipulation`] — GB outputs feed the ED directly
+//!   (cheap but inaccurate),
+//! * [`PipelineVariant::Regeneration`] — every GB output is converted back to
+//!   binary and re-encoded from a shared source (accurate but expensive),
+//! * [`PipelineVariant::Synchronizer`] — a synchronizer is inserted in front
+//!   of each ED subtractor pair (accurate and far cheaper).
+//!
+//! The paper's input images are not published, so workloads are synthetic
+//! ([`GrayImage::gradient`], [`GrayImage::checkerboard`],
+//! [`GrayImage::gaussian_blob`], [`GrayImage::noise`]); accuracy is always
+//! reported relative to the floating-point pipeline run on the *same* image,
+//! so the ranking between variants is insensitive to image content.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_image::{GrayImage, PipelineConfig, PipelineVariant, run_sc_pipeline, run_float_pipeline};
+//!
+//! let image = GrayImage::gaussian_blob(20, 20);
+//! let reference = run_float_pipeline(&image);
+//! let config = PipelineConfig { stream_length: 64, ..PipelineConfig::default() };
+//! let sc = run_sc_pipeline(&image, PipelineVariant::Synchronizer, &config)?;
+//! let err = sc.mean_abs_error(&reference)?;
+//! assert!(err < 0.1);
+//! # Ok::<(), sc_image::ImageError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod edge;
+pub mod gaussian;
+pub mod image;
+pub mod pipeline;
+
+pub use accelerator::{AcceleratorCost, CostBreakdown};
+pub use edge::{roberts_cross_float, sc_edge_detector};
+pub use gaussian::{gaussian_blur_float, ScGaussianBlur, GAUSSIAN_WEIGHTS};
+pub use image::{GrayImage, ImageError};
+pub use pipeline::{run_float_pipeline, run_sc_pipeline, PipelineConfig, PipelineVariant};

@@ -1,0 +1,329 @@
+//! Primitive component library: logic gates, multiplexers, flip-flops, and a
+//! closure adapter for arbitrary streaming state machines.
+
+use crate::component::Component;
+
+macro_rules! define_gate {
+    ($(#[$doc:meta])* $name:ident, $inputs:literal, $label:literal, |$in:ident| $expr:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+        pub struct $name;
+
+        impl $name {
+            /// Creates the gate.
+            #[must_use]
+            pub fn new() -> Self {
+                $name
+            }
+        }
+
+        impl Component for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn num_inputs(&self) -> usize {
+                $inputs
+            }
+
+            fn num_outputs(&self) -> usize {
+                1
+            }
+
+            fn evaluate(&mut self, $in: &[bool], outputs: &mut [bool]) {
+                outputs[0] = $expr;
+            }
+        }
+    };
+}
+
+define_gate!(
+    /// Two-input AND gate — the SC unipolar multiplier (Fig. 1a) and, with
+    /// positively correlated inputs, the SC minimum (Table I).
+    AndGate, 2, "and2", |i| i[0] && i[1]
+);
+define_gate!(
+    /// Two-input OR gate — the SC saturating adder (negatively correlated
+    /// inputs, Fig. 2b) and the SC maximum (positively correlated inputs).
+    OrGate, 2, "or2", |i| i[0] || i[1]
+);
+define_gate!(
+    /// Two-input XOR gate — the SC subtractor `|pX − pY|` with positively
+    /// correlated inputs (Fig. 2c).
+    XorGate, 2, "xor2", |i| i[0] ^ i[1]
+);
+define_gate!(
+    /// Two-input XNOR gate — the bipolar SC multiplier.
+    XnorGate, 2, "xnor2", |i| !(i[0] ^ i[1])
+);
+define_gate!(
+    /// Inverter — computes `1 − pX` (unipolar) or `−x` (bipolar).
+    NotGate, 1, "inv", |i| !i[0]
+);
+define_gate!(
+    /// Two-input NAND gate.
+    NandGate, 2, "nand2", |i| !(i[0] && i[1])
+);
+define_gate!(
+    /// Two-input NOR gate.
+    NorGate, 2, "nor2", |i| !(i[0] || i[1])
+);
+
+/// Two-to-one multiplexer: ports are `(in0, in1, select)`; the output is
+/// `in1` when `select` is 1 — the SC scaled adder of Fig. 2a when `select`
+/// carries an uncorrelated 0.5-valued stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Mux2;
+
+impl Mux2 {
+    /// Creates the multiplexer.
+    #[must_use]
+    pub fn new() -> Self {
+        Mux2
+    }
+}
+
+impl Component for Mux2 {
+    fn name(&self) -> &str {
+        "mux2"
+    }
+
+    fn num_inputs(&self) -> usize {
+        3
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn evaluate(&mut self, inputs: &[bool], outputs: &mut [bool]) {
+        outputs[0] = if inputs[2] { inputs[1] } else { inputs[0] };
+    }
+}
+
+/// A D flip-flop: the output is the value captured at the end of the previous
+/// cycle. Non-transparent, so it legally breaks feedback loops — it is also
+/// the *isolator* primitive of Ting & Hayes used as a decorrelation baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct DFlipFlop {
+    state: bool,
+    initial: bool,
+}
+
+impl DFlipFlop {
+    /// Creates a flip-flop initialised to 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a flip-flop with an explicit power-on value.
+    #[must_use]
+    pub fn with_initial(initial: bool) -> Self {
+        DFlipFlop { state: initial, initial }
+    }
+
+    /// Current stored value.
+    #[must_use]
+    pub fn state(&self) -> bool {
+        self.state
+    }
+}
+
+impl Component for DFlipFlop {
+    fn name(&self) -> &str {
+        "dff"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn is_transparent(&self) -> bool {
+        false
+    }
+
+    fn evaluate(&mut self, _inputs: &[bool], outputs: &mut [bool]) {
+        outputs[0] = self.state;
+    }
+
+    fn commit(&mut self, inputs: &[bool]) {
+        self.state = inputs[0];
+    }
+
+    fn reset(&mut self) {
+        self.state = self.initial;
+    }
+}
+
+/// Adapter that turns a closure `FnMut(&[bool]) -> Vec<bool>` into a
+/// transparent (Mealy) component, so bitstream-level models such as the
+/// synchronizer can be dropped into gate-level netlists for cross-checking.
+pub struct StreamFn<F> {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    f: F,
+}
+
+impl<F> std::fmt::Debug for StreamFn<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamFn")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+impl<F: FnMut(&[bool]) -> Vec<bool> + Send> StreamFn<F> {
+    /// Wraps a closure as a component with the given port counts.
+    ///
+    /// # Panics
+    ///
+    /// The simulator will panic later if the closure returns a vector whose
+    /// length differs from `outputs`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, f: F) -> Self {
+        StreamFn { name: name.into(), inputs, outputs, f }
+    }
+}
+
+impl<F: FnMut(&[bool]) -> Vec<bool> + Send> Component for StreamFn<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn evaluate(&mut self, inputs: &[bool], outputs: &mut [bool]) {
+        let produced = (self.f)(inputs);
+        assert_eq!(
+            produced.len(),
+            outputs.len(),
+            "component '{}' produced {} outputs, expected {}",
+            self.name,
+            produced.len(),
+            outputs.len()
+        );
+        outputs.copy_from_slice(&produced);
+    }
+}
+
+/// A constant-value source component with no inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constant(bool);
+
+impl Constant {
+    /// Creates a constant driving the given value.
+    #[must_use]
+    pub fn new(value: bool) -> Self {
+        Constant(value)
+    }
+}
+
+impl Component for Constant {
+    fn name(&self) -> &str {
+        "const"
+    }
+
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn evaluate(&mut self, _inputs: &[bool], outputs: &mut [bool]) {
+        outputs[0] = self.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval1(c: &mut impl Component, inputs: &[bool]) -> bool {
+        let mut out = vec![false; c.num_outputs()];
+        c.evaluate(inputs, &mut out);
+        out[0]
+    }
+
+    #[test]
+    fn gate_truth_tables() {
+        let cases = [(false, false), (false, true), (true, false), (true, true)];
+        for (a, b) in cases {
+            assert_eq!(eval1(&mut AndGate::new(), &[a, b]), a && b);
+            assert_eq!(eval1(&mut OrGate::new(), &[a, b]), a || b);
+            assert_eq!(eval1(&mut XorGate::new(), &[a, b]), a ^ b);
+            assert_eq!(eval1(&mut XnorGate::new(), &[a, b]), !(a ^ b));
+            assert_eq!(eval1(&mut NandGate::new(), &[a, b]), !(a && b));
+            assert_eq!(eval1(&mut NorGate::new(), &[a, b]), !(a || b));
+        }
+        assert_eq!(eval1(&mut NotGate::new(), &[true]), false);
+        assert_eq!(eval1(&mut NotGate::new(), &[false]), true);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut m = Mux2::new();
+        assert_eq!(eval1(&mut m, &[true, false, false]), true);
+        assert_eq!(eval1(&mut m, &[true, false, true]), false);
+        assert_eq!(m.num_inputs(), 3);
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut d = DFlipFlop::new();
+        assert!(!d.is_transparent());
+        let mut out = [true];
+        d.evaluate(&[], &mut out);
+        assert!(!out[0]); // power-on 0
+        d.commit(&[true]);
+        d.evaluate(&[], &mut out);
+        assert!(out[0]);
+        assert!(d.state());
+        d.reset();
+        assert!(!d.state());
+        let d1 = DFlipFlop::with_initial(true);
+        assert!(d1.state());
+    }
+
+    #[test]
+    fn stream_fn_wraps_closure_with_state() {
+        let mut parity = false;
+        let mut c = StreamFn::new("parity", 1, 1, move |i: &[bool]| {
+            parity ^= i[0];
+            vec![parity]
+        });
+        assert_eq!(c.name(), "parity");
+        assert!(eval1(&mut c, &[true]));
+        assert!(!eval1(&mut c, &[true]));
+        assert!(!eval1(&mut c, &[false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "produced")]
+    fn stream_fn_panics_on_wrong_arity() {
+        let mut c = StreamFn::new("bad", 1, 2, |_: &[bool]| vec![true]);
+        let mut out = [false, false];
+        c.evaluate(&[true], &mut out);
+    }
+
+    #[test]
+    fn constant_drives_value() {
+        assert!(eval1(&mut Constant::new(true), &[]));
+        assert!(!eval1(&mut Constant::new(false), &[]));
+    }
+}

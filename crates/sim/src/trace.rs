@@ -1,0 +1,114 @@
+//! Waveform traces captured during simulation.
+
+use sc_bitstream::Bitstream;
+use std::fmt::Write as _;
+
+/// A per-net waveform trace of a simulation run.
+///
+/// Each net's history is stored as a [`Bitstream`], so all the correlation and
+/// value machinery of `sc-bitstream` applies directly to internal signals —
+/// e.g. one can measure the SCC between two internal nets of an accelerator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    nets: Vec<Bitstream>,
+}
+
+impl Trace {
+    /// Creates an empty trace for `net_count` nets.
+    #[must_use]
+    pub fn new(net_count: usize) -> Self {
+        Trace { nets: vec![Bitstream::new(); net_count] }
+    }
+
+    /// Appends one cycle of net values (indexed by net id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of nets.
+    pub fn record_cycle(&mut self, values: &[bool]) {
+        assert_eq!(values.len(), self.nets.len(), "trace width mismatch");
+        for (net, &v) in self.nets.iter_mut().zip(values.iter()) {
+            net.push(v);
+        }
+    }
+
+    /// Number of nets in the trace.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cycles recorded.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.nets.first().map_or(0, Bitstream::len)
+    }
+
+    /// The recorded waveform of one net.
+    #[must_use]
+    pub fn net_stream(&self, net_index: usize) -> Option<&Bitstream> {
+        self.nets.get(net_index)
+    }
+
+    /// Total number of value toggles across all nets (switching activity).
+    #[must_use]
+    pub fn toggle_count(&self) -> u64 {
+        self.nets
+            .iter()
+            .map(|n| {
+                (1..n.len())
+                    .filter(|&i| n.bit(i) != n.bit(i - 1))
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Renders the trace in a minimal VCD-like textual format, one line per
+    /// net: `net<N>: 0101…`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (i, net) in self.nets.iter().enumerate() {
+            let _ = writeln!(out, "net{i}: {}", net.to_bit_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut t = Trace::new(2);
+        t.record_cycle(&[true, false]);
+        t.record_cycle(&[false, false]);
+        t.record_cycle(&[true, true]);
+        assert_eq!(t.net_count(), 2);
+        assert_eq!(t.cycles(), 3);
+        assert_eq!(t.net_stream(0).unwrap().to_bit_string(), "101");
+        assert_eq!(t.net_stream(1).unwrap().to_bit_string(), "001");
+        assert_eq!(t.net_stream(2), None);
+        // Net 0 toggles twice, net 1 toggles once.
+        assert_eq!(t.toggle_count(), 3);
+        let text = t.to_text();
+        assert!(text.contains("net0: 101"));
+        assert!(text.contains("net1: 001"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Trace::new(2);
+        t.record_cycle(&[true]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(0);
+        assert_eq!(t.cycles(), 0);
+        assert_eq!(t.toggle_count(), 0);
+        assert!(t.to_text().is_empty());
+    }
+}

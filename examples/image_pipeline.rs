@@ -1,0 +1,69 @@
+//! Image-processing pipeline demo: runs the Gaussian-blur → Roberts-cross
+//! accelerator on a synthetic image in all three correlation-handling
+//! variants and prints quality, area, and energy — a compact version of the
+//! paper's Table IV case study.
+//!
+//! Run with `cargo run --release --example image_pipeline`.
+
+use sc_image::accelerator::cost_all_variants;
+use sc_image::pipeline::compare_variants;
+use sc_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic scene with both smooth regions and strong edges.
+    let size = 20;
+    let blob = GrayImage::gaussian_blob(size, size);
+    let image = GrayImage::from_fn(size, size, |x, y| {
+        let base = 0.55 * blob.get(x, y) + 0.25 * (y as f64 / size as f64);
+        if x > 2 * size / 3 {
+            (base + 0.3).min(1.0)
+        } else {
+            base
+        }
+    });
+
+    let config = PipelineConfig {
+        stream_length: 128,
+        tile_size: 10,
+        ..PipelineConfig::default()
+    };
+    println!(
+        "GB + ED accelerator on a {size}x{size} synthetic image (N = {}, {}x{} tiles)\n",
+        config.stream_length, config.tile_size, config.tile_size
+    );
+
+    let reference = run_float_pipeline(&image);
+    println!("floating-point reference edge energy (mean |gradient|): {:.4}\n", reference.mean());
+
+    let quality = compare_variants(&image, &config)?;
+    let costs = cost_all_variants(&config, 100, 100);
+
+    println!(
+        "{:<22} {:>12} {:>14} {:>18} {:>22}",
+        "variant", "abs error", "area (um2)", "energy (nJ/frame)", "manip. energy (nJ/frame)"
+    );
+    for variant in PipelineVariant::all() {
+        let q = quality.iter().find(|q| q.variant == variant).expect("quality row");
+        let c = costs.iter().find(|c| c.variant == variant).expect("cost row");
+        println!(
+            "{:<22} {:>12.4} {:>14.0} {:>18.0} {:>22.0}",
+            variant.label(),
+            q.mean_abs_error,
+            c.area_um2,
+            c.energy_per_frame_nj,
+            c.manipulation_energy_nj
+        );
+    }
+
+    let regen = costs.iter().find(|c| c.variant == PipelineVariant::Regeneration).expect("regen");
+    let sync = costs.iter().find(|c| c.variant == PipelineVariant::Synchronizer).expect("sync");
+    println!(
+        "\nsynchronizer variant total-energy saving vs regeneration: {:.0}% (paper: 24%)",
+        100.0 * (1.0 - sync.energy_per_frame_nj / regen.energy_per_frame_nj)
+    );
+    println!(
+        "correlation-manipulation overhead ratio (regeneration / synchronizer): {:.1}x (paper: 3.0x)",
+        regen.manipulation_energy_nj / sync.manipulation_energy_nj
+    );
+    Ok(())
+}

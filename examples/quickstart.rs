@@ -1,0 +1,68 @@
+//! Quickstart: encode values as stochastic numbers, see how correlation
+//! changes what a single gate computes, and fix the correlation with the
+//! paper's synchronizer and decorrelator.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sc_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 256;
+
+    // 1. Encode two values as stochastic numbers from two *uncorrelated*
+    //    low-discrepancy sources (a base-2 Van der Corput sequence and a
+    //    base-3 Halton sequence).
+    let mut gen_x = DigitalToStochastic::new(VanDerCorput::new());
+    let mut gen_y = DigitalToStochastic::new(Halton::new(3));
+    let x = gen_x.generate(Probability::new(0.5)?, n);
+    let y = gen_y.generate(Probability::new(0.75)?, n);
+    println!("pX = {:.4}, pY = {:.4}, SCC(X, Y) = {:+.3}", x.value(), y.value(), scc(&x, &y));
+
+    // 2. With uncorrelated inputs an AND gate multiplies.
+    let product = and_multiply(&x, &y)?;
+    println!("AND on uncorrelated inputs  : {:.4} (expected pX*pY = 0.375)", product.value());
+
+    // 3. Synchronize the pair: the same AND gate now computes the minimum.
+    let mut sync = Synchronizer::new(1);
+    let (xs, ys) = sync.process(&x, &y)?;
+    println!(
+        "after synchronizer          : SCC = {:+.3}, values preserved ({:.4}, {:.4})",
+        scc(&xs, &ys),
+        xs.value(),
+        ys.value()
+    );
+    println!("AND on synchronized inputs  : {:.4} (expected min = 0.5)", xs.and(&ys).value());
+
+    // 4. The packaged improved operators do the synchronization internally.
+    println!("sync_max(X, Y)              : {:.4} (expected max = 0.75)", sync_max(&x, &y, 1)?.value());
+    println!("sync_min(X, Y)              : {:.4} (expected min = 0.5)", sync_min(&x, &y, 1)?.value());
+    println!(
+        "desync_saturating_add(X, Y) : {:.4} (expected min(1, pX+pY) = 1.0)",
+        desync_saturating_add(&x, &y, 1)?.value()
+    );
+
+    // 5. The reverse problem: two streams generated from the *same* source are
+    //    maximally correlated, which breaks multiplication — the decorrelator
+    //    repairs it in the stochastic domain.
+    let mut shared = DigitalToStochastic::new(VanDerCorput::new());
+    let (cx, cy) = shared.generate_correlated_pair(Probability::new(0.5)?, Probability::new(0.75)?, n);
+    println!(
+        "\ncorrelated pair             : SCC = {:+.3}, AND = {:.4} (min, not the product)",
+        scc(&cx, &cy),
+        cx.and(&cy).value()
+    );
+    let mut deco = Decorrelator::new(8);
+    let (dx, dy) = deco.process(&cx, &cy)?;
+    println!(
+        "after decorrelator          : SCC = {:+.3}, AND = {:.4} (back to ~0.375)",
+        scc(&dx, &dy),
+        dx.and(&dy).value()
+    );
+
+    // 6. Hardware cost of the designs involved (abstract 65 nm-class model).
+    println!("\nhardware cost of the Table III designs (256-cycle operation):");
+    for report in characterize::table3_reports(1) {
+        println!("  {report}");
+    }
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Property-based integration tests for the cross-crate invariants the paper
+//! relies on: value preservation of every manipulator, SCC direction of every
+//! manipulator, and the accuracy contracts of the improved operators.
+
+use proptest::prelude::*;
+use sc_repro::prelude::*;
+
+const N: usize = 256;
+
+fn generated_pair(kx: u64, ky: u64, steps: u64) -> (Bitstream, Bitstream) {
+    let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+    let mut gy = DigitalToStochastic::new(Halton::new(3));
+    (
+        gx.generate(Probability::from_ratio(kx, steps), N),
+        gy.generate(Probability::from_ratio(ky, steps), N),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every manipulating circuit preserves stream values to within its
+    /// configured storage (save depth / buffer depth) divided by N.
+    #[test]
+    fn all_manipulators_preserve_values(kx in 1u64..32, ky in 1u64..32, depth in 1u32..6) {
+        let (x, y) = generated_pair(kx, ky, 32);
+        let manipulators: Vec<(Box<dyn CorrelationManipulator>, f64)> = vec![
+            (Box::new(Synchronizer::new(depth)), depth as f64),
+            (Box::new(Desynchronizer::new(depth)), depth as f64),
+            (Box::new(Decorrelator::new(depth as usize)), depth as f64),
+            (Box::new(Isolator::new(depth as usize)), depth as f64),
+        ];
+        for (mut m, capacity) in manipulators {
+            let name = m.name();
+            let (ox, oy) = m.process(&x, &y).expect("equal lengths");
+            let bound = capacity / N as f64 + 1e-12;
+            prop_assert!((ox.value() - x.value()).abs() <= bound, "{name} X bias too large");
+            prop_assert!((oy.value() - y.value()).abs() <= bound, "{name} Y bias too large");
+        }
+    }
+
+    /// The synchronizer never reduces the joint-1 count and the
+    /// desynchronizer never increases it — the mechanism behind their effect
+    /// on SCC.
+    #[test]
+    fn overlap_monotonicity(kx in 1u64..32, ky in 1u64..32) {
+        let (x, y) = generated_pair(kx, ky, 32);
+        let before = x.and(&y).count_ones();
+
+        let mut sync = Synchronizer::new(2);
+        let (sx, sy) = sync.process(&x, &y).expect("equal lengths");
+        prop_assert!(sx.and(&sy).count_ones() >= before.saturating_sub(2));
+
+        let mut desync = Desynchronizer::new(2);
+        let (dx, dy) = desync.process(&x, &y).expect("equal lengths");
+        prop_assert!(dx.and(&dy).count_ones() <= before);
+    }
+
+    /// SCC direction: synchronizer output is at least as positively
+    /// correlated as the desynchronizer output on the same inputs.
+    #[test]
+    fn scc_ordering_between_circuits(kx in 4u64..28, ky in 4u64..28) {
+        let (x, y) = generated_pair(kx, ky, 32);
+        let mut sync = Synchronizer::new(1);
+        let (sx, sy) = sync.process(&x, &y).expect("equal lengths");
+        let mut desync = Desynchronizer::new(1);
+        let (dx, dy) = desync.process(&x, &y).expect("equal lengths");
+        prop_assume!(sx.count_ones() > 0 && sx.count_ones() < N);
+        prop_assume!(sy.count_ones() > 0 && sy.count_ones() < N);
+        prop_assume!(dx.count_ones() > 0 && dx.count_ones() < N);
+        prop_assume!(dy.count_ones() > 0 && dy.count_ones() < N);
+        prop_assert!(scc(&sx, &sy) >= scc(&dx, &dy));
+    }
+
+    /// The improved operators meet their accuracy contract on uncorrelated
+    /// inputs, and the plain-gate versions bound them from the correct side.
+    #[test]
+    fn improved_operator_contracts(kx in 0u64..=32, ky in 0u64..=32) {
+        let px = kx as f64 / 32.0;
+        let py = ky as f64 / 32.0;
+        let (x, y) = generated_pair(kx, ky, 32);
+
+        let smax = sync_max(&x, &y, 1).expect("equal lengths").value();
+        let smin = sync_min(&x, &y, 1).expect("equal lengths").value();
+        let ssat = desync_saturating_add(&x, &y, 1).expect("equal lengths").value();
+        prop_assert!((smax - px.max(py)).abs() < 0.06);
+        prop_assert!((smin - px.min(py)).abs() < 0.06);
+        prop_assert!((ssat - (px + py).min(1.0)).abs() < 0.07);
+
+        // Plain gates bound the true answers from one side.
+        prop_assert!(or_max(&x, &y).expect("equal lengths").value() + 1e-9 >= px.max(py) - 0.03);
+        prop_assert!(and_min(&x, &y).expect("equal lengths").value() <= px.min(py) + 0.03);
+
+        // max + min preserves mass for the synchronizer pair (bit conservation).
+        let mut sync = Synchronizer::new(1);
+        let (sx, sy) = sync.process(&x, &y).expect("equal lengths");
+        let sum = sx.or(&sy).count_ones() + sx.and(&sy).count_ones();
+        prop_assert_eq!(sum, sx.count_ones() + sy.count_ones());
+    }
+
+    /// Regeneration and the decorrelator both reduce the magnitude of the
+    /// correlation of a shared-source pair.
+    #[test]
+    fn decorrelation_reduces_scc_magnitude(k in 4u64..28) {
+        let p = Probability::from_ratio(k, 32);
+        let mut shared = DigitalToStochastic::new(VanDerCorput::new());
+        let (x, y) = shared.generate_correlated_pair(p, p, N);
+        prop_assume!(x.count_ones() > 0 && x.count_ones() < N);
+        let before = scc(&x, &y);
+
+        let mut deco = Decorrelator::new(8);
+        let (dx, dy) = deco.process(&x, &y).expect("equal lengths");
+        prop_assume!(dx.count_ones() > 0 && dx.count_ones() < N);
+        prop_assume!(dy.count_ones() > 0 && dy.count_ones() < N);
+        prop_assert!(scc(&dx, &dy).abs() < before.abs());
+
+        let mut regen = Regenerator::new(Halton::new(3));
+        let ry = regen.regenerate(&y);
+        prop_assume!(ry.count_ones() > 0 && ry.count_ones() < N);
+        prop_assert!(scc(&x, &ry).abs() < before.abs());
+    }
+
+    /// The chain of two depth-1 synchronizers is never worse (in induced SCC)
+    /// than a single stage, up to the small end-of-stream tolerance.
+    #[test]
+    fn composition_helps_or_matches(kx in 4u64..28, ky in 4u64..28) {
+        let mut gx = DigitalToStochastic::new(Lfsr::new(16, 0xACE1));
+        let mut gy = DigitalToStochastic::new(Lfsr::new(16, 0xBEEF));
+        let x = gx.generate(Probability::from_ratio(kx, 32), N);
+        let y = gy.generate(Probability::from_ratio(ky, 32), N);
+
+        let single = {
+            let mut m = Synchronizer::new(1);
+            let (a, b) = m.process(&x, &y).expect("equal lengths");
+            prop_assume!(a.count_ones() > 0 && b.count_ones() > 0);
+            scc(&a, &b)
+        };
+        let double = {
+            let mut m = ManipulatorChain::repeated(2, |_| Synchronizer::new(1));
+            let (a, b) = m.process(&x, &y).expect("equal lengths");
+            prop_assume!(a.count_ones() > 0 && b.count_ones() > 0);
+            scc(&a, &b)
+        };
+        prop_assert!(double >= single - 0.05, "single {single} double {double}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Reduced-scale reproductions of the paper's Tables I–III, asserting that
+//! the *shape* of every headline result holds: which design wins, by roughly
+//! what factor, and in which direction each circuit moves the correlation.
+//! The full-scale sweeps live in the `sc-bench` experiment binaries.
+
+use sc_core::analysis::{
+    evaluate_manipulator, evaluate_manipulator_on_correlated_inputs, SweepConfig,
+};
+use sc_repro::prelude::*;
+
+const N: usize = 256;
+
+fn sweep_config() -> SweepConfig {
+    SweepConfig { stream_length: N, value_steps: 12 }
+}
+
+#[test]
+fn table1_and_gate_functions() {
+    // The literal Table I rows.
+    let x = Bitstream::parse("10101010").expect("valid bits");
+    let cases = [
+        ("10111011", 1.0, 0.5),   // positively correlated -> min
+        ("11011101", -1.0, 0.25), // negatively correlated -> max(0, px+py-1)
+        ("11111100", 0.0, 0.375), // uncorrelated -> product
+    ];
+    for (bits, expected_scc, expected_value) in cases {
+        let y = Bitstream::parse(bits).expect("valid bits");
+        assert_eq!(scc(&x, &y), expected_scc);
+        assert_eq!(x.and(&y).value(), expected_value);
+    }
+}
+
+#[test]
+fn table2_synchronizer_rows_shape() {
+    let config = sweep_config();
+    // VDC / Halton row: -0.048 -> 0.996 in the paper.
+    let row1 = evaluate_manipulator(
+        || Synchronizer::new(1),
+        RngKind::VanDerCorput,
+        RngKind::Halton,
+        config,
+    )
+    .expect("sweep");
+    assert!(row1.input_scc.abs() < 0.25);
+    assert!(row1.output_scc > 0.9);
+    assert!(row1.bias_x.abs() < 0.01 && row1.bias_y.abs() < 0.01);
+    assert!(row1.bias_x <= 1e-9 && row1.bias_y <= 1e-9, "bias is never positive");
+
+    // LFSR / VDC row: weaker but still strong (0.903 in the paper).
+    let row2 = evaluate_manipulator(
+        || Synchronizer::new(1),
+        RngKind::Lfsr,
+        RngKind::VanDerCorput,
+        config,
+    )
+    .expect("sweep");
+    assert!(row2.output_scc > 0.75);
+    assert!(row2.output_scc < row1.output_scc + 0.05);
+}
+
+#[test]
+fn table2_desynchronizer_rows_shape() {
+    let config = sweep_config();
+    let row = evaluate_manipulator(
+        || Desynchronizer::new(1),
+        RngKind::VanDerCorput,
+        RngKind::Halton,
+        config,
+    )
+    .expect("sweep");
+    assert!(row.output_scc < -0.85, "paper reports -0.981, got {}", row.output_scc);
+    assert!(row.bias_x.abs() < 0.01 && row.bias_y.abs() < 0.01);
+
+    // Already positively correlated inputs are still driven negative.
+    let correlated = evaluate_manipulator_on_correlated_inputs(
+        || Desynchronizer::new(1),
+        RngKind::Halton,
+        config,
+    )
+    .expect("sweep");
+    assert!(correlated.input_scc > 0.9);
+    assert!(correlated.output_scc < -0.5, "paper reports -0.930, got {}", correlated.output_scc);
+}
+
+#[test]
+fn table2_decorrelator_beats_isolator_and_tfm() {
+    let config = sweep_config();
+    let mut scc_magnitudes = Vec::new();
+    let mut biases = Vec::new();
+    for source in [RngKind::Lfsr, RngKind::VanDerCorput, RngKind::Halton] {
+        let deco = evaluate_manipulator_on_correlated_inputs(
+            || Decorrelator::new(4),
+            source,
+            config,
+        )
+        .expect("sweep");
+        let iso = evaluate_manipulator_on_correlated_inputs(|| Isolator::new(1), source, config)
+            .expect("sweep");
+        let tfm = evaluate_manipulator_on_correlated_inputs(
+            || TrackingForecastMemory::new(3),
+            source,
+            config,
+        )
+        .expect("sweep");
+        assert!(deco.input_scc > 0.9, "inputs start maximally correlated");
+        assert!(deco.output_scc.abs() < 0.45, "{source}: decorrelator output {}", deco.output_scc);
+        scc_magnitudes.push((deco.output_scc.abs(), iso.output_scc.abs()));
+        biases.push((
+            deco.bias_x.abs() + deco.bias_y.abs(),
+            tfm.bias_x.abs() + tfm.bias_y.abs(),
+        ));
+    }
+    // Table II shape: the decorrelator reaches lower |SCC| than the isolator
+    // baseline on average, and biases the values an order of magnitude less
+    // than the TFM baseline (our TFM decorrelates aggressively but pays for
+    // it in value error — see EXPERIMENTS.md).
+    let (deco_scc, iso_scc) = scc_magnitudes
+        .iter()
+        .fold((0.0, 0.0), |acc, m| (acc.0 + m.0 / 3.0, acc.1 + m.1 / 3.0));
+    assert!(deco_scc <= iso_scc + 0.05, "decorrelator {deco_scc} vs isolator {iso_scc}");
+    let (deco_bias, tfm_bias) =
+        biases.iter().fold((0.0, 0.0), |acc, m| (acc.0 + m.0 / 3.0, acc.1 + m.1 / 3.0));
+    assert!(
+        deco_bias * 3.0 < tfm_bias,
+        "decorrelator bias {deco_bias} should be far below TFM bias {tfm_bias}"
+    );
+}
+
+#[test]
+fn table3_accuracy_shape() {
+    // Sweep a coarse grid with the paper's VDC + Halton(3) inputs.
+    let steps = 16u64;
+    let mut or_stats = ErrorStats::new();
+    let mut ca_stats = ErrorStats::new();
+    let mut sync_stats = ErrorStats::new();
+    let mut and_stats = ErrorStats::new();
+    let mut sync_min_stats = ErrorStats::new();
+    for i in 0..=steps {
+        for j in 0..=steps {
+            let px = i as f64 / steps as f64;
+            let py = j as f64 / steps as f64;
+            let mut gx = DigitalToStochastic::new(VanDerCorput::new());
+            let mut gy = DigitalToStochastic::new(Halton::new(3));
+            let x = gx.generate(Probability::saturating(px), N);
+            let y = gy.generate(Probability::saturating(py), N);
+            or_stats.record(or_max(&x, &y).expect("lengths").value(), px.max(py));
+            ca_stats.record(ca_max(&x, &y).expect("lengths").value(), px.max(py));
+            sync_stats.record(sync_max(&x, &y, 1).expect("lengths").value(), px.max(py));
+            and_stats.record(and_min(&x, &y).expect("lengths").value(), px.min(py));
+            sync_min_stats.record(sync_min(&x, &y, 1).expect("lengths").value(), px.min(py));
+        }
+    }
+    // Paper: OR 0.087 / CA 0.006 / Sync 0.003; AND 0.082 / Sync min 0.005.
+    assert!(or_stats.mean_abs_error() > 0.05);
+    assert!(ca_stats.mean_abs_error() < 0.01);
+    assert!(sync_stats.mean_abs_error() < 0.015);
+    assert!(sync_stats.mean_abs_error() < or_stats.mean_abs_error() / 4.0);
+    assert!(and_stats.mean_abs_error() > 0.05);
+    assert!(sync_min_stats.mean_abs_error() < and_stats.mean_abs_error() / 4.0);
+    // Bias signs: OR overshoots (positive bias), AND undershoots (negative).
+    assert!(or_stats.mean_bias() > 0.0);
+    assert!(and_stats.mean_bias() < 0.0);
+}
+
+#[test]
+fn table3_hardware_shape() {
+    let rows = characterize::table3_reports(1);
+    let or_max_row = &rows[0];
+    let ca_max_row = &rows[1];
+    let sync_max_row = &rows[2];
+    // Paper: 2.16 / 252.36 / 48.6 µm²; 5.2x smaller; 11.6x more energy efficient.
+    assert!((or_max_row.area_um2 - 2.16).abs() < 0.01);
+    assert!(ca_max_row.area_um2 > 150.0);
+    assert!(sync_max_row.area_um2 > 20.0 && sync_max_row.area_um2 < 80.0);
+    let rel = sync_max_row.relative_to(ca_max_row);
+    assert!(rel.area_ratio > 3.0, "area ratio {}", rel.area_ratio);
+    assert!(rel.energy_ratio > 5.0, "energy ratio {}", rel.energy_ratio);
+}
+
+#[test]
+fn section2_adder_overhead_shape() {
+    let mux = characterize::mux_adder();
+    let ca = characterize::correlation_agnostic_adder();
+    // Paper: 5.6x larger, 10.7x more power.
+    assert!(ca.area_um2 / mux.area_um2 > 4.0);
+    assert!(ca.power_uw / mux.power_uw > 5.0);
+}
