@@ -1,7 +1,7 @@
 //! SC addition: the scaled MUX adder, the saturating OR adder, and the
 //! correlation-agnostic adder baseline.
 
-use sc_bitstream::{Bitstream, Probability, Result};
+use sc_bitstream::{Bitstream, Error, Probability, Result};
 use sc_rng::RandomSource;
 
 /// Scaled SC addition with an explicit select stream:
@@ -37,6 +37,7 @@ pub fn mux_add(x: &Bitstream, y: &Bitstream, select: &Bitstream) -> Result<Bitst
 ///
 /// Returns a length-mismatch error if the streams differ in length.
 pub fn saturating_add(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    // Word-parallel: one OR per 64 stream bits via the bulk combinators.
     x.try_or(y)
 }
 
@@ -62,9 +63,7 @@ impl<S: RandomSource> MuxAdder<S> {
     ///
     /// Returns a length-mismatch error if the streams differ in length.
     pub fn add(&mut self, x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
-        let n = x.len();
-        let select =
-            Bitstream::from_fn(n, |_| self.select_source.next_unit() < 0.5);
+        let select = half_select_stream(&mut self.select_source, x.len());
         mux_add(x, y, &select)
     }
 
@@ -99,22 +98,40 @@ impl<S: RandomSource> MuxAdder<S> {
 /// # Ok::<(), sc_bitstream::Error>(())
 /// ```
 pub fn ca_add(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
-    // Validate lengths via a cheap bit op before streaming.
-    let _ = x.try_and(y)?;
-    let mut acc = 0u32;
-    let out = Bitstream::from_fn(x.len(), |i| {
-        acc += u32::from(x.bit(i)) + u32::from(y.bit(i));
-        if acc >= 2 {
-            acc -= 2;
-            true
-        } else {
-            false
-        }
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    // The parallel counter is a mod-2 accumulator: with residue `acc` the
+    // per-cycle rules are `out = majority(x, y, acc)` and
+    // `acc' = x ^ y ^ acc`. The accumulator sequence is therefore a running
+    // XOR prefix of `x ^ y`, which vectorises: a log-step prefix-XOR inside
+    // each word yields all 64 accumulator states at once, and the output word
+    // is a couple of bitwise ops — no per-bit loop at all.
+    let mut acc = 0u64; // current residue, 0 or 1
+    let out = Bitstream::from_word_fn(x.len(), |w| {
+        let (xw, yw) = (x.as_words()[w], y.as_words()[w]);
+        let t = xw ^ yw;
+        let mut prefix = t;
+        prefix ^= prefix << 1;
+        prefix ^= prefix << 2;
+        prefix ^= prefix << 4;
+        prefix ^= prefix << 8;
+        prefix ^= prefix << 16;
+        prefix ^= prefix << 32;
+        // Bit i holds the residue *entering* cycle i.
+        let acc_states = (prefix << 1) ^ acc.wrapping_neg();
+        let out = (xw & yw) | (acc_states & t);
+        acc ^= u64::from(t.count_ones() & 1);
+        out
     });
     Ok(out)
 }
 
-/// Convenience: builds a 0.5-valued select stream of length `n` from a source.
+/// Convenience: builds a 0.5-valued select stream of length `n` from a
+/// source (`Bitstream::from_fn` packs the bits a word at a time).
 #[must_use]
 pub fn half_select_stream<S: RandomSource>(source: &mut S, n: usize) -> Bitstream {
     let half = Probability::HALF.get();

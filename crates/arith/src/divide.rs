@@ -41,7 +41,11 @@ impl<S: RandomSource> Divider<S> {
             (1..=20).contains(&counter_bits),
             "counter width {counter_bits} outside supported range 1..=20"
         );
-        Divider { source, counter_bits, state: 0 }
+        Divider {
+            source,
+            counter_bits,
+            state: 0,
+        }
     }
 
     /// Maximum counter value.
@@ -57,22 +61,32 @@ impl<S: RandomSource> Divider<S> {
     /// [`Error::EmptyStream`] if the streams are empty.
     pub fn divide(&mut self, x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
         if x.len() != y.len() {
-            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
         }
         if x.is_empty() {
             return Err(Error::EmptyStream);
         }
         let max = self.max_count();
-        let mut out = Bitstream::zeros(x.len());
-        for i in 0..x.len() {
-            // Output bit: compare the scaled counter against a random value.
-            let threshold = self.source.next_unit();
-            let z = (self.state as f64 / max as f64) > threshold;
-            out.set(i, z);
-            // Integrate the error pX - pZ·pY.
-            let delta = i64::from(x.bit(i)) - i64::from(z && y.bit(i));
-            self.state = (self.state + delta).clamp(0, max);
-        }
+        // The feedback loop is data-dependent; the stream bits are staged
+        // through register-resident words.
+        let out = Bitstream::from_word_fn(x.len(), |w| {
+            let (xw, yw) = (x.as_words()[w], y.as_words()[w]);
+            let valid = x.word_len(w);
+            let mut out = 0u64;
+            for i in 0..valid {
+                // Output bit: compare the scaled counter against a random value.
+                let threshold = self.source.next_unit();
+                let z = (self.state as f64 / max as f64) > threshold;
+                out |= u64::from(z) << i;
+                // Integrate the error pX - pZ·pY.
+                let delta = i64::from((xw >> i) & 1 == 1) - i64::from(z && (yw >> i) & 1 == 1);
+                self.state = (self.state + delta).clamp(0, max);
+            }
+            out
+        });
         Ok(out)
     }
 
@@ -146,7 +160,9 @@ mod tests {
     #[test]
     fn errors_on_bad_inputs() {
         let mut div = Divider::new(Lfsr::new(16, 1));
-        assert!(div.divide(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+        assert!(div
+            .divide(&Bitstream::zeros(4), &Bitstream::zeros(5))
+            .is_err());
         assert!(div.divide(&Bitstream::new(), &Bitstream::new()).is_err());
     }
 

@@ -43,10 +43,17 @@ pub fn stanh(input: &Bitstream, half_states: u32) -> Bitstream {
     );
     let max = i64::from(2 * half_states - 1);
     let mut state = i64::from(half_states); // start just above the midpoint
-    Bitstream::from_fn(input.len(), |i| {
-        let out = state >= i64::from(half_states);
-        state += if input.bit(i) { 1 } else { -1 };
-        state = state.clamp(0, max);
+                                            // Data-dependent saturating counter: bit-stepped, but staged through
+                                            // register-resident words instead of per-bit stream indexing.
+    Bitstream::from_word_fn(input.len(), |w| {
+        let word = input.as_words()[w];
+        let valid = input.word_len(w);
+        let mut out = 0u64;
+        for i in 0..valid {
+            out |= u64::from(state >= i64::from(half_states)) << i;
+            state += if (word >> i) & 1 == 1 { 1 } else { -1 };
+            state = state.clamp(0, max);
+        }
         out
     })
 }
@@ -70,21 +77,27 @@ pub fn slinear(input: &Bitstream, states: u32) -> Bitstream {
     let max = i64::from(states - 1);
     let mut state = max / 2;
     let mut toggle = false;
-    Bitstream::from_fn(input.len(), |i| {
-        // Output: upper half produces 1s, lower half 0s, with the middle two
-        // states alternating to represent one half.
-        let mid_low = max / 2;
-        let mid_high = mid_low + 1;
-        let out = if state > mid_high {
-            true
-        } else if state < mid_low {
-            false
-        } else {
-            toggle = !toggle;
-            toggle
-        };
-        state += if input.bit(i) { 1 } else { -1 };
-        state = state.clamp(0, max);
+    Bitstream::from_word_fn(input.len(), |w| {
+        let word = input.as_words()[w];
+        let valid = input.word_len(w);
+        let mut out = 0u64;
+        for i in 0..valid {
+            // Output: upper half produces 1s, lower half 0s, with the middle
+            // two states alternating to represent one half.
+            let mid_low = max / 2;
+            let mid_high = mid_low + 1;
+            let bit = if state > mid_high {
+                true
+            } else if state < mid_low {
+                false
+            } else {
+                toggle = !toggle;
+                toggle
+            };
+            out |= u64::from(bit) << i;
+            state += if (word >> i) & 1 == 1 { 1 } else { -1 };
+            state = state.clamp(0, max);
+        }
         out
     })
 }
@@ -117,7 +130,11 @@ mod tests {
     #[test]
     fn stanh_is_near_zero_at_zero() {
         let mid = stanh(&bipolar_stream(0.0), 4);
-        assert!(mid.bipolar_value().abs() < 0.15, "got {}", mid.bipolar_value());
+        assert!(
+            mid.bipolar_value().abs() < 0.15,
+            "got {}",
+            mid.bipolar_value()
+        );
     }
 
     #[test]
@@ -129,7 +146,10 @@ mod tests {
         for &v in &[-0.8, -0.4, 0.0, 0.4, 0.8] {
             let out = stanh(&bipolar_stream(v), k).bipolar_value();
             let analytic = (f64::from(k) / 2.0 * v).tanh();
-            assert!((out - analytic).abs() < 0.2, "x={v}: {out} vs tanh {analytic}");
+            assert!(
+                (out - analytic).abs() < 0.2,
+                "x={v}: {out} vs tanh {analytic}"
+            );
             assert!(out > last, "monotonicity violated at x={v}");
             last = out;
         }
@@ -139,7 +159,10 @@ mod tests {
     fn stanh_steepness_grows_with_state_count() {
         let shallow = stanh(&bipolar_stream(0.3), 2).bipolar_value();
         let steep = stanh(&bipolar_stream(0.3), 16).bipolar_value();
-        assert!(steep >= shallow - 0.05, "steep {steep} vs shallow {shallow}");
+        assert!(
+            steep >= shallow - 0.05,
+            "steep {steep} vs shallow {shallow}"
+        );
         assert!(steep > 0.7, "a 32-state FSM saturates quickly, got {steep}");
     }
 
@@ -165,7 +188,10 @@ mod tests {
         let mixed = bipolar_stream(0.5);
         let out_bunched = stanh(&bunched, 4).bipolar_value();
         let out_mixed = stanh(&mixed, 4).bipolar_value();
-        assert!(out_mixed > 0.65, "mixed stream should saturate, got {out_mixed}");
+        assert!(
+            out_mixed > 0.65,
+            "mixed stream should saturate, got {out_mixed}"
+        );
         assert!(
             out_mixed > out_bunched + 0.15,
             "bit order must matter: mixed {out_mixed} vs bunched {out_bunched}"

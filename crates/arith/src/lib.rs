@@ -41,6 +41,7 @@ pub mod divide;
 pub mod fsm_ops;
 pub mod maxmin;
 pub mod multiply;
+pub mod reference;
 pub mod subtract;
 
 pub use add::{ca_add, mux_add, saturating_add, MuxAdder};

@@ -14,7 +14,7 @@
 //! The paper's *synchronizer-based* max/min (smaller than the
 //! correlation-agnostic design, nearly as accurate) live in `sc-core::ops`.
 
-use sc_bitstream::{Bitstream, Result};
+use sc_bitstream::{Bitstream, Error, Result};
 
 /// SC maximum via a single OR gate (requires positively correlated inputs).
 ///
@@ -34,6 +34,7 @@ use sc_bitstream::{Bitstream, Result};
 /// # Ok::<(), sc_bitstream::Error>(())
 /// ```
 pub fn or_max(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    // Word-parallel: one OR per 64 stream bits via the bulk combinators.
     x.try_or(y)
 }
 
@@ -56,15 +57,27 @@ pub fn and_min(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
 ///
 /// Returns a length-mismatch error if the streams differ in length.
 pub fn ca_max(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
-    let _ = x.try_and(y)?;
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    // The counters are data-dependent, but the stream bits are staged through
+    // register-resident words: one load/store per 64 cycles.
     let (mut cx, mut cy, mut co) = (0u64, 0u64, 0u64);
-    let out = Bitstream::from_fn(x.len(), |i| {
-        cx += u64::from(x.bit(i));
-        cy += u64::from(y.bit(i));
-        let target = cx.max(cy);
-        let bit = target > co;
-        co = target;
-        bit
+    let out = Bitstream::from_word_fn(x.len(), |w| {
+        let (xw, yw) = (x.as_words()[w], y.as_words()[w]);
+        let valid = x.word_len(w);
+        let mut out = 0u64;
+        for i in 0..valid {
+            cx += (xw >> i) & 1;
+            cy += (yw >> i) & 1;
+            let target = cx.max(cy);
+            out |= u64::from(target > co) << i;
+            co = target;
+        }
+        out
     });
     Ok(out)
 }
@@ -75,15 +88,25 @@ pub fn ca_max(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
 ///
 /// Returns a length-mismatch error if the streams differ in length.
 pub fn ca_min(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
-    let _ = x.try_and(y)?;
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
     let (mut cx, mut cy, mut co) = (0u64, 0u64, 0u64);
-    let out = Bitstream::from_fn(x.len(), |i| {
-        cx += u64::from(x.bit(i));
-        cy += u64::from(y.bit(i));
-        let target = cx.min(cy);
-        let bit = target > co;
-        co = target;
-        bit
+    let out = Bitstream::from_word_fn(x.len(), |w| {
+        let (xw, yw) = (x.as_words()[w], y.as_words()[w]);
+        let valid = x.word_len(w);
+        let mut out = 0u64;
+        for i in 0..valid {
+            cx += (xw >> i) & 1;
+            cy += (yw >> i) & 1;
+            let target = cx.min(cy);
+            out |= u64::from(target > co) << i;
+            co = target;
+        }
+        out
     });
     Ok(out)
 }

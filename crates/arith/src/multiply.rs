@@ -29,6 +29,7 @@ use sc_bitstream::{Bitstream, Result};
 /// # Ok::<(), sc_bitstream::Error>(())
 /// ```
 pub fn and_multiply(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    // Word-parallel: one AND per 64 stream bits via the bulk combinators.
     x.try_and(y)
 }
 
@@ -71,7 +72,13 @@ mod tests {
 
     #[test]
     fn uncorrelated_multiplication_is_accurate() {
-        for &(px, py) in &[(0.5, 0.75), (0.25, 0.25), (0.9, 0.1), (1.0, 0.5), (0.0, 0.7)] {
+        for &(px, py) in &[
+            (0.5, 0.75),
+            (0.25, 0.25),
+            (0.9, 0.1),
+            (1.0, 0.5),
+            (0.0, 0.7),
+        ] {
             let (x, y) = uncorrelated_pair(px, py);
             let z = and_multiply(&x, &y).unwrap();
             assert!(
@@ -94,7 +101,10 @@ mod tests {
         );
         let z = and_multiply(&x, &y).unwrap();
         assert!((z.value() - 0.5).abs() < 0.02, "got {}", z.value());
-        assert!((z.value() - 0.375).abs() > 0.05, "should NOT equal the product");
+        assert!(
+            (z.value() - 0.375).abs() > 0.05,
+            "should NOT equal the product"
+        );
     }
 
     #[test]

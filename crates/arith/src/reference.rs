@@ -1,0 +1,178 @@
+//! Retained bit-serial reference implementations of the arithmetic operators.
+//!
+//! Mirrors `sc_bitstream::reference`: these are the original
+//! one-bit-per-cycle formulations, kept as the executable specification the
+//! word-parallel operators are verified against (bit-identical, including at
+//! lengths that are not multiples of 64) and as the baseline the benchmark
+//! suite measures speedups from. Single-gate operators (AND multiply, OR max,
+//! XOR subtract, ...) have their bit-serial references in
+//! `sc_bitstream::reference`; this module covers the counter-based designs.
+
+use sc_bitstream::{Bitstream, Error, Result};
+
+/// Bit-serial correlation-agnostic scaled addition (the original `ca_add`).
+///
+/// # Errors
+///
+/// Returns a length-mismatch error if the streams differ in length.
+pub fn ca_add(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let mut acc = 0u32;
+    let out = Bitstream::from_fn(x.len(), |i| {
+        acc += u32::from(x.bit(i)) + u32::from(y.bit(i));
+        if acc >= 2 {
+            acc -= 2;
+            true
+        } else {
+            false
+        }
+    });
+    Ok(out)
+}
+
+/// Bit-serial correlation-agnostic maximum (the original `ca_max`).
+///
+/// # Errors
+///
+/// Returns a length-mismatch error if the streams differ in length.
+pub fn ca_max(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let (mut cx, mut cy, mut co) = (0u64, 0u64, 0u64);
+    let out = Bitstream::from_fn(x.len(), |i| {
+        cx += u64::from(x.bit(i));
+        cy += u64::from(y.bit(i));
+        let target = cx.max(cy);
+        let bit = target > co;
+        co = target;
+        bit
+    });
+    Ok(out)
+}
+
+/// Bit-serial correlation-agnostic minimum (the original `ca_min`).
+///
+/// # Errors
+///
+/// Returns a length-mismatch error if the streams differ in length.
+pub fn ca_min(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let (mut cx, mut cy, mut co) = (0u64, 0u64, 0u64);
+    let out = Bitstream::from_fn(x.len(), |i| {
+        cx += u64::from(x.bit(i));
+        cy += u64::from(y.bit(i));
+        let target = cx.min(cy);
+        let bit = target > co;
+        co = target;
+        bit
+    });
+    Ok(out)
+}
+
+/// Bit-serial `stanh` (the original saturating-counter formulation).
+///
+/// # Panics
+///
+/// Panics if `half_states` is 0 or greater than 2048.
+#[must_use]
+pub fn stanh(input: &Bitstream, half_states: u32) -> Bitstream {
+    assert!(
+        (1..=2048).contains(&half_states),
+        "stanh state count {half_states} outside supported range 1..=2048"
+    );
+    let max = i64::from(2 * half_states - 1);
+    let mut state = i64::from(half_states);
+    Bitstream::from_fn(input.len(), |i| {
+        let out = state >= i64::from(half_states);
+        state += if input.bit(i) { 1 } else { -1 };
+        state = state.clamp(0, max);
+        out
+    })
+}
+
+/// Bit-serial `slinear` (the original saturating-counter formulation).
+///
+/// # Panics
+///
+/// Panics if `states` is smaller than 2 or greater than 4096.
+#[must_use]
+pub fn slinear(input: &Bitstream, states: u32) -> Bitstream {
+    assert!(
+        (2..=4096).contains(&states),
+        "slinear state count {states} outside supported range 2..=4096"
+    );
+    let max = i64::from(states - 1);
+    let mut state = max / 2;
+    let mut toggle = false;
+    Bitstream::from_fn(input.len(), |i| {
+        let mid_low = max / 2;
+        let mid_high = mid_low + 1;
+        let out = if state > mid_high {
+            true
+        } else if state < mid_low {
+            false
+        } else {
+            toggle = !toggle;
+            toggle
+        };
+        state += if input.bit(i) { 1 } else { -1 };
+        state = state.clamp(0, max);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_agree_with_word_parallel_operators_at_odd_lengths() {
+        for n in [1usize, 63, 64, 65, 130, 1000] {
+            let x = Bitstream::from_fn(n, |i| (i * 13 + 5) % 7 < 3);
+            let y = Bitstream::from_fn(n, |i| (i * 17 + 2) % 5 < 2);
+            assert_eq!(
+                crate::add::ca_add(&x, &y).unwrap(),
+                ca_add(&x, &y).unwrap(),
+                "ca_add n={n}"
+            );
+            assert_eq!(
+                crate::maxmin::ca_max(&x, &y).unwrap(),
+                ca_max(&x, &y).unwrap(),
+                "ca_max n={n}"
+            );
+            assert_eq!(
+                crate::maxmin::ca_min(&x, &y).unwrap(),
+                ca_min(&x, &y).unwrap(),
+                "ca_min n={n}"
+            );
+            for s in [1u32, 3, 4] {
+                assert_eq!(
+                    crate::fsm_ops::stanh(&x, s),
+                    stanh(&x, s),
+                    "stanh n={n} s={s}"
+                );
+            }
+            for s in [2u32, 7, 8] {
+                assert_eq!(
+                    crate::fsm_ops::slinear(&x, s),
+                    slinear(&x, s),
+                    "slinear n={n} s={s}"
+                );
+            }
+        }
+    }
+}

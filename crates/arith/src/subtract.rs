@@ -28,6 +28,7 @@ use sc_bitstream::{Bitstream, Result};
 /// # Ok::<(), sc_bitstream::Error>(())
 /// ```
 pub fn xor_subtract(x: &Bitstream, y: &Bitstream) -> Result<Bitstream> {
+    // Word-parallel: one XOR per 64 stream bits via the bulk combinators.
     x.try_xor(y)
 }
 
@@ -80,7 +81,10 @@ mod tests {
         let z = xor_subtract(&x, &y).unwrap();
         let wrong_expected = xor_uncorrelated_expectation(px, py); // 0.5
         assert!((z.value() - wrong_expected).abs() < 0.1);
-        assert!((z.value() - 0.0).abs() > 0.3, "must differ from the true |pX - pY| = 0");
+        assert!(
+            (z.value() - 0.0).abs() > 0.3,
+            "must differ from the true |pX - pY| = 0"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ fn bench_operators(c: &mut Criterion) {
     let mut group = c.benchmark_group("arith/operators");
     group.throughput(Throughput::Elements(n as u64));
 
-    group.bench_function("and-multiply", |b| b.iter(|| and_multiply(&x, &y).expect("lengths")));
+    group.bench_function("and-multiply", |b| {
+        b.iter(|| and_multiply(&x, &y).expect("lengths"))
+    });
     group.bench_function("mux-add", |b| {
         b.iter(|| {
             let mut adder = MuxAdder::new(Lfsr::new(16, 0xACE1));
@@ -44,10 +46,59 @@ fn bench_improved_operators(c: &mut Criterion) {
     let (x, y) = input_pair(n);
     let mut group = c.benchmark_group("arith/improved-operators");
     group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("sync-max-d1", |b| b.iter(|| sync_max(&x, &y, 1).expect("lengths")));
-    group.bench_function("sync-min-d1", |b| b.iter(|| sync_min(&x, &y, 1).expect("lengths")));
+    group.bench_function("sync-max-d1", |b| {
+        b.iter(|| sync_max(&x, &y, 1).expect("lengths"))
+    });
+    group.bench_function("sync-min-d1", |b| {
+        b.iter(|| sync_min(&x, &y, 1).expect("lengths"))
+    });
     group.bench_function("desync-satadd-d1", |b| {
         b.iter(|| desync_saturating_add(&x, &y, 1).expect("lengths"))
+    });
+    group.finish();
+}
+
+/// Bit-serial reference vs word-parallel kernel pairs: the speedup evidence
+/// for the packed-word execution engine.
+fn bench_word_parallel_vs_bit_serial(c: &mut Criterion) {
+    let n = 4096usize;
+    let (x, y) = input_pair(n);
+    let mut group = c.benchmark_group("arith/word-parallel-vs-bit-serial");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("and-multiply/bit-serial", |b| {
+        b.iter(|| sc_bitstream::reference::and(&x, &y).expect("lengths"))
+    });
+    group.bench_function("and-multiply/word-parallel", |b| {
+        b.iter(|| and_multiply(&x, &y).expect("lengths"))
+    });
+    group.bench_function("or-max/bit-serial", |b| {
+        b.iter(|| sc_bitstream::reference::or(&x, &y).expect("lengths"))
+    });
+    group.bench_function("or-max/word-parallel", |b| {
+        b.iter(|| or_max(&x, &y).expect("lengths"))
+    });
+    group.bench_function("scc/bit-serial", |b| {
+        b.iter(|| {
+            sc_bitstream::reference::joint_counts(&x, &y)
+                .expect("lengths")
+                .scc()
+        })
+    });
+    group.bench_function("scc/word-parallel", |b| {
+        b.iter(|| sc_bitstream::scc(&x, &y))
+    });
+    group.bench_function("ca-add/bit-serial", |b| {
+        b.iter(|| sc_arith::reference::ca_add(&x, &y).expect("lengths"))
+    });
+    group.bench_function("ca-add/word-parallel", |b| {
+        b.iter(|| ca_add(&x, &y).expect("lengths"))
+    });
+    group.bench_function("ca-max/bit-serial", |b| {
+        b.iter(|| sc_arith::reference::ca_max(&x, &y).expect("lengths"))
+    });
+    group.bench_function("ca-max/word-parallel", |b| {
+        b.iter(|| ca_max(&x, &y).expect("lengths"))
     });
     group.finish();
 }
@@ -55,6 +106,6 @@ fn bench_improved_operators(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_operators, bench_improved_operators
+    targets = bench_operators, bench_improved_operators, bench_word_parallel_vs_bit_serial
 }
 criterion_main!(benches);

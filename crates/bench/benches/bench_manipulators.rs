@@ -64,9 +64,64 @@ fn bench_save_depth(c: &mut Criterion) {
     group.finish();
 }
 
+/// Word-staged `process` vs the retained `process_bit_serial` for each
+/// manipulator, plus the fused chain vs stage-wise processing.
+fn bench_word_parallel_vs_bit_serial(c: &mut Criterion) {
+    let n = 4096usize;
+    let (x, y) = input_pair(n);
+    let mut group = c.benchmark_group("manipulators/word-parallel-vs-bit-serial");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function("isolator-k17/bit-serial", |b| {
+        b.iter(|| {
+            Isolator::new(17)
+                .process_bit_serial(&x, &y)
+                .expect("lengths")
+        })
+    });
+    group.bench_function("isolator-k17/word-parallel", |b| {
+        b.iter(|| Isolator::new(17).process(&x, &y).expect("lengths"))
+    });
+    group.bench_function("synchronizer-d1/bit-serial", |b| {
+        b.iter(|| {
+            Synchronizer::new(1)
+                .process_bit_serial(&x, &y)
+                .expect("lengths")
+        })
+    });
+    group.bench_function("synchronizer-d1/word-staged", |b| {
+        b.iter(|| Synchronizer::new(1).process(&x, &y).expect("lengths"))
+    });
+    group.bench_function("decorrelator-d4/bit-serial", |b| {
+        b.iter(|| {
+            Decorrelator::new(4)
+                .process_bit_serial(&x, &y)
+                .expect("lengths")
+        })
+    });
+    group.bench_function("decorrelator-d4/word-staged", |b| {
+        b.iter(|| Decorrelator::new(4).process(&x, &y).expect("lengths"))
+    });
+
+    let make_chain = || {
+        let mut chain = sc_core::ManipulatorChain::new();
+        chain.push(Synchronizer::new(1));
+        chain.push(Isolator::new(4));
+        chain.push(Desynchronizer::new(1));
+        chain
+    };
+    group.bench_function("chain-3-stages/stage-wise-bit-serial", |b| {
+        b.iter(|| make_chain().process_bit_serial(&x, &y).expect("lengths"))
+    });
+    group.bench_function("chain-3-stages/fused-word", |b| {
+        b.iter(|| make_chain().process(&x, &y).expect("lengths"))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_stream_length, bench_save_depth
+    targets = bench_stream_length, bench_save_depth, bench_word_parallel_vs_bit_serial
 }
 criterion_main!(benches);

@@ -8,7 +8,11 @@ use std::time::Duration;
 
 fn bench_variants(c: &mut Criterion) {
     let image = GrayImage::gaussian_blob(12, 12);
-    let config = PipelineConfig { stream_length: 64, tile_size: 6, ..PipelineConfig::default() };
+    let config = PipelineConfig {
+        stream_length: 64,
+        tile_size: 6,
+        ..PipelineConfig::default()
+    };
     let mut group = c.benchmark_group("pipeline/sc-variants");
     group.throughput(Throughput::Elements(image.pixel_count() as u64));
     for variant in PipelineVariant::all() {

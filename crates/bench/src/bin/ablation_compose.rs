@@ -9,7 +9,10 @@ use sc_hwcost::characterize;
 use sc_rng::RngKind;
 
 fn main() {
-    let config = SweepConfig { stream_length: PAPER_STREAM_LENGTH, value_steps: 16 };
+    let config = SweepConfig {
+        stream_length: PAPER_STREAM_LENGTH,
+        value_steps: 16,
+    };
     println!("Ablation — composing D = 1 circuits in series (LFSR / VDC inputs)");
 
     // Chains of synchronizers.
@@ -87,7 +90,13 @@ fn main() {
     }
     print_table(
         "Chain of D=1 stages vs one depth-D FSM (matched capacity)",
-        &["capacity", "chain out SCC", "deep out SCC", "chain |bias|", "deep |bias|"],
+        &[
+            "capacity",
+            "chain out SCC",
+            "deep out SCC",
+            "chain |bias|",
+            "deep |bias|",
+        ],
         &rows,
     );
 

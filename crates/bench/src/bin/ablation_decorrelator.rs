@@ -11,7 +11,10 @@ use sc_hwcost::characterize;
 use sc_rng::{Halton, RngKind, VanDerCorput};
 
 fn main() {
-    let config = SweepConfig { stream_length: PAPER_STREAM_LENGTH, value_steps: 16 };
+    let config = SweepConfig {
+        stream_length: PAPER_STREAM_LENGTH,
+        value_steps: 16,
+    };
     println!("Ablation — decorrelator shuffle-buffer depth (shared-source inputs, SCC ≈ +1)");
 
     let mut rows = Vec::new();
@@ -34,7 +37,14 @@ fn main() {
     }
     print_table(
         "Shuffle-buffer depth sweep",
-        &["D", "input SCC", "output SCC", "|bias|", "area (um2)", "energy (pJ)"],
+        &[
+            "D",
+            "input SCC",
+            "output SCC",
+            "|bias|",
+            "area (um2)",
+            "energy (pJ)",
+        ],
         &rows,
     );
 

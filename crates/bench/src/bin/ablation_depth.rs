@@ -11,7 +11,10 @@ use sc_hwcost::characterize;
 use sc_rng::{Lfsr, RngKind};
 
 fn main() {
-    let config = SweepConfig { stream_length: PAPER_STREAM_LENGTH, value_steps: 16 };
+    let config = SweepConfig {
+        stream_length: PAPER_STREAM_LENGTH,
+        value_steps: 16,
+    };
     println!("Ablation — save depth D of the synchronizer / desynchronizer FSMs");
 
     let depths = [1u32, 2, 4, 8, 16];

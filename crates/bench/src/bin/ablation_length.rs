@@ -42,7 +42,10 @@ fn sweep(n: usize) -> LengthResult {
             );
             let mut sync = Synchronizer::new(1);
             let (sx, sy) = sync.process(&x, &y).expect("lengths");
-            if sx.count_ones() > 0 && sx.count_ones() < n && sy.count_ones() > 0 && sy.count_ones() < n
+            if sx.count_ones() > 0
+                && sx.count_ones() < n
+                && sy.count_ones() > 0
+                && sy.count_ones() < n
             {
                 scc_sum += sc_bitstream::scc(&sx, &sy);
                 scc_count += 1;
@@ -96,6 +99,8 @@ fn main() {
         first.multiply_error / last.multiply_error.max(1e-9),
         last.n / first.n
     );
-    println!("The synchronizer's induced correlation is already > 0.9 at N = 64, so the correlation");
+    println!(
+        "The synchronizer's induced correlation is already > 0.9 at N = 64, so the correlation"
+    );
     println!("circuits do not limit how short the streams can be; quantization does.");
 }

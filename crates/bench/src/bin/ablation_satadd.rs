@@ -77,15 +77,16 @@ fn main() {
                 plain.record(saturating_add(&x, &y).expect("lengths").value(), expected);
                 for (slot, depth) in [(0usize, 1u32), (1, 2), (2, 4)] {
                     desync[slot].record(
-                        desync_saturating_add(&x, &y, depth).expect("lengths").value(),
+                        desync_saturating_add(&x, &y, depth)
+                            .expect("lengths")
+                            .value(),
                         expected,
                     );
                 }
                 // The scaled CA adder computes (px+py)/2; compare it on the
                 // unsaturated half of the range where 2x rescaling is exact.
                 if px + py <= 1.0 {
-                    agnostic
-                        .record(2.0 * ca_add(&x, &y).expect("lengths").value(), expected);
+                    agnostic.record(2.0 * ca_add(&x, &y).expect("lengths").value(), expected);
                 }
             }
         }
@@ -113,18 +114,27 @@ fn main() {
 
     // Hardware comparison.
     let or_only = characterize::or_max();
-    let desync_cost =
-        characterize::desynchronizer_saturating_adder_netlist(1).report(n as u64);
+    let desync_cost = characterize::desynchronizer_saturating_adder_netlist(1).report(n as u64);
     let ca = characterize::correlation_agnostic_adder();
     let rows = vec![
-        vec!["plain OR".into(), cell1(or_only.area_um2), cell1(or_only.power_uw), cell1(or_only.energy_pj)],
+        vec![
+            "plain OR".into(),
+            cell1(or_only.area_um2),
+            cell1(or_only.power_uw),
+            cell1(or_only.energy_pj),
+        ],
         vec![
             "desynchronizer + OR (D=1)".into(),
             cell1(desync_cost.area_um2),
             cell1(desync_cost.power_uw),
             cell1(desync_cost.energy_pj),
         ],
-        vec!["correlation-agnostic adder".into(), cell1(ca.area_um2), cell1(ca.power_uw), cell1(ca.energy_pj)],
+        vec![
+            "correlation-agnostic adder".into(),
+            cell1(ca.area_um2),
+            cell1(ca.power_uw),
+            cell1(ca.energy_pj),
+        ],
     ];
     print_table(
         "Hardware cost (256-cycle operation)",

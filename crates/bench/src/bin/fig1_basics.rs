@@ -4,7 +4,7 @@
 
 use sc_arith::add::mux_add;
 use sc_arith::multiply::and_multiply;
-use sc_bench::{print_table, Comparison, print_comparisons};
+use sc_bench::{print_comparisons, print_table, Comparison};
 use sc_bitstream::{scc, Bitstream};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     print_comparisons("Paper vs measured", &rows);
 
-    let worst = rows.iter().map(Comparison::relative_error).fold(0.0f64, f64::max);
+    let worst = rows
+        .iter()
+        .map(Comparison::relative_error)
+        .fold(0.0f64, f64::max);
     println!("\nLargest relative deviation: {worst:.4}");
     Ok(())
 }

@@ -48,14 +48,20 @@ fn main() {
         let (x, y) = uncorrelated_pair(px, py, n);
         let mut sel = DigitalToStochastic::new(Lfsr::new(16, 0xACE1));
         let select = sel.generate(Probability::HALF, n);
-        (mux_add(&x, &y, &select).expect("lengths").value(), 0.5 * (px + py))
+        (
+            mux_add(&x, &y, &select).expect("lengths").value(),
+            0.5 * (px + py),
+        )
     });
     let add_bad = sweep(|px, py| {
         // Select reuses the X operand's own source: correlated select.
         let (x, y) = uncorrelated_pair(px, py, n);
         let mut sel = DigitalToStochastic::new(VanDerCorput::new());
         let select = sel.generate(Probability::HALF, n);
-        (mux_add(&x, &y, &select).expect("lengths").value(), 0.5 * (px + py))
+        (
+            mux_add(&x, &y, &select).expect("lengths").value(),
+            0.5 * (px + py),
+        )
     });
 
     // (b) Saturating add: needs negative correlation; positive is the failure mode.
@@ -72,11 +78,17 @@ fn main() {
     // (c) Subtract (|pX - pY|): needs positive correlation.
     let sub_good = sweep(|px, py| {
         let (x, y) = correlated_pair(px, py, n);
-        (xor_subtract(&x, &y).expect("lengths").value(), (px - py).abs())
+        (
+            xor_subtract(&x, &y).expect("lengths").value(),
+            (px - py).abs(),
+        )
     });
     let sub_bad = sweep(|px, py| {
         let (x, y) = uncorrelated_pair(px, py, n);
-        (xor_subtract(&x, &y).expect("lengths").value(), (px - py).abs())
+        (
+            xor_subtract(&x, &y).expect("lengths").value(),
+            (px - py).abs(),
+        )
     });
 
     // (d) Multiply: needs uncorrelated inputs.
@@ -94,13 +106,19 @@ fn main() {
         let (px, py) = (px.min(py), py.max(0.25));
         let (x, y) = correlated_pair(px, py, 2048);
         let mut div = Divider::new(Lfsr::new(16, 0x1D0D));
-        (div.divide(&x, &y).expect("lengths").value(), (px / py).min(1.0))
+        (
+            div.divide(&x, &y).expect("lengths").value(),
+            (px / py).min(1.0),
+        )
     });
     let div_bad = sweep(|px, py| {
         let (px, py) = (px.min(py), py.max(0.25));
         let (x, y) = uncorrelated_pair(px, py, 2048);
         let mut div = Divider::new(Lfsr::new(16, 0x1D0D));
-        (div.divide(&x, &y).expect("lengths").value(), (px / py).min(1.0))
+        (
+            div.divide(&x, &y).expect("lengths").value(),
+            (px / py).min(1.0),
+        )
     });
 
     // (f/g) Converters: S/D exactness and D/S + regeneration round trip.
@@ -124,16 +142,61 @@ fn main() {
 
     print_table(
         "Mean absolute error with required vs. violated input correlation",
-        &["operation", "required corr.", "error (required)", "error (violated)"],
         &[
-            vec!["scaled add (MUX)".into(), "uncorr. select".into(), cell(add_good), cell(add_bad)],
-            vec!["saturating add (OR)".into(), "negative".into(), cell(sat_good), cell(sat_bad)],
-            vec!["subtract (XOR)".into(), "positive".into(), cell(sub_good), cell(sub_bad)],
-            vec!["multiply (AND)".into(), "uncorrelated".into(), cell(mul_good), cell(mul_bad)],
-            vec!["divide (feedback)".into(), "positive".into(), cell(div_good), cell(div_bad)],
-            vec!["S/D converter".into(), "n/a".into(), cell(sd_error), cell(sd_error)],
-            vec!["D/S + regeneration".into(), "n/a".into(), cell(regen_error), cell(regen_error)],
-            vec!["CA add (agnostic)".into(), "agnostic".into(), cell(ca_any), cell(ca_any)],
+            "operation",
+            "required corr.",
+            "error (required)",
+            "error (violated)",
+        ],
+        &[
+            vec![
+                "scaled add (MUX)".into(),
+                "uncorr. select".into(),
+                cell(add_good),
+                cell(add_bad),
+            ],
+            vec![
+                "saturating add (OR)".into(),
+                "negative".into(),
+                cell(sat_good),
+                cell(sat_bad),
+            ],
+            vec![
+                "subtract (XOR)".into(),
+                "positive".into(),
+                cell(sub_good),
+                cell(sub_bad),
+            ],
+            vec![
+                "multiply (AND)".into(),
+                "uncorrelated".into(),
+                cell(mul_good),
+                cell(mul_bad),
+            ],
+            vec![
+                "divide (feedback)".into(),
+                "positive".into(),
+                cell(div_good),
+                cell(div_bad),
+            ],
+            vec![
+                "S/D converter".into(),
+                "n/a".into(),
+                cell(sd_error),
+                cell(sd_error),
+            ],
+            vec![
+                "D/S + regeneration".into(),
+                "n/a".into(),
+                cell(regen_error),
+                cell(regen_error),
+            ],
+            vec![
+                "CA add (agnostic)".into(),
+                "agnostic".into(),
+                cell(ca_any),
+                cell(ca_any),
+            ],
         ],
     );
 

@@ -17,7 +17,12 @@ fn literal_examples() -> Result<(), Box<dyn std::error::Error>> {
     let x = Bitstream::parse("10101010")?;
     let cases = [
         ("positively correlated", "10111011", "min(pX, pY)", 0.5),
-        ("negatively correlated", "11011101", "max(0, pX + pY - 1)", 0.25),
+        (
+            "negatively correlated",
+            "11011101",
+            "max(0, pX + pY - 1)",
+            0.25,
+        ),
         ("uncorrelated", "11111100", "pX * pY", 0.375),
     ];
     let mut rows = Vec::new();
@@ -35,7 +40,14 @@ fn literal_examples() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Table I — literal 8-bit examples (X = 10101010, pX = 0.5, pY = 0.75)",
-        &["correlation", "SCC", "X & Y", "function", "expected", "measured"],
+        &[
+            "correlation",
+            "SCC",
+            "X & Y",
+            "function",
+            "expected",
+            "measured",
+        ],
         &rows,
     );
     Ok(())
@@ -73,13 +85,21 @@ fn swept_examples() {
     print_comparisons(
         "Table I — swept at N = 256 (mean absolute error of each realised function)",
         &[
-            Comparison::new("AND as min (synchronized inputs)", 0.0, min_stats.mean_abs_error()),
+            Comparison::new(
+                "AND as min (synchronized inputs)",
+                0.0,
+                min_stats.mean_abs_error(),
+            ),
             Comparison::new(
                 "AND as saturating subtract (desynchronized)",
                 0.0,
                 sat_stats.mean_abs_error(),
             ),
-            Comparison::new("AND as multiply (uncorrelated)", 0.0, mul_stats.mean_abs_error()),
+            Comparison::new(
+                "AND as multiply (uncorrelated)",
+                0.0,
+                mul_stats.mean_abs_error(),
+            ),
         ],
     );
 }

@@ -41,7 +41,13 @@ fn kind(label: &str) -> RngKind {
     }
 }
 
-fn evaluate<M, F>(make: F, x: &'static str, y: &'static str, shared: bool, config: SweepConfig) -> ManipulatorEvaluation
+fn evaluate<M, F>(
+    make: F,
+    x: &'static str,
+    y: &'static str,
+    shared: bool,
+    config: SweepConfig,
+) -> ManipulatorEvaluation
 where
     M: CorrelationManipulator,
     F: FnMut() -> M,
@@ -59,7 +65,10 @@ fn main() {
     let config = if quick {
         SweepConfig::quick()
     } else {
-        SweepConfig { stream_length: PAPER_STREAM_LENGTH, value_steps: 32 }
+        SweepConfig {
+            stream_length: PAPER_STREAM_LENGTH,
+            value_steps: 32,
+        }
     };
     println!(
         "Table II — SCC before/after correlation manipulating circuits (N = {}, {} value pairs/row)",
@@ -98,7 +107,13 @@ fn main() {
             paper_output_scc: 0.992,
             paper_bias_x: -0.002,
             paper_bias_y: -0.002,
-            eval: evaluate(|| Synchronizer::new(depth), "Halton", "Halton", true, config),
+            eval: evaluate(
+                || Synchronizer::new(depth),
+                "Halton",
+                "Halton",
+                true,
+                config,
+            ),
         },
         // Desynchronizer (Fig. 3b).
         Row {
@@ -109,7 +124,13 @@ fn main() {
             paper_output_scc: -0.981,
             paper_bias_x: -0.002,
             paper_bias_y: 0.0,
-            eval: evaluate(|| Desynchronizer::new(depth), "VDC", "Halton", false, config),
+            eval: evaluate(
+                || Desynchronizer::new(depth),
+                "VDC",
+                "Halton",
+                false,
+                config,
+            ),
         },
         Row {
             design: "Desynchronizer",
@@ -129,7 +150,13 @@ fn main() {
             paper_output_scc: -0.930,
             paper_bias_x: -0.003,
             paper_bias_y: 0.0,
-            eval: evaluate(|| Desynchronizer::new(depth), "Halton", "Halton", true, config),
+            eval: evaluate(
+                || Desynchronizer::new(depth),
+                "Halton",
+                "Halton",
+                true,
+                config,
+            ),
         },
         // Decorrelator (Fig. 4a).
         Row {
@@ -202,7 +229,13 @@ fn main() {
             paper_output_scc: 0.654,
             paper_bias_x: -0.014,
             paper_bias_y: -0.051,
-            eval: evaluate(|| TrackingForecastMemory::new(3), "LFSR", "LFSR", true, config),
+            eval: evaluate(
+                || TrackingForecastMemory::new(3),
+                "LFSR",
+                "LFSR",
+                true,
+                config,
+            ),
         },
         Row {
             design: "TFM",
@@ -212,7 +245,13 @@ fn main() {
             paper_output_scc: 0.779,
             paper_bias_x: 0.246,
             paper_bias_y: 0.363,
-            eval: evaluate(|| TrackingForecastMemory::new(3), "VDC", "VDC", true, config),
+            eval: evaluate(
+                || TrackingForecastMemory::new(3),
+                "VDC",
+                "VDC",
+                true,
+                config,
+            ),
         },
         Row {
             design: "TFM",
@@ -222,7 +261,13 @@ fn main() {
             paper_output_scc: 0.353,
             paper_bias_x: -0.005,
             paper_bias_y: -0.007,
-            eval: evaluate(|| TrackingForecastMemory::new(3), "Halton", "Halton", true, config),
+            eval: evaluate(
+                || TrackingForecastMemory::new(3),
+                "Halton",
+                "Halton",
+                true,
+                config,
+            ),
         },
     ];
 

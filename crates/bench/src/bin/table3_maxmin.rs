@@ -39,7 +39,7 @@ fn main() {
         grid.len()
     );
 
-    let mut rows = vec![
+    let mut rows = [
         DesignRow {
             name: "OR Max.",
             paper_error: 0.087,
@@ -104,11 +104,21 @@ fn main() {
             let expected_max = px.get().max(py.get());
             let expected_min = px.get().min(py.get());
 
-            rows[0].error.record(or_max(&x, &y).expect("lengths").value(), expected_max);
-            rows[1].error.record(ca_max(&x, &y).expect("lengths").value(), expected_max);
-            rows[2].error.record(sync_max(&x, &y, 1).expect("lengths").value(), expected_max);
-            rows[3].error.record(and_min(&x, &y).expect("lengths").value(), expected_min);
-            rows[4].error.record(sync_min(&x, &y, 1).expect("lengths").value(), expected_min);
+            rows[0]
+                .error
+                .record(or_max(&x, &y).expect("lengths").value(), expected_max);
+            rows[1]
+                .error
+                .record(ca_max(&x, &y).expect("lengths").value(), expected_max);
+            rows[2]
+                .error
+                .record(sync_max(&x, &y, 1).expect("lengths").value(), expected_max);
+            rows[3]
+                .error
+                .record(and_min(&x, &y).expect("lengths").value(), expected_min);
+            rows[4]
+                .error
+                .record(sync_min(&x, &y, 1).expect("lengths").value(), expected_min);
         }
     }
 
@@ -153,7 +163,11 @@ fn main() {
     print_comparisons(
         "Headline claims",
         &[
-            Comparison::new("Sync. max area reduction vs CA max (x)", 5.2, sync_vs_ca.area_ratio),
+            Comparison::new(
+                "Sync. max area reduction vs CA max (x)",
+                5.2,
+                sync_vs_ca.area_ratio,
+            ),
             Comparison::new(
                 "Sync. max energy efficiency vs CA max (x)",
                 11.6,
@@ -173,7 +187,11 @@ fn main() {
     print_comparisons(
         "Correlation-agnostic adder overhead (Sec. II.B)",
         &[
-            Comparison::new("CA adder area / MUX adder area (x)", 5.6, ca.area_um2 / mux.area_um2),
+            Comparison::new(
+                "CA adder area / MUX adder area (x)",
+                5.6,
+                ca.area_um2 / mux.area_um2,
+            ),
             Comparison::new(
                 "CA adder power / MUX adder power (x)",
                 10.7,

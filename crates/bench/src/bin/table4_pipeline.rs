@@ -31,7 +31,14 @@ fn synthetic_scene(size: usize) -> GrayImage {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (image_size, config) = if quick {
-        (12, PipelineConfig { stream_length: 64, tile_size: 6, ..PipelineConfig::default() })
+        (
+            12,
+            PipelineConfig {
+                stream_length: 64,
+                tile_size: 6,
+                ..PipelineConfig::default()
+            },
+        )
     } else {
         (30, PipelineConfig::default())
     };
@@ -69,8 +76,14 @@ fn main() {
     let rows: Vec<Vec<String>> = PipelineVariant::all()
         .into_iter()
         .map(|variant| {
-            let q = quality.iter().find(|q| q.variant == variant).expect("quality row");
-            let c = costs.iter().find(|c| c.variant == variant).expect("cost row");
+            let q = quality
+                .iter()
+                .find(|q| q.variant == variant)
+                .expect("quality row");
+            let c = costs
+                .iter()
+                .find(|c| c.variant == variant)
+                .expect("cost row");
             let (p_area, p_energy, p_err) = paper(variant);
             vec![
                 variant.label().to_string(),
@@ -103,7 +116,11 @@ fn main() {
 
     let cost = |v: PipelineVariant| costs.iter().find(|c| c.variant == v).expect("cost");
     let err = |v: PipelineVariant| {
-        quality.iter().find(|q| q.variant == v).expect("quality").mean_abs_error
+        quality
+            .iter()
+            .find(|q| q.variant == v)
+            .expect("quality")
+            .mean_abs_error
     };
     let regen = cost(PipelineVariant::Regeneration);
     let sync = cost(PipelineVariant::Synchronizer);

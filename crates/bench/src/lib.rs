@@ -47,7 +47,11 @@ impl Comparison {
     /// Creates a comparison row.
     #[must_use]
     pub fn new(label: impl Into<String>, paper: f64, measured: f64) -> Self {
-        Comparison { label: label.into(), paper, measured }
+        Comparison {
+            label: label.into(),
+            paper,
+            measured,
+        }
     }
 
     /// Relative deviation `|measured − paper| / |paper|`, or the absolute
@@ -107,7 +111,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -165,7 +172,10 @@ mod tests {
         print_table(
             "demo",
             &["col1", "column2"],
-            &[vec!["1".to_string(), "2".to_string()], vec!["longer".to_string(), "4".to_string()]],
+            &[
+                vec!["1".to_string(), "2".to_string()],
+                vec!["longer".to_string(), "4".to_string()],
+            ],
         );
     }
 }

@@ -1,0 +1,261 @@
+//! A packed bit FIFO: the word-parallel delay-line primitive.
+//!
+//! Correlation-manipulating hardware is full of short delay lines (isolator
+//! flip-flop chains, save registers). Modelling them as `VecDeque<bool>`
+//! costs a pointer-chasing byte access per stream bit; [`BitQueue`] packs the
+//! line into `u64` words so a whole word of 64 stream bits can be pushed and
+//! popped per operation ([`BitQueue::push_word`] / [`BitQueue::pop_word`]),
+//! while still supporting single-bit access for bit-stepped FSM use.
+
+use std::collections::VecDeque;
+
+/// A FIFO of bits packed 64 per word.
+///
+/// Bits are stored LSB-first inside each word; `head` is the offset of the
+/// oldest bit within the front word. All bits outside `[head, head + len)`
+/// are kept at 0.
+#[derive(Debug, Clone, Default)]
+pub struct BitQueue {
+    words: VecDeque<u64>,
+    head: usize,
+    len: usize,
+}
+
+impl BitQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a queue holding `len` copies of `bit`.
+    #[must_use]
+    pub fn filled(len: usize, bit: bool) -> Self {
+        let mut q = BitQueue::new();
+        if bit {
+            for _ in 0..len / 64 {
+                q.push_word(u64::MAX);
+            }
+            for _ in 0..len % 64 {
+                q.push_bit(true);
+            }
+        } else {
+            q.words = VecDeque::from(vec![0u64; len.div_ceil(64)]);
+            q.len = len;
+        }
+        q
+    }
+
+    /// Number of bits in the queue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 1s currently stored.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Appends one bit at the back.
+    pub fn push_bit(&mut self, bit: bool) {
+        let pos = self.head + self.len;
+        let word = pos / 64;
+        if word == self.words.len() {
+            self.words.push_back(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (pos % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the oldest bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn pop_bit(&mut self) -> bool {
+        assert!(self.len > 0, "pop from empty BitQueue");
+        let bit = (self.words[0] >> self.head) & 1 == 1;
+        self.words[0] &= !(1u64 << self.head);
+        self.head += 1;
+        self.len -= 1;
+        if self.head == 64 {
+            self.words.pop_front();
+            self.head = 0;
+        }
+        bit
+    }
+
+    /// Appends 64 bits at the back (bit 0 of `word` first).
+    pub fn push_word(&mut self, word: u64) {
+        let pos = self.head + self.len;
+        let offset = pos % 64;
+        let index = pos / 64;
+        if index == self.words.len() {
+            self.words.push_back(0);
+        }
+        self.words[index] |= word << offset;
+        if offset > 0 {
+            if index + 1 == self.words.len() {
+                self.words.push_back(0);
+            }
+            self.words[index + 1] |= word >> (64 - offset);
+        }
+        self.len += 64;
+    }
+
+    /// Removes and returns the oldest 64 bits (oldest in bit 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 64 bits are queued.
+    pub fn pop_word(&mut self) -> u64 {
+        assert!(
+            self.len >= 64,
+            "pop_word from BitQueue holding {} bits",
+            self.len
+        );
+        let word = if self.head == 0 {
+            self.words
+                .pop_front()
+                .expect("len >= 64 implies a stored word")
+        } else {
+            let lo = self
+                .words
+                .pop_front()
+                .expect("len >= 64 implies a stored word")
+                >> self.head;
+            let hi = self.words.front().copied().unwrap_or(0) << (64 - self.head);
+            // Clear the bits just consumed from the (new) front word.
+            if let Some(front) = self.words.front_mut() {
+                *front &= !((1u64 << self.head) - 1);
+            }
+            lo | hi
+        };
+        self.len -= 64;
+        word
+    }
+
+    /// Removes every bit, leaving an empty queue.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Iterates over the queued bits, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| {
+            let pos = self.head + i;
+            (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+        })
+    }
+}
+
+impl PartialEq for BitQueue {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for BitQueue {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_bit_fifo_order() {
+        let mut q = BitQueue::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            q.push_bit(b);
+        }
+        assert_eq!(q.len(), 200);
+        for &b in &pattern {
+            assert_eq!(q.pop_bit(), b);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn word_ops_match_bit_ops() {
+        // Interleave bit and word pushes/pops and check against a bool deque.
+        let mut q = BitQueue::new();
+        let mut model: std::collections::VecDeque<bool> = std::collections::VecDeque::new();
+        let mut rng = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for round in 0..200 {
+            if round % 3 == 0 {
+                let w = next();
+                q.push_word(w);
+                for i in 0..64 {
+                    model.push_back((w >> i) & 1 == 1);
+                }
+            } else {
+                let b = next() & 1 == 1;
+                q.push_bit(b);
+                model.push_back(b);
+            }
+            while model.len() > 96 {
+                if model.len() >= 64 && round % 2 == 0 {
+                    let w = q.pop_word();
+                    for i in 0..64 {
+                        assert_eq!((w >> i) & 1 == 1, model.pop_front().unwrap());
+                    }
+                } else {
+                    assert_eq!(q.pop_bit(), model.pop_front().unwrap());
+                }
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.count_ones(), model.iter().filter(|&&b| b).count());
+        }
+    }
+
+    #[test]
+    fn filled_and_clear() {
+        let q = BitQueue::filled(70, true);
+        assert_eq!(q.len(), 70);
+        assert_eq!(q.count_ones(), 70);
+        let mut z = BitQueue::filled(70, false);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 70);
+        z.clear();
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        // Same contents reached via different operation orders.
+        let mut a = BitQueue::new();
+        a.push_word(0xFFFF_0000_0000_0000);
+        for _ in 0..32 {
+            a.pop_bit();
+        }
+        let mut b = BitQueue::new();
+        for i in 0..32 {
+            b.push_bit(i >= 16);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty")]
+    fn pop_empty_panics() {
+        BitQueue::new().pop_bit();
+    }
+}

@@ -4,7 +4,13 @@ use crate::error::{Error, Result};
 use crate::value::{BipolarValue, Probability};
 use std::fmt;
 
-const WORD_BITS: usize = 64;
+/// Number of stream bits packed into one storage word.
+///
+/// This is the parallelism factor of the word-parallel kernel layer: every
+/// bulk combinator ([`Bitstream::map_words`], [`Bitstream::zip_with_words`],
+/// the logic ops, `scc` accumulation, ...) processes `WORD_BITS` stream bits
+/// per machine operation.
+pub const WORD_BITS: usize = 64;
 
 /// A stochastic number (SN): a finite unary bitstream of 1s and 0s.
 ///
@@ -36,7 +42,10 @@ impl Bitstream {
     /// Creates an empty bitstream.
     #[must_use]
     pub fn new() -> Self {
-        Bitstream { words: Vec::new(), len: 0 }
+        Bitstream {
+            words: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Creates an all-zeros bitstream of length `len`.
@@ -70,15 +79,22 @@ impl Bitstream {
     }
 
     /// Creates a bitstream of length `len` where bit `i` is `f(i)`.
+    ///
+    /// `f` is called once per bit in stream order; the produced bits are
+    /// packed through a register and stored a whole word at a time, so
+    /// sequential generators (RNG comparators, select-stream builders) get
+    /// word-batched stores for free.
     #[must_use]
     pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
-        let mut s = Bitstream::zeros(len);
-        for i in 0..len {
-            if f(i) {
-                s.set(i, true);
+        Self::from_word_fn(len, |w| {
+            let start = w * WORD_BITS;
+            let valid = (len - start).min(WORD_BITS);
+            let mut word = 0u64;
+            for i in 0..valid {
+                word |= u64::from(f(start + i)) << i;
             }
-        }
-        s
+            word
+        })
     }
 
     /// Parses a bitstream from a string of `'0'` and `'1'` characters.
@@ -184,6 +200,153 @@ impl Bitstream {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The packed storage words, 64 stream bits per word in stream order.
+    ///
+    /// Bit `i` of the stream is bit `i % 64` of word `i / 64`. Bits at
+    /// positions `>= len()` in the final word are always 0.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed storage words.
+    ///
+    /// Callers writing the final word must keep the invariant that bits at
+    /// positions `>= len()` stay 0 — AND it with [`Bitstream::tail_mask`]
+    /// after writing, or the 1s-count and value become wrong.
+    #[must_use]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Mask selecting the valid bits of the *final* storage word
+    /// (`u64::MAX` when the length is a multiple of 64 or zero).
+    #[must_use]
+    pub fn tail_mask(&self) -> u64 {
+        tail_mask_for(self.len)
+    }
+
+    /// Number of valid stream bits in storage word `word_index` (64 for every
+    /// full word, `len % 64` for a partial final word, 0 past the end).
+    #[must_use]
+    pub fn word_len(&self, word_index: usize) -> usize {
+        let start = word_index * WORD_BITS;
+        self.len.saturating_sub(start).min(WORD_BITS)
+    }
+
+    /// Builds a stream of length `len` directly from packed words.
+    ///
+    /// Bits beyond `len` in the final word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count {} does not match stream length {len}",
+            words.len()
+        );
+        let mut s = Bitstream { words, len };
+        s.mask_tail();
+        s
+    }
+
+    /// Builds a stream of length `len` where storage word `w` is `f(w)`
+    /// (the word-parallel analogue of [`Bitstream::from_fn`]).
+    ///
+    /// Only the low `word_len(w)` bits of each produced word are kept.
+    #[must_use]
+    pub fn from_word_fn<F: FnMut(usize) -> u64>(len: usize, f: F) -> Self {
+        let words = (0..len.div_ceil(WORD_BITS)).map(f).collect();
+        Self::from_words(words, len)
+    }
+
+    /// Appends the low `nbits` bits of `word` to the stream (bit 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 64`.
+    pub fn push_word(&mut self, word: u64, nbits: usize) {
+        assert!(
+            nbits <= WORD_BITS,
+            "cannot push {nbits} bits from a 64-bit word"
+        );
+        if nbits == 0 {
+            return;
+        }
+        let word = word & tail_mask_for(nbits);
+        let offset = self.len % WORD_BITS;
+        if offset == 0 {
+            self.words.push(word);
+        } else {
+            *self
+                .words
+                .last_mut()
+                .expect("offset > 0 implies a partial word") |= word << offset;
+            if offset + nbits > WORD_BITS {
+                self.words.push(word >> (WORD_BITS - offset));
+            }
+        }
+        self.len += nbits;
+    }
+
+    /// Applies `f` to every storage word, producing a stream of the same
+    /// length. Tail bits beyond the length are cleared afterwards, so `f` may
+    /// freely produce them (e.g. `|w| !w` for NOT).
+    #[must_use]
+    pub fn map_words<F: FnMut(u64) -> u64>(&self, mut f: F) -> Bitstream {
+        let mut out = Bitstream {
+            words: self.words.iter().map(|&w| f(w)).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Iterates over paired storage words of two streams.
+    ///
+    /// The iterator yields `min(word-count)` pairs; use
+    /// [`Bitstream::zip_with_words`] when a length check and a combined output
+    /// stream are wanted. This is the accumulation primitive behind the
+    /// word-parallel `scc` joint counting.
+    pub fn zip_words<'a>(&'a self, other: &'a Bitstream) -> impl Iterator<Item = (u64, u64)> + 'a {
+        self.words.iter().copied().zip(other.words.iter().copied())
+    }
+
+    /// Combines two equal-length streams word by word with `f`, the bulk
+    /// combinator every binary logic op is built on. Tail bits beyond the
+    /// length are cleared afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn zip_with_words<F: FnMut(u64, u64) -> u64>(
+        &self,
+        other: &Bitstream,
+        mut f: F,
+    ) -> Result<Bitstream> {
+        if self.len != other.len {
+            return Err(Error::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        let mut out = Bitstream {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        Ok(out)
+    }
+
     /// Number of 0s in the stream.
     #[must_use]
     pub fn count_zeros(&self) -> usize {
@@ -220,7 +383,10 @@ impl Bitstream {
 
     /// Iterates over the bits in stream order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { stream: self, index: 0 }
+        Iter {
+            stream: self,
+            index: 0,
+        }
     }
 
     /// Collects the bits into a `Vec<bool>`.
@@ -245,7 +411,8 @@ impl Bitstream {
     /// for a fallible variant.
     #[must_use]
     pub fn and(&self, other: &Bitstream) -> Bitstream {
-        self.try_and(other).expect("bitstream length mismatch in and()")
+        self.try_and(other)
+            .expect("bitstream length mismatch in and()")
     }
 
     /// Fallible bitwise AND.
@@ -254,7 +421,7 @@ impl Bitstream {
     ///
     /// Returns [`Error::LengthMismatch`] if the lengths differ.
     pub fn try_and(&self, other: &Bitstream) -> Result<Bitstream> {
-        self.zip_words(other, |a, b| a & b)
+        self.zip_with_words(other, |a, b| a & b)
     }
 
     /// Bitwise OR of two equal-length streams.
@@ -267,7 +434,8 @@ impl Bitstream {
     /// Panics if the streams have different lengths.
     #[must_use]
     pub fn or(&self, other: &Bitstream) -> Bitstream {
-        self.try_or(other).expect("bitstream length mismatch in or()")
+        self.try_or(other)
+            .expect("bitstream length mismatch in or()")
     }
 
     /// Fallible bitwise OR.
@@ -276,7 +444,7 @@ impl Bitstream {
     ///
     /// Returns [`Error::LengthMismatch`] if the lengths differ.
     pub fn try_or(&self, other: &Bitstream) -> Result<Bitstream> {
-        self.zip_words(other, |a, b| a | b)
+        self.zip_with_words(other, |a, b| a | b)
     }
 
     /// Bitwise XOR of two equal-length streams.
@@ -289,7 +457,8 @@ impl Bitstream {
     /// Panics if the streams have different lengths.
     #[must_use]
     pub fn xor(&self, other: &Bitstream) -> Bitstream {
-        self.try_xor(other).expect("bitstream length mismatch in xor()")
+        self.try_xor(other)
+            .expect("bitstream length mismatch in xor()")
     }
 
     /// Fallible bitwise XOR.
@@ -298,7 +467,7 @@ impl Bitstream {
     ///
     /// Returns [`Error::LengthMismatch`] if the lengths differ.
     pub fn try_xor(&self, other: &Bitstream) -> Result<Bitstream> {
-        self.zip_words(other, |a, b| a ^ b)
+        self.zip_with_words(other, |a, b| a ^ b)
     }
 
     /// Bitwise XNOR of two equal-length streams (bipolar SC multiplication).
@@ -308,7 +477,8 @@ impl Bitstream {
     /// Panics if the streams have different lengths.
     #[must_use]
     pub fn xnor(&self, other: &Bitstream) -> Bitstream {
-        self.try_xnor(other).expect("bitstream length mismatch in xnor()")
+        self.try_xnor(other)
+            .expect("bitstream length mismatch in xnor()")
     }
 
     /// Fallible bitwise XNOR.
@@ -317,18 +487,13 @@ impl Bitstream {
     ///
     /// Returns [`Error::LengthMismatch`] if the lengths differ.
     pub fn try_xnor(&self, other: &Bitstream) -> Result<Bitstream> {
-        self.zip_words(other, |a, b| !(a ^ b))
+        self.zip_with_words(other, |a, b| !(a ^ b))
     }
 
     /// Bitwise NOT of the stream (computes `1 − pX` in unipolar, `−x` in bipolar).
     #[must_use]
     pub fn not(&self) -> Bitstream {
-        let mut out = Bitstream {
-            words: self.words.iter().map(|w| !w).collect(),
-            len: self.len,
-        };
-        out.mask_tail();
-        out
+        self.map_words(|w| !w)
     }
 
     /// Multiplexes two equal-length streams with a select stream:
@@ -342,10 +507,16 @@ impl Bitstream {
     /// Returns [`Error::LengthMismatch`] if any of the lengths differ.
     pub fn mux(lo: &Bitstream, hi: &Bitstream, select: &Bitstream) -> Result<Bitstream> {
         if lo.len != hi.len {
-            return Err(Error::LengthMismatch { left: lo.len, right: hi.len });
+            return Err(Error::LengthMismatch {
+                left: lo.len,
+                right: hi.len,
+            });
         }
         if lo.len != select.len {
-            return Err(Error::LengthMismatch { left: lo.len, right: select.len });
+            return Err(Error::LengthMismatch {
+                left: lo.len,
+                right: select.len,
+            });
         }
         let mut out = Bitstream::zeros(lo.len);
         for i in 0..out.words.len() {
@@ -362,11 +533,42 @@ impl Bitstream {
     /// This is the behaviour of `k` isolator flip-flops in series.
     #[must_use]
     pub fn delayed(&self, k: usize, fill: bool) -> Bitstream {
-        let mut out = Bitstream::zeros(self.len);
-        for i in 0..self.len {
-            let bit = if i < k { fill } else { self.bit(i - k) };
-            out.set(i, bit);
+        if k >= self.len {
+            return if fill {
+                Bitstream::ones(self.len)
+            } else {
+                Bitstream::zeros(self.len)
+            };
         }
+        let word_shift = k / WORD_BITS;
+        let bit_shift = (k % WORD_BITS) as u32;
+        let mut words = vec![0u64; self.words.len()];
+        for w in word_shift..self.words.len() {
+            let lo = self.words[w - word_shift];
+            words[w] = if bit_shift == 0 {
+                lo
+            } else {
+                let carry = if w > word_shift {
+                    self.words[w - word_shift - 1] >> (64 - bit_shift)
+                } else {
+                    0
+                };
+                (lo << bit_shift) | carry
+            };
+        }
+        if fill {
+            for word in words.iter_mut().take(k / WORD_BITS) {
+                *word = u64::MAX;
+            }
+            if !k.is_multiple_of(WORD_BITS) {
+                words[k / WORD_BITS] |= tail_mask_for(k % WORD_BITS);
+            }
+        }
+        let mut out = Bitstream {
+            words,
+            len: self.len,
+        };
+        out.mask_tail();
         out
     }
 
@@ -377,15 +579,22 @@ impl Bitstream {
             return self.clone();
         }
         let k = k % self.len;
-        Bitstream::from_fn(self.len, |i| self.bit((i + k) % self.len))
+        if k == 0 {
+            return self.clone();
+        }
+        let head = self
+            .slice(k, self.len - k)
+            .expect("rotation split is in bounds");
+        let tail = self.slice(0, k).expect("rotation split is in bounds");
+        head.concat(&tail)
     }
 
     /// Concatenates two streams.
     #[must_use]
     pub fn concat(&self, other: &Bitstream) -> Bitstream {
         let mut out = self.clone();
-        for b in other.iter() {
-            out.push(b);
+        for (w, &word) in other.words.iter().enumerate() {
+            out.push_word(word, other.word_len(w));
         }
         out
     }
@@ -397,46 +606,56 @@ impl Bitstream {
     /// Returns [`Error::IndexOutOfBounds`] if the range extends past the end.
     pub fn slice(&self, start: usize, len: usize) -> Result<Bitstream> {
         if start + len > self.len {
-            return Err(Error::IndexOutOfBounds { index: start + len, len: self.len });
+            return Err(Error::IndexOutOfBounds {
+                index: start + len,
+                len: self.len,
+            });
         }
-        Ok(Bitstream::from_fn(len, |i| self.bit(start + i)))
+        let word_shift = start / WORD_BITS;
+        let bit_shift = (start % WORD_BITS) as u32;
+        let out = Bitstream::from_word_fn(len, |w| {
+            let lo = self.words[word_shift + w] >> bit_shift;
+            if bit_shift == 0 {
+                lo
+            } else {
+                let hi = self.words.get(word_shift + w + 1).copied().unwrap_or(0);
+                lo | (hi << (64 - bit_shift))
+            }
+        });
+        Ok(out)
     }
 
     /// Clears any set bits beyond `len` in the last storage word.
     fn mask_tail(&mut self) {
-        let rem = self.len % WORD_BITS;
-        if rem != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << rem) - 1;
-            }
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask_for(self.len);
         }
         // Drop any excess words (possible after not()) — keep invariant tight.
         let needed = self.len.div_ceil(WORD_BITS);
         self.words.truncate(needed);
     }
+}
 
-    fn zip_words<F: Fn(u64, u64) -> u64>(&self, other: &Bitstream, f: F) -> Result<Bitstream> {
-        if self.len != other.len {
-            return Err(Error::LengthMismatch { left: self.len, right: other.len });
-        }
-        let mut out = Bitstream {
-            words: self
-                .words
-                .iter()
-                .zip(other.words.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            len: self.len,
-        };
-        out.mask_tail();
-        Ok(out)
+/// Mask selecting the low `len % 64` bits, or all 64 when `len` is a multiple
+/// of 64 (including 0, where the mask is unused).
+fn tail_mask_for(len: usize) -> u64 {
+    let rem = len % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
     }
 }
 
 impl fmt::Debug for Bitstream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.len <= 64 {
-            write!(f, "Bitstream({}, p={:.4})", self.to_bit_string(), self.value())
+            write!(
+                f,
+                "Bitstream({}, p={:.4})",
+                self.to_bit_string(),
+                self.value()
+            )
         } else {
             write!(
                 f,
@@ -702,6 +921,93 @@ mod tests {
     fn from_fn_matches_definition() {
         let s = Bitstream::from_fn(10, |i| i % 2 == 0);
         assert_eq!(s.to_bit_string(), "1010101010");
+    }
+
+    #[test]
+    fn word_api_round_trip() {
+        let x = Bitstream::from_fn(130, |i| i % 7 == 0);
+        assert_eq!(x.as_words().len(), 3);
+        assert_eq!(x.word_len(0), 64);
+        assert_eq!(x.word_len(2), 2);
+        assert_eq!(x.word_len(3), 0);
+        assert_eq!(x.tail_mask(), 0b11);
+        let rebuilt = Bitstream::from_words(x.as_words().to_vec(), x.len());
+        assert_eq!(rebuilt, x);
+        let by_fn = Bitstream::from_word_fn(x.len(), |w| x.as_words()[w]);
+        assert_eq!(by_fn, x);
+    }
+
+    #[test]
+    fn words_mut_with_tail_mask() {
+        let mut x = Bitstream::zeros(70);
+        let mask = x.tail_mask();
+        let last = x.as_words().len() - 1;
+        x.words_mut()[last] = mask;
+        assert_eq!(x.count_ones(), 6);
+    }
+
+    #[test]
+    fn push_word_matches_bit_pushes() {
+        for initial in [0usize, 1, 63, 64, 65] {
+            for nbits in [0usize, 1, 37, 63, 64] {
+                let word = 0xDEAD_BEEF_CAFE_F00Du64;
+                let mut a = Bitstream::from_fn(initial, |i| i % 3 == 0);
+                let mut b = a.clone();
+                a.push_word(word, nbits);
+                for i in 0..nbits {
+                    b.push((word >> i) & 1 == 1);
+                }
+                assert_eq!(a, b, "initial {initial} nbits {nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_zip_combinators() {
+        let x = Bitstream::from_fn(100, |i| i % 2 == 0);
+        let y = Bitstream::from_fn(100, |i| i % 3 == 0);
+        assert_eq!(x.map_words(|w| !w), x.not());
+        assert_eq!(x.zip_with_words(&y, |a, b| a & b).unwrap(), x.and(&y));
+        assert_eq!(x.zip_words(&y).count(), 2);
+        assert!(x.zip_with_words(&Bitstream::zeros(7), |a, _| a).is_err());
+    }
+
+    #[test]
+    fn word_parallel_matches_reference_at_odd_lengths() {
+        use crate::reference;
+        for n in [1usize, 2, 63, 64, 65, 127, 128, 129, 1000] {
+            let x = Bitstream::from_fn(n, |i| (i * 7 + 3) % 5 < 2);
+            let y = Bitstream::from_fn(n, |i| (i * 11 + 1) % 3 == 0);
+            assert_eq!(x.and(&y), reference::and(&x, &y).unwrap(), "and n={n}");
+            assert_eq!(x.or(&y), reference::or(&x, &y).unwrap(), "or n={n}");
+            assert_eq!(x.xor(&y), reference::xor(&x, &y).unwrap(), "xor n={n}");
+            assert_eq!(x.xnor(&y), reference::xnor(&x, &y).unwrap(), "xnor n={n}");
+            assert_eq!(x.not(), reference::not(&x), "not n={n}");
+            assert_eq!(x.count_ones(), reference::count_ones(&x), "count n={n}");
+            let sel = Bitstream::from_fn(n, |i| i % 2 == 1);
+            assert_eq!(
+                Bitstream::mux(&x, &y, &sel).unwrap(),
+                reference::mux(&x, &y, &sel).unwrap(),
+                "mux n={n}"
+            );
+            for k in [0usize, 1, 63, 64, 65, n / 2, n, n + 3] {
+                assert_eq!(
+                    x.delayed(k, false),
+                    reference::delayed(&x, k, false),
+                    "delay n={n} k={k}"
+                );
+                assert_eq!(
+                    x.delayed(k, true),
+                    reference::delayed(&x, k, true),
+                    "delay-fill n={n} k={k}"
+                );
+                assert_eq!(
+                    x.rotated(k),
+                    reference::rotated(&x, k),
+                    "rotate n={n} k={k}"
+                );
+            }
+        }
     }
 
     proptest! {

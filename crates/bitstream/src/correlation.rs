@@ -59,15 +59,23 @@ impl JointCounts {
     /// [`Error::EmptyStream`] if the streams are empty.
     pub fn from_streams(x: &Bitstream, y: &Bitstream) -> Result<Self> {
         if x.len() != y.len() {
-            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
         }
         if x.is_empty() {
             return Err(Error::EmptyStream);
         }
+        // Word-parallel accumulation: one pass over the packed words, three
+        // popcounts per 64 stream bits, no intermediate stream allocation.
         let n = x.len() as u64;
-        let a = x.and(y).count_ones() as u64;
-        let x1 = x.count_ones() as u64;
-        let y1 = y.count_ones() as u64;
+        let (mut a, mut x1, mut y1) = (0u64, 0u64, 0u64);
+        for (xw, yw) in x.zip_words(y) {
+            a += u64::from((xw & yw).count_ones());
+            x1 += u64::from(xw.count_ones());
+            y1 += u64::from(yw.count_ones());
+        }
         let b = x1 - a;
         let c = y1 - a;
         let d = n - a - b - c;
@@ -284,10 +292,10 @@ mod tests {
     fn scc_matrix_is_symmetric() {
         let streams = vec![bs("10101010"), bs("10111011"), bs("11111100")];
         let m = scc_matrix(&streams).unwrap();
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, value) in row.iter().enumerate() {
+                assert!((value - m[j][i]).abs() < 1e-12);
             }
         }
     }

@@ -45,7 +45,10 @@ impl fmt::Display for Error {
             }
             Error::EmptyStream => write!(f, "bitstream is empty"),
             Error::IndexOutOfBounds { index, len } => {
-                write!(f, "bit index {index} out of bounds for stream of length {len}")
+                write!(
+                    f,
+                    "bit index {index} out of bounds for stream of length {len}"
+                )
             }
         }
     }

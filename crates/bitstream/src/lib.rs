@@ -9,7 +9,14 @@
 //! crate provides:
 //!
 //! * [`Bitstream`] — a bit-packed stochastic number with unipolar and bipolar
-//!   value accessors and the usual bitwise combinators,
+//!   value accessors and the usual bitwise combinators. All bulk operations
+//!   run on the **word-parallel kernel layer**: 64 stream bits per machine
+//!   operation via the packed-word API ([`Bitstream::as_words`],
+//!   [`Bitstream::map_words`], [`Bitstream::zip_with_words`], ...). The
+//!   original one-bit-per-step formulations are retained in [`reference`] as
+//!   an executable specification,
+//! * [`BitQueue`] — a packed bit FIFO used as the word-parallel delay-line
+//!   primitive by the manipulator kernels in `sc-core`,
 //! * [`Probability`] and [`BipolarValue`] — validated value newtypes,
 //! * [`JointCounts`] and [`scc`] — the SC correlation (SCC) metric of
 //!   Alaghi & Hayes used throughout the paper (§II.B),
@@ -38,13 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitqueue;
 pub mod bitstream;
 pub mod correlation;
 pub mod error;
 pub mod metrics;
+pub mod reference;
 pub mod value;
 
-pub use bitstream::Bitstream;
+pub use bitqueue::BitQueue;
+pub use bitstream::{Bitstream, WORD_BITS};
 pub use correlation::{scc, scc_from_counts, JointCounts};
 pub use error::{Error, Result};
 pub use metrics::{ErrorStats, StreamPairStats};

@@ -42,7 +42,11 @@ impl AccumulativeParallelCounter {
     #[must_use]
     pub fn new(inputs: usize) -> Self {
         assert!(inputs > 0, "APC needs at least one input lane");
-        AccumulativeParallelCounter { inputs, total: 0, cycles: 0 }
+        AccumulativeParallelCounter {
+            inputs,
+            total: 0,
+            cycles: 0,
+        }
     }
 
     /// Number of parallel input lanes.
@@ -58,7 +62,10 @@ impl AccumulativeParallelCounter {
     /// Returns [`Error::LengthMismatch`] if `bits.len()` differs from the lane count.
     pub fn push_cycle(&mut self, bits: &[bool]) -> Result<()> {
         if bits.len() != self.inputs {
-            return Err(Error::LengthMismatch { left: bits.len(), right: self.inputs });
+            return Err(Error::LengthMismatch {
+                left: bits.len(),
+                right: self.inputs,
+            });
         }
         self.total += bits.iter().filter(|&&b| b).count() as u64;
         self.cycles += 1;
@@ -73,12 +80,18 @@ impl AccumulativeParallelCounter {
     /// lane count or the streams have different lengths.
     pub fn accumulate_streams(&mut self, streams: &[Bitstream]) -> Result<()> {
         if streams.len() != self.inputs {
-            return Err(Error::LengthMismatch { left: streams.len(), right: self.inputs });
+            return Err(Error::LengthMismatch {
+                left: streams.len(),
+                right: self.inputs,
+            });
         }
         let n = streams[0].len();
         for s in streams {
             if s.len() != n {
-                return Err(Error::LengthMismatch { left: s.len(), right: n });
+                return Err(Error::LengthMismatch {
+                    left: s.len(),
+                    right: n,
+                });
             }
         }
         for s in streams {
@@ -177,7 +190,7 @@ mod tests {
         let a = Bitstream::parse("1010").unwrap();
         let b = Bitstream::parse("10100").unwrap();
         let mut apc = AccumulativeParallelCounter::new(2);
-        assert!(apc.accumulate_streams(&[a.clone()]).is_err());
+        assert!(apc.accumulate_streams(std::slice::from_ref(&a)).is_err());
         assert!(apc.accumulate_streams(&[a, b]).is_err());
     }
 

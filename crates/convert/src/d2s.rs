@@ -69,6 +69,9 @@ impl<S: RandomSource> DigitalToStochastic<S> {
     /// The stream's exact value is `p` quantized to the grid `{0/n, …, n/n}`
     /// only when the source is a full-period low-discrepancy sequence; with an
     /// LFSR the value fluctuates around `p` as in real hardware.
+    ///
+    /// Generation is batched a word at a time: `Bitstream::from_fn` packs the
+    /// 64 comparator bits in a register before each store into the stream.
     #[must_use]
     pub fn generate(&mut self, p: Probability, n: usize) -> Bitstream {
         let target = p.get();
@@ -91,7 +94,7 @@ impl<S: RandomSource> DigitalToStochastic<S> {
 
     /// Generates two streams from the *same* source samples, producing a
     /// maximally positively correlated pair — the "shared RNG" technique of
-    /// §II.B.
+    /// §II.B. Both streams are assembled a packed word at a time.
     #[must_use]
     pub fn generate_correlated_pair(
         &mut self,
@@ -99,14 +102,26 @@ impl<S: RandomSource> DigitalToStochastic<S> {
         py: Probability,
         n: usize,
     ) -> (Bitstream, Bitstream) {
-        let mut x = Bitstream::zeros(n);
-        let mut y = Bitstream::zeros(n);
-        for i in 0..n {
-            let r = self.source.next_unit();
-            x.set(i, px.get() > r);
-            y.set(i, py.get() > r);
+        let words = n.div_ceil(sc_bitstream::WORD_BITS);
+        let mut x_words = Vec::with_capacity(words);
+        let mut y_words = Vec::with_capacity(words);
+        let mut remaining = n;
+        while remaining > 0 {
+            let valid = remaining.min(sc_bitstream::WORD_BITS);
+            let (mut xw, mut yw) = (0u64, 0u64);
+            for i in 0..valid {
+                let r = self.source.next_unit();
+                xw |= u64::from(px.get() > r) << i;
+                yw |= u64::from(py.get() > r) << i;
+            }
+            x_words.push(xw);
+            y_words.push(yw);
+            remaining -= valid;
         }
-        (x, y)
+        (
+            Bitstream::from_words(x_words, n),
+            Bitstream::from_words(y_words, n),
+        )
     }
 }
 
@@ -119,7 +134,9 @@ pub struct StreamGenerator {
 
 impl std::fmt::Debug for StreamGenerator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StreamGenerator").field("label", &self.label).finish()
+        f.debug_struct("StreamGenerator")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -128,7 +145,10 @@ impl StreamGenerator {
     #[must_use]
     pub fn new(source: Box<dyn RandomSource>) -> Self {
         let label = source.label();
-        StreamGenerator { inner: DigitalToStochastic::new(source), label }
+        StreamGenerator {
+            inner: DigitalToStochastic::new(source),
+            label,
+        }
     }
 
     /// Creates a generator for a source family with the default configuration.

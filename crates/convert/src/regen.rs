@@ -45,7 +45,9 @@ impl<S: RandomSource> Regenerator<S> {
     /// Creates a regenerator that re-encodes with the given source.
     #[must_use]
     pub fn new(source: S) -> Self {
-        Regenerator { d2s: DigitalToStochastic::new(source) }
+        Regenerator {
+            d2s: DigitalToStochastic::new(source),
+        }
     }
 
     /// Regenerates a stream: same value (up to quantization of the new source),
@@ -57,7 +59,8 @@ impl<S: RandomSource> Regenerator<S> {
             return Bitstream::new();
         }
         let count = StochasticToDigital::convert_to_count(stream);
-        self.d2s.generate(Probability::from_ratio(count, n as u64), n)
+        self.d2s
+            .generate(Probability::from_ratio(count, n as u64), n)
     }
 
     /// Resets the underlying re-encoding source.

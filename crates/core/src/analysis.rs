@@ -36,7 +36,10 @@ pub struct SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { stream_length: 256, value_steps: 16 }
+        SweepConfig {
+            stream_length: 256,
+            value_steps: 16,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ impl SweepConfig {
     /// A quick configuration for unit tests (shorter streams, coarser grid).
     #[must_use]
     pub fn quick() -> Self {
-        SweepConfig { stream_length: 128, value_steps: 8 }
+        SweepConfig {
+            stream_length: 128,
+            value_steps: 8,
+        }
     }
 }
 
@@ -237,19 +243,20 @@ mod tests {
         )
         .unwrap();
         assert!(eval.input_scc > 0.9, "input scc {}", eval.input_scc);
-        assert!(eval.output_scc.abs() < 0.4, "output scc {}", eval.output_scc);
+        assert!(
+            eval.output_scc.abs() < 0.4,
+            "output scc {}",
+            eval.output_scc
+        );
         assert!(eval.bias_x.abs() < 0.02 && eval.bias_y.abs() < 0.02);
     }
 
     #[test]
     fn isolator_is_weaker_than_decorrelator() {
         let config = SweepConfig::quick();
-        let iso = evaluate_manipulator_on_correlated_inputs(
-            || Isolator::new(1),
-            RngKind::Lfsr,
-            config,
-        )
-        .unwrap();
+        let iso =
+            evaluate_manipulator_on_correlated_inputs(|| Isolator::new(1), RngKind::Lfsr, config)
+                .unwrap();
         let deco = evaluate_manipulator_on_correlated_inputs(
             || Decorrelator::new(4),
             RngKind::Lfsr,

@@ -7,9 +7,25 @@
 //! FSM compound, which §III.B suggests mitigating by giving alternating
 //! stages opposite initial states ([`crate::Synchronizer::with_initial_credit`]).
 
+use crate::kernel::{process_with_kernel, StreamKernel};
 use crate::manipulator::CorrelationManipulator;
+use sc_bitstream::{Bitstream, Result};
+
+/// A chain stage: a manipulator that also exposes the word-level kernel
+/// interface, so the chain can fuse all stages into a single pass per word.
+///
+/// Blanket-implemented for every type that is both a
+/// [`CorrelationManipulator`] and a [`StreamKernel`].
+pub trait ChainStage: CorrelationManipulator + StreamKernel {}
+
+impl<T: CorrelationManipulator + StreamKernel + ?Sized> ChainStage for T {}
 
 /// A series chain of correlation manipulators applied left to right.
+///
+/// Processing is **fused**: each packed 64-bit word of the inputs travels
+/// through every stage's [`StreamKernel::step_word`] while still in
+/// registers, so a chain of `k` stages makes one pass over the streams
+/// instead of materialising `k − 1` intermediate stream pairs.
 ///
 /// # Example
 ///
@@ -29,13 +45,16 @@ use crate::manipulator::CorrelationManipulator;
 /// ```
 #[derive(Default)]
 pub struct ManipulatorChain {
-    stages: Vec<Box<dyn CorrelationManipulator>>,
+    stages: Vec<Box<dyn ChainStage>>,
 }
 
 impl std::fmt::Debug for ManipulatorChain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ManipulatorChain")
-            .field("stages", &self.stages.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .field(
+                "stages",
+                &self.stages.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -51,7 +70,7 @@ impl ManipulatorChain {
     #[must_use]
     pub fn repeated<M, F>(count: usize, mut make: F) -> Self
     where
-        M: CorrelationManipulator + 'static,
+        M: ChainStage + 'static,
         F: FnMut(usize) -> M,
     {
         let mut chain = Self::new();
@@ -62,7 +81,7 @@ impl ManipulatorChain {
     }
 
     /// Appends a stage to the end of the chain.
-    pub fn push<M: CorrelationManipulator + 'static>(&mut self, stage: M) {
+    pub fn push<M: ChainStage + 'static>(&mut self, stage: M) {
         self.stages.push(Box::new(stage));
     }
 
@@ -86,19 +105,39 @@ impl CorrelationManipulator for ManipulatorChain {
         } else {
             format!(
                 "chain[{}]",
-                self.stages.iter().map(|s| s.name()).collect::<Vec<_>>().join(" -> ")
+                self.stages
+                    .iter()
+                    .map(|s| s.name())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
             )
         }
     }
 
     fn step(&mut self, x: bool, y: bool) -> (bool, bool) {
-        self.stages.iter_mut().fold((x, y), |(a, b), stage| stage.step(a, b))
+        self.stages
+            .iter_mut()
+            .fold((x, y), |(a, b), stage| stage.step(a, b))
     }
 
     fn reset(&mut self) {
         for stage in &mut self.stages {
             stage.reset();
         }
+    }
+
+    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        process_with_kernel(self, x, y)
+    }
+}
+
+impl StreamKernel for ManipulatorChain {
+    /// One fused pass: the word pair flows through every stage while still in
+    /// registers.
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        self.stages
+            .iter_mut()
+            .fold((x, y), |(a, b), stage| stage.step_word(a, b, valid))
     }
 }
 
@@ -153,7 +192,10 @@ mod tests {
             last = s;
         }
         assert!(improved >= 3, "composition should not regress correlation");
-        assert!(last > 0.9, "final SCC should be strongly positive, got {last}");
+        assert!(
+            last > 0.9,
+            "final SCC should be strongly positive, got {last}"
+        );
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! a fixed offset and leave relative order intact, and unlike regeneration,
 //! which needs full S/D + D/S conversions.
 
+use crate::kernel::{process_with_kernel, StreamKernel};
 use crate::manipulator::CorrelationManipulator;
 use crate::shuffle_buffer::ShuffleBuffer;
+use sc_bitstream::{Bitstream, Result};
 use sc_rng::{Lfsr, RandomSource};
 
 /// A decorrelator built from two independently addressed shuffle buffers.
@@ -86,6 +88,19 @@ impl<S: RandomSource> CorrelationManipulator for Decorrelator<S> {
     fn reset(&mut self) {
         self.buffer_x.reset();
         self.buffer_y.reset();
+    }
+
+    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        process_with_kernel(self, x, y)
+    }
+}
+
+impl<S: RandomSource> StreamKernel for Decorrelator<S> {
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        (
+            self.buffer_x.step_word(x, valid),
+            self.buffer_y.step_word(y, valid),
+        )
     }
 }
 

@@ -12,6 +12,7 @@
 //! balanced between the two outputs, matching the four-state cycle of
 //! Fig. 3b. The save depth `D` generalises the design to bank up to `D` bits.
 
+use crate::kernel::{bit_serial_step_word, StreamKernel};
 use crate::manipulator::CorrelationManipulator;
 
 /// FSM desynchronizer with configurable save depth.
@@ -59,7 +60,12 @@ impl Desynchronizer {
             (1..=4096).contains(&depth),
             "desynchronizer save depth {depth} outside supported range 1..=4096"
         );
-        Desynchronizer { depth, saved_x: 0, saved_y: 0, bank_x_next: true }
+        Desynchronizer {
+            depth,
+            saved_x: 0,
+            saved_y: 0,
+            bank_x_next: true,
+        }
     }
 
     /// The configured save depth `D`.
@@ -127,6 +133,14 @@ impl CorrelationManipulator for Desynchronizer {
         self.saved_x = 0;
         self.saved_y = 0;
         self.bank_x_next = true;
+    }
+}
+
+impl StreamKernel for Desynchronizer {
+    /// The unpairing FSM is data-dependent, so the transition function stays
+    /// bit-stepped; the word interface stages the bits through registers.
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        bit_serial_step_word(self, x, y, valid)
     }
 }
 

@@ -9,11 +9,17 @@
 //! removing it). They are included here as the baseline the decorrelator is
 //! compared against.
 
+use crate::kernel::{process_with_kernel, StreamKernel};
 use crate::manipulator::CorrelationManipulator;
-use std::collections::VecDeque;
+use sc_bitstream::{BitQueue, Bitstream, Result};
 
 /// A chain of `k` isolator flip-flops in the X operand path (Y passes
 /// through untouched).
+///
+/// The delay line is held as a packed [`BitQueue`], so the word-parallel
+/// engine shifts 64 stream bits through the flip-flop chain per operation
+/// (see [`StreamKernel`]); the bit-stepped [`CorrelationManipulator::step`]
+/// view of the same state remains available for cycle-level simulation.
 ///
 /// # Example
 ///
@@ -32,7 +38,7 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Isolator {
     delay: usize,
-    pipeline: VecDeque<bool>,
+    pipeline: BitQueue,
 }
 
 impl Isolator {
@@ -47,7 +53,10 @@ impl Isolator {
             (1..=4096).contains(&delay),
             "isolator delay {delay} outside supported range 1..=4096"
         );
-        Isolator { delay, pipeline: VecDeque::from(vec![false; delay]) }
+        Isolator {
+            delay,
+            pipeline: BitQueue::filled(delay, false),
+        }
     }
 
     /// The configured delay in cycles.
@@ -63,14 +72,35 @@ impl CorrelationManipulator for Isolator {
     }
 
     fn step(&mut self, x: bool, y: bool) -> (bool, bool) {
-        self.pipeline.push_back(x);
-        let delayed = self.pipeline.pop_front().unwrap_or(false);
-        (delayed, y)
+        self.pipeline.push_bit(x);
+        (self.pipeline.pop_bit(), y)
     }
 
     fn reset(&mut self) {
-        self.pipeline.clear();
-        self.pipeline.extend(std::iter::repeat(false).take(self.delay));
+        self.pipeline = BitQueue::filled(self.delay, false);
+    }
+
+    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        process_with_kernel(self, x, y)
+    }
+}
+
+impl StreamKernel for Isolator {
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        // FIFO order is insertion order, so pushing the whole input word and
+        // popping a whole output word is exactly 64 interleaved
+        // push-bit/pop-bit cycles.
+        if valid == 64 {
+            self.pipeline.push_word(x);
+            (self.pipeline.pop_word(), y)
+        } else {
+            let mut out = 0u64;
+            for i in 0..valid {
+                self.pipeline.push_bit((x >> i) & 1 == 1);
+                out |= u64::from(self.pipeline.pop_bit()) << i;
+            }
+            (out, y)
+        }
     }
 }
 

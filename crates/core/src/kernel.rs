@@ -1,0 +1,203 @@
+//! The word-parallel execution engine for correlation manipulators.
+//!
+//! [`CorrelationManipulator::step`] models hardware faithfully — one pair of
+//! bits per clock — but executing a whole stream that way wastes the 64×
+//! parallelism latent in [`Bitstream`]'s packed representation. This module
+//! adds a second execution interface, [`StreamKernel::step_word`], that
+//! consumes and produces 64 stream bits per call:
+//!
+//! * stateless or shift-register circuits ([`crate::Identity`],
+//!   [`crate::Isolator`]) implement it with genuine whole-word operations;
+//! * data-dependent FSMs (synchronizer, desynchronizer) keep their bit-stepped
+//!   transition functions but run them on register-resident words via
+//!   [`bit_serial_step_word`], avoiding per-bit stream indexing and bounds
+//!   checks;
+//! * [`BitSerial`] wraps *any* manipulator into a kernel, giving every
+//!   circuit a word-driven execution path for free.
+//!
+//! [`process_with_kernel`] is the engine loop: it walks the packed words of
+//! both input streams, feeds them through a kernel, and assembles the outputs
+//! word by word. [`crate::ManipulatorChain`] uses the same interface to fuse
+//! a whole pipeline of manipulators into a single pass per word.
+
+use crate::manipulator::CorrelationManipulator;
+use sc_bitstream::{Bitstream, Error, Result, WORD_BITS};
+
+/// A circuit that transforms streams one packed 64-bit word at a time.
+///
+/// `valid` is the number of meaningful low bits in `x`/`y` (always 64 except
+/// possibly for the final word of a stream); bits at positions `>= valid` are
+/// zero on input and are ignored on output.
+pub trait StreamKernel: Send {
+    /// Processes up to 64 stream cycles: bit `i` of the returned pair is the
+    /// output for input bits `(x >> i) & 1` / `(y >> i) & 1`, for `i < valid`.
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64);
+}
+
+/// Runs a manipulator's bit-stepped FSM over one register-resident word.
+///
+/// This is the bit-serial fallback used by FSM circuits whose transition
+/// function is inherently data-dependent: the bits are staged through local
+/// `u64` registers, so the per-cycle cost is two shifts and two OR-merges
+/// instead of bounds-checked stream indexing.
+pub fn bit_serial_step_word<M: CorrelationManipulator + ?Sized>(
+    manipulator: &mut M,
+    x: u64,
+    y: u64,
+    valid: u32,
+) -> (u64, u64) {
+    let (mut out_x, mut out_y) = (0u64, 0u64);
+    for i in 0..valid {
+        let (bx, by) = manipulator.step((x >> i) & 1 == 1, (y >> i) & 1 == 1);
+        out_x |= u64::from(bx) << i;
+        out_y |= u64::from(by) << i;
+    }
+    (out_x, out_y)
+}
+
+/// Adapter giving any [`CorrelationManipulator`] a [`StreamKernel`] view via
+/// the bit-serial fallback. Used by equivalence tests and benchmarks as the
+/// baseline the word-level fast paths are checked and measured against.
+#[derive(Debug, Clone)]
+pub struct BitSerial<M>(pub M);
+
+impl<M: CorrelationManipulator> StreamKernel for BitSerial<M> {
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        bit_serial_step_word(&mut self.0, x, y, valid)
+    }
+}
+
+impl<M: CorrelationManipulator> CorrelationManipulator for BitSerial<M> {
+    fn name(&self) -> String {
+        format!("bit-serial({})", self.0.name())
+    }
+
+    fn step(&mut self, x: bool, y: bool) -> (bool, bool) {
+        self.0.step(x, y)
+    }
+
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+}
+
+/// Drives a kernel over two equal-length streams: the word-parallel engine
+/// loop behind every manipulator's `process`.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] if the streams differ in length.
+pub fn process_with_kernel<K: StreamKernel + ?Sized>(
+    kernel: &mut K,
+    x: &Bitstream,
+    y: &Bitstream,
+) -> Result<(Bitstream, Bitstream)> {
+    drive_step_word(x, y, |xw, yw, valid| kernel.step_word(xw, yw, valid))
+}
+
+/// Drives an arbitrary word-level step closure over two equal-length streams:
+/// the single engine loop shared by [`process_with_kernel`] and the default
+/// [`CorrelationManipulator::process`].
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] if the streams differ in length.
+pub fn drive_step_word<F: FnMut(u64, u64, u32) -> (u64, u64)>(
+    x: &Bitstream,
+    y: &Bitstream,
+    mut step: F,
+) -> Result<(Bitstream, Bitstream)> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let n = x.len();
+    let mut out_x = Vec::with_capacity(x.as_words().len());
+    let mut out_y = Vec::with_capacity(x.as_words().len());
+    for (w, (xw, yw)) in x.zip_words(y).enumerate() {
+        let valid = (n - w * WORD_BITS).min(WORD_BITS) as u32;
+        let (ox, oy) = step(xw, yw, valid);
+        out_x.push(ox);
+        out_y.push(oy);
+    }
+    Ok((
+        Bitstream::from_words(out_x, n),
+        Bitstream::from_words(out_y, n),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decorrelator, Desynchronizer, Identity, Isolator, Synchronizer};
+
+    fn streams(n: usize) -> (Bitstream, Bitstream) {
+        (
+            Bitstream::from_fn(n, |i| (i * 7 + 1) % 3 == 0),
+            Bitstream::from_fn(n, |i| (i * 5 + 2) % 4 < 2),
+        )
+    }
+
+    #[test]
+    fn bit_serial_wrapper_matches_direct_process() {
+        for n in [1usize, 63, 64, 65, 300] {
+            let (x, y) = streams(n);
+            let mut direct = Synchronizer::new(2);
+            let expected = direct.process_bit_serial(&x, &y).unwrap();
+            let mut wrapped = BitSerial(Synchronizer::new(2));
+            let got = process_with_kernel(&mut wrapped, &x, &y).unwrap();
+            assert_eq!(got, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn kernels_match_bit_serial_reference() {
+        for n in [1usize, 63, 64, 65, 129, 1000] {
+            let (x, y) = streams(n);
+
+            let mut id_fast = Identity::new();
+            let mut id_ref = BitSerial(Identity::new());
+            assert_eq!(
+                process_with_kernel(&mut id_fast, &x, &y).unwrap(),
+                process_with_kernel(&mut id_ref, &x, &y).unwrap(),
+                "identity n={n}"
+            );
+
+            for k in [1usize, 2, 63, 64, 65, 200] {
+                let mut iso_fast = Isolator::new(k);
+                let mut iso_ref = BitSerial(Isolator::new(k));
+                assert_eq!(
+                    process_with_kernel(&mut iso_fast, &x, &y).unwrap(),
+                    process_with_kernel(&mut iso_ref, &x, &y).unwrap(),
+                    "isolator n={n} k={k}"
+                );
+            }
+
+            for d in [1usize, 4, 16] {
+                let mut deco_fast = Decorrelator::new(d);
+                let mut deco_ref = BitSerial(Decorrelator::new(d));
+                assert_eq!(
+                    process_with_kernel(&mut deco_fast, &x, &y).unwrap(),
+                    process_with_kernel(&mut deco_ref, &x, &y).unwrap(),
+                    "decorrelator n={n} d={d}"
+                );
+            }
+
+            let mut desync_fast = Desynchronizer::new(3);
+            let mut desync_ref = BitSerial(Desynchronizer::new(3));
+            assert_eq!(
+                process_with_kernel(&mut desync_fast, &x, &y).unwrap(),
+                process_with_kernel(&mut desync_ref, &x, &y).unwrap(),
+                "desynchronizer n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_rejects_length_mismatch() {
+        let mut id = Identity::new();
+        assert!(process_with_kernel(&mut id, &Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+    }
+}

@@ -20,6 +20,17 @@
 //! ([`compose::ManipulatorChain`]) and the Table II evaluation harness
 //! ([`analysis`]).
 //!
+//! Execution runs on the **word-parallel engine** ([`kernel`]): every
+//! manipulator processes streams 64 packed bits at a time via
+//! [`StreamKernel::step_word`]. Stateless and shift-register circuits
+//! ([`manipulator::Identity`], [`Isolator`]) have true whole-word fast paths;
+//! the data-dependent FSMs keep their cycle-accurate transition functions but
+//! stage bits through machine registers instead of per-bit stream indexing,
+//! and [`ManipulatorChain`] fuses all its stages into a single pass per word.
+//! The original per-bit execution is retained as
+//! [`CorrelationManipulator::process_bit_serial`] and verified bit-identical
+//! by equivalence tests.
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +63,7 @@ pub mod compose;
 pub mod decorrelator;
 pub mod desynchronizer;
 pub mod isolator;
+pub mod kernel;
 pub mod manipulator;
 pub mod ops;
 pub mod shuffle_buffer;
@@ -60,11 +72,14 @@ pub mod synchronizer;
 pub mod tfm;
 pub mod tracker;
 
-pub use compose::ManipulatorChain;
+pub use compose::{ChainStage, ManipulatorChain};
 pub use decorrelator::Decorrelator;
 pub use desynchronizer::Desynchronizer;
 pub use isolator::Isolator;
-pub use manipulator::CorrelationManipulator;
+pub use kernel::{
+    bit_serial_step_word, drive_step_word, process_with_kernel, BitSerial, StreamKernel,
+};
+pub use manipulator::{CorrelationManipulator, Identity};
 pub use shuffle_buffer::ShuffleBuffer;
 pub use synchronizer::Synchronizer;
 pub use tfm::TrackingForecastMemory;

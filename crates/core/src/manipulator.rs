@@ -1,6 +1,7 @@
 //! The [`CorrelationManipulator`] trait implemented by every correlation
 //! manipulating circuit in this crate.
 
+use crate::kernel::{bit_serial_step_word, StreamKernel};
 use sc_bitstream::{Bitstream, Error, Result};
 
 /// A circuit that transforms a pair of stochastic numbers cycle by cycle,
@@ -8,8 +9,12 @@ use sc_bitstream::{Bitstream, Error, Result};
 ///
 /// Implementors are Mealy machines: [`CorrelationManipulator::step`] consumes
 /// one bit from each input stream and produces one bit for each output stream.
-/// The default [`CorrelationManipulator::process`] drives `step` over two
-/// whole streams.
+/// The default [`CorrelationManipulator::process`] drives the FSM over two
+/// whole streams on the word-parallel engine: input bits are staged through
+/// register-resident `u64` words (64 stream bits per load/store) instead of
+/// per-bit stream indexing. Circuits with genuinely word-level semantics
+/// additionally implement [`StreamKernel`] with a true 64-bits-per-operation
+/// fast path and route `process` through it.
 pub trait CorrelationManipulator: Send {
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> String;
@@ -30,8 +35,27 @@ pub trait CorrelationManipulator: Send {
     ///
     /// Returns [`Error::LengthMismatch`] if the streams differ in length.
     fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        crate::kernel::drive_step_word(x, y, |xw, yw, valid| {
+            bit_serial_step_word(self, xw, yw, valid)
+        })
+    }
+
+    /// The original one-bit-per-cycle `process` formulation, retained as the
+    /// executable specification the word-parallel paths are verified against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the streams differ in length.
+    fn process_bit_serial(
+        &mut self,
+        x: &Bitstream,
+        y: &Bitstream,
+    ) -> Result<(Bitstream, Bitstream)> {
         if x.len() != y.len() {
-            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
         }
         let mut out_x = Bitstream::zeros(x.len());
         let mut out_y = Bitstream::zeros(y.len());
@@ -62,6 +86,12 @@ impl CorrelationManipulator for Box<dyn CorrelationManipulator> {
     }
 }
 
+impl StreamKernel for Box<dyn CorrelationManipulator> {
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        bit_serial_step_word(self.as_mut(), x, y, valid)
+    }
+}
+
 /// The identity manipulator: passes both streams through unchanged. Useful as
 /// the "no manipulation" arm of experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -85,6 +115,22 @@ impl CorrelationManipulator for Identity {
     }
 
     fn reset(&mut self) {}
+
+    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
+        if x.len() != y.len() {
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
+        }
+        Ok((x.clone(), y.clone()))
+    }
+}
+
+impl StreamKernel for Identity {
+    fn step_word(&mut self, x: u64, y: u64, _valid: u32) -> (u64, u64) {
+        (x, y)
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +152,9 @@ mod tests {
     #[test]
     fn process_rejects_length_mismatch() {
         let mut id = Identity::new();
-        let err = id.process(&Bitstream::zeros(4), &Bitstream::zeros(5)).unwrap_err();
+        let err = id
+            .process(&Bitstream::zeros(4), &Bitstream::zeros(5))
+            .unwrap_err();
         assert!(matches!(err, Error::LengthMismatch { .. }));
     }
 

@@ -79,7 +79,9 @@ impl SyncMax {
     /// Panics if `depth` is 0 or greater than 4096.
     #[must_use]
     pub fn new(depth: u32) -> Self {
-        SyncMax { sync: Synchronizer::new(depth) }
+        SyncMax {
+            sync: Synchronizer::new(depth),
+        }
     }
 
     /// Processes one cycle.
@@ -118,7 +120,9 @@ impl SyncMin {
     /// Panics if `depth` is 0 or greater than 4096.
     #[must_use]
     pub fn new(depth: u32) -> Self {
-        SyncMin { sync: Synchronizer::new(depth) }
+        SyncMin {
+            sync: Synchronizer::new(depth),
+        }
     }
 
     /// Processes one cycle.
@@ -158,7 +162,9 @@ impl DesyncSaturatingAdder {
     /// Panics if `depth` is 0 or greater than 4096.
     #[must_use]
     pub fn new(depth: u32) -> Self {
-        DesyncSaturatingAdder { desync: Desynchronizer::new(depth) }
+        DesyncSaturatingAdder {
+            desync: Desynchronizer::new(depth),
+        }
     }
 
     /// Processes one cycle.
@@ -280,8 +286,14 @@ mod tests {
     #[test]
     fn streaming_units_match_free_functions() {
         let (x, y) = paper_input_pair(0.4, 0.8);
-        assert_eq!(SyncMax::new(1).process(&x, &y).unwrap(), sync_max(&x, &y, 1).unwrap());
-        assert_eq!(SyncMin::new(1).process(&x, &y).unwrap(), sync_min(&x, &y, 1).unwrap());
+        assert_eq!(
+            SyncMax::new(1).process(&x, &y).unwrap(),
+            sync_max(&x, &y, 1).unwrap()
+        );
+        assert_eq!(
+            SyncMin::new(1).process(&x, &y).unwrap(),
+            sync_min(&x, &y, 1).unwrap()
+        );
         assert_eq!(
             DesyncSaturatingAdder::new(1).process(&x, &y).unwrap(),
             desync_saturating_add(&x, &y, 1).unwrap()
@@ -292,8 +304,7 @@ mod tests {
     fn streaming_step_interface_and_reset() {
         let (x, y) = paper_input_pair(0.5, 0.25);
         let mut unit = SyncMax::new(2);
-        let streamed: Bitstream =
-            (0..N).map(|i| unit.step(x.bit(i), y.bit(i))).collect();
+        let streamed: Bitstream = (0..N).map(|i| unit.step(x.bit(i), y.bit(i))).collect();
         unit.reset();
         let batch = unit.process(&x, &y).unwrap();
         assert_eq!(streamed, batch);

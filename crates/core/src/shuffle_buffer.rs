@@ -76,10 +76,28 @@ impl<S: RandomSource> ShuffleBuffer<S> {
         out
     }
 
+    /// Processes up to 64 bits staged through a register-resident word: bit
+    /// `i` of the result is the slot read-out for input bit `(input >> i) & 1`
+    /// (`i < valid`). The slot accesses themselves stay serial — they are
+    /// randomly addressed — but the stream bits never touch memory.
+    pub fn step_word(&mut self, input: u64, valid: u32) -> u64 {
+        let mut out = 0u64;
+        for i in 0..valid {
+            let addr = self.source.next_below(self.slots.len() as u64) as usize;
+            out |= u64::from(self.slots[addr]) << i;
+            self.slots[addr] = (input >> i) & 1 == 1;
+        }
+        out
+    }
+
     /// Processes a whole stream, preserving its length.
     #[must_use]
     pub fn process(&mut self, input: &Bitstream) -> Bitstream {
-        Bitstream::from_fn(input.len(), |i| self.step(input.bit(i)))
+        let n = input.len();
+        Bitstream::from_word_fn(n, |w| {
+            let valid = input.word_len(w) as u32;
+            self.step_word(input.as_words()[w], valid)
+        })
     }
 
     /// Restores the initial buffer contents and resets the address source.
@@ -135,7 +153,7 @@ mod tests {
         let output = buf.process(&input);
         // With one slot every bit is simply delayed by one cycle, after the
         // initial stored bit is flushed out first.
-        assert_eq!(output.bit(0), true); // initial slot content (index 0 -> 1)
+        assert!(output.bit(0)); // initial slot content (index 0 -> 1)
         for i in 1..8 {
             assert_eq!(output.bit(i), input.bit(i - 1));
         }

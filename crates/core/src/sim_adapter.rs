@@ -55,7 +55,9 @@ impl<M: CorrelationManipulator> ManipulatorComponent<M> {
 
 impl<M: CorrelationManipulator> std::fmt::Debug for ManipulatorComponent<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ManipulatorComponent").field("name", &self.name).finish()
+        f.debug_struct("ManipulatorComponent")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -160,11 +162,10 @@ mod tests {
         let mut circuit = Circuit::new();
         let nx = circuit.add_input("x");
         let ny = circuit.add_input("y");
-        let d = circuit
-            .add_component(ManipulatorComponent::new(Desynchronizer::new(1)), &[nx, ny]);
+        let d = circuit.add_component(ManipulatorComponent::new(Desynchronizer::new(1)), &[nx, ny]);
         circuit.mark_output("dx", d[0]);
         circuit.mark_output("dy", d[1]);
-        let sim = circuit.run(&[("x", x.clone(), ), ("y", y.clone())]).unwrap();
+        let sim = circuit.run(&[("x", x.clone()), ("y", y.clone())]).unwrap();
         assert!(scc(&sim["dx"], &sim["dy"]) < -0.5);
 
         // Decorrelator on a maximally correlated pair.

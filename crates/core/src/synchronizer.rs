@@ -16,6 +16,7 @@
 //! three-state FSM of Fig. 3a. An optional *flush* mode force-emits saved bits
 //! when the remaining stream length would otherwise strand them.
 
+use crate::kernel::{bit_serial_step_word, StreamKernel};
 use crate::manipulator::CorrelationManipulator;
 use sc_bitstream::{Bitstream, Error, Result};
 
@@ -60,7 +61,11 @@ impl Synchronizer {
             (1..=4096).contains(&depth),
             "synchronizer save depth {depth} outside supported range 1..=4096"
         );
-        Synchronizer { depth: depth as i32, credit: 0, initial_credit: 0 }
+        Synchronizer {
+            depth: depth as i32,
+            credit: 0,
+            initial_credit: 0,
+        }
     }
 
     /// Creates a synchronizer whose FSM starts with `initial_credit` bits
@@ -109,7 +114,10 @@ impl Synchronizer {
         y: &Bitstream,
     ) -> Result<(Bitstream, Bitstream)> {
         if x.len() != y.len() {
-            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
         }
         let n = x.len();
         let mut out_x = Bitstream::zeros(n);
@@ -190,6 +198,14 @@ impl CorrelationManipulator for Synchronizer {
     }
 }
 
+impl StreamKernel for Synchronizer {
+    /// The pairing FSM is data-dependent, so the transition function stays
+    /// bit-stepped; the word interface stages the bits through registers.
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        bit_serial_step_word(self, x, y, valid)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,11 +237,11 @@ mod tests {
             (0, false, true, false, false, -1),
             (1, false, false, false, false, 1),
             (1, true, true, true, true, 1),
-            (1, false, true, true, true, 0), // pair saved X bit
+            (1, false, true, true, true, 0),  // pair saved X bit
             (1, true, false, true, false, 1), // saturated: pass through
             (-1, false, false, false, false, -1),
             (-1, true, true, true, true, -1),
-            (-1, true, false, true, true, 0), // pair saved Y bit
+            (-1, true, false, true, true, 0),   // pair saved Y bit
             (-1, false, true, false, true, -1), // saturated: pass through
         ];
         for (state, x, y, ex, ey, next) in table {
@@ -312,7 +328,10 @@ mod tests {
         let (fx, fy) = with_flush.process_with_flush(&x, &y).unwrap();
         let bias_no_flush = (nx.value() - x.value()).abs();
         let bias_flush = (fx.value() - x.value()).abs();
-        assert!(bias_flush < bias_no_flush, "{bias_flush} vs {bias_no_flush}");
+        assert!(
+            bias_flush < bias_no_flush,
+            "{bias_flush} vs {bias_no_flush}"
+        );
         assert_eq!(fy.count_ones(), 0);
     }
 
@@ -356,8 +375,12 @@ mod tests {
     #[test]
     fn length_mismatch_errors() {
         let mut s = Synchronizer::new(1);
-        assert!(s.process(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
-        assert!(s.process_with_flush(&Bitstream::zeros(4), &Bitstream::zeros(5)).is_err());
+        assert!(s
+            .process(&Bitstream::zeros(4), &Bitstream::zeros(5))
+            .is_err());
+        assert!(s
+            .process_with_flush(&Bitstream::zeros(4), &Bitstream::zeros(5))
+            .is_err());
     }
 
     #[test]

@@ -111,6 +111,13 @@ impl<S: RandomSource> CorrelationManipulator for TrackingForecastMemory<S> {
     }
 }
 
+impl<S: RandomSource> crate::kernel::StreamKernel for TrackingForecastMemory<S> {
+    /// The tracking loop is data-dependent; bits are staged through registers.
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        crate::kernel::bit_serial_step_word(self, x, y, valid)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,7 +157,10 @@ mod tests {
         let mut deco = crate::Decorrelator::new(4);
         let (dx, dy) = deco.process(&x, &y).unwrap();
         let deco_scc = scc(&dx, &dy).abs();
-        assert!(tfm_scc < 0.95, "tfm should reduce correlation, got {tfm_scc}");
+        assert!(
+            tfm_scc < 0.95,
+            "tfm should reduce correlation, got {tfm_scc}"
+        );
         assert!(
             deco_scc <= tfm_scc + 0.15,
             "decorrelator ({deco_scc}) should beat or match TFM ({tfm_scc})"

@@ -54,15 +54,28 @@ impl SccTracker {
 
     /// Observes two whole equal-length streams.
     ///
+    /// The counters are accumulated word-parallel: three popcounts per 64
+    /// stream bits instead of a branch per cycle.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::LengthMismatch`] if the lengths differ.
     pub fn observe_streams(&mut self, x: &Bitstream, y: &Bitstream) -> Result<()> {
         if x.len() != y.len() {
-            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
         }
-        for i in 0..x.len() {
-            self.observe(x.bit(i), y.bit(i));
+        for (w, (xw, yw)) in x.zip_words(y).enumerate() {
+            let valid = x.word_len(w) as u64;
+            let a = u64::from((xw & yw).count_ones());
+            let x1 = u64::from(xw.count_ones());
+            let y1 = u64::from(yw.count_ones());
+            self.counts.a += a;
+            self.counts.b += x1 - a;
+            self.counts.c += y1 - a;
+            self.counts.d += valid + a - x1 - y1;
         }
         Ok(())
     }
@@ -185,6 +198,14 @@ impl<M: crate::CorrelationManipulator> crate::CorrelationManipulator for Adaptiv
         self.inner.reset();
         self.tracker.reset();
         self.engaged_cycles = 0;
+    }
+}
+
+impl<M: crate::CorrelationManipulator> crate::kernel::StreamKernel for AdaptiveManipulator<M> {
+    /// The engage decision depends on the running SCC, so bits are staged
+    /// through registers rather than processed as whole words.
+    fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        crate::kernel::bit_serial_step_word(self, x, y, valid)
     }
 }
 

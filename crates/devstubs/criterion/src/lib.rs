@@ -1,0 +1,261 @@
+//! Minimal, offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! in-tree shim implements the slice of the criterion API the workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are real: each benchmark is warmed up, then timed over
+//! `sample_size` samples and reported as the median ns/iteration on stdout.
+//! When the `SC_BENCH_JSON` environment variable names a file, one JSON line
+//! per benchmark (`{"group", "bench", "ns_per_iter", "elements_per_sec"}`) is
+//! appended to it so scripts can collect machine-readable results.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sync", 64)` renders as `sync/64`.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(64)` renders as `64`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times and records the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for elements/sec reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under a parameterized id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut adapted = |b: &mut Bencher| f(b, input);
+        self.run(&id.id, &mut adapted);
+        self
+    }
+
+    /// Finishes the group (printing happens eagerly, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn run(&mut self, bench_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: find an iteration count that takes roughly one sample's
+        // worth of time, starting from a single iteration.
+        let per_sample = self.criterion.measurement_time.as_nanos() as u64
+            / self.criterion.sample_size.max(1) as u64;
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as u64;
+            if ns >= per_sample.min(2_000_000) || iters >= 1 << 24 {
+                break;
+            }
+            iters = if ns == 0 {
+                iters * 16
+            } else {
+                (iters * per_sample.max(1) / ns.max(1)).clamp(iters + 1, iters * 16)
+            };
+        }
+
+        // Measure.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.criterion.sample_size);
+        for _ in 0..self.criterion.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+        let median = samples[samples.len() / 2];
+
+        let elements_per_sec = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => Some(n as f64 * 1e9 / median),
+            _ => None,
+        };
+        match elements_per_sec {
+            Some(eps) => println!(
+                "bench {:<56} {:>12.1} ns/iter {:>14.3} Melem/s",
+                format!("{}/{}", self.name, bench_name),
+                median,
+                eps / 1e6
+            ),
+            None => println!(
+                "bench {:<56} {:>12.1} ns/iter",
+                format!("{}/{}", self.name, bench_name),
+                median
+            ),
+        }
+
+        if let Ok(path) = std::env::var("SC_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let eps = elements_per_sec.map_or("null".to_string(), |e| format!("{e:.1}"));
+                    let _ = writeln!(
+                        file,
+                        "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.1},\"elements_per_sec\":{}}}",
+                        self.name, bench_name, median, eps
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(8));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

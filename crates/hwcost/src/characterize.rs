@@ -292,7 +292,11 @@ mod tests {
         assert!(sync.area_um2 > 10.0 * or.area_um2);
         assert!(sync.area_um2 < 80.0, "sync area {}", sync.area_um2);
         let rel = sync.relative_to(&ca);
-        assert!(rel.area_ratio > 3.5 && rel.area_ratio < 8.0, "area ratio {}", rel.area_ratio);
+        assert!(
+            rel.area_ratio > 3.5 && rel.area_ratio < 8.0,
+            "area ratio {}",
+            rel.area_ratio
+        );
         assert!(rel.energy_ratio > 5.0, "energy ratio {}", rel.energy_ratio);
     }
 
@@ -311,8 +315,14 @@ mod tests {
         let ca = correlation_agnostic_adder();
         let area_ratio = ca.area_um2 / mux.area_um2;
         let power_ratio = ca.power_uw / mux.power_uw;
-        assert!(area_ratio > 4.0 && area_ratio < 9.0, "area ratio {area_ratio}");
-        assert!(power_ratio > 5.0 && power_ratio < 14.0, "power ratio {power_ratio}");
+        assert!(
+            area_ratio > 4.0 && area_ratio < 9.0,
+            "area ratio {area_ratio}"
+        );
+        assert!(
+            power_ratio > 5.0 && power_ratio < 14.0,
+            "power ratio {power_ratio}"
+        );
     }
 
     #[test]
@@ -330,7 +340,12 @@ mod tests {
         // The economic argument for correlation manipulation: converters and
         // RNGs are one to two orders of magnitude larger than SC arithmetic.
         let and_gate = and_min_netlist();
-        for big in [sd_converter(8), ds_converter(8), lfsr_rng(16), low_discrepancy_rng(8)] {
+        for big in [
+            sd_converter(8),
+            ds_converter(8),
+            lfsr_rng(16),
+            low_discrepancy_rng(8),
+        ] {
             assert!(
                 big.area_um2() > 20.0 * and_gate.area_um2(),
                 "{} should dwarf an AND gate",
@@ -355,7 +370,10 @@ mod tests {
         let iso = isolator(1);
         let tfm = tracking_forecast_memory();
         assert!(deco.area_um2() > iso.area_um2());
-        assert!(tfm.area_um2() > deco.area_um2(), "TFMs are larger (partly binary)");
+        assert!(
+            tfm.area_um2() > deco.area_um2(),
+            "TFMs are larger (partly binary)"
+        );
         assert!(shuffle_buffer(8).area_um2() > shuffle_buffer(2).area_um2());
     }
 

@@ -182,7 +182,10 @@ mod tests {
     fn macro_costs_scale_with_width() {
         assert!(Primitive::Counter(16).area_um2() > Primitive::Counter(8).area_um2());
         assert!(Primitive::Comparator(16).power_uw() > Primitive::Comparator(8).power_uw());
-        assert_eq!(Primitive::Register(8).area_um2(), 8.0 * Primitive::DFlipFlop.area_um2());
+        assert_eq!(
+            Primitive::Register(8).area_um2(),
+            8.0 * Primitive::DFlipFlop.area_um2()
+        );
     }
 
     #[test]

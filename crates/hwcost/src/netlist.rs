@@ -33,7 +33,10 @@ impl Netlist {
     /// Creates an empty netlist with the given design name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), cells: BTreeMap::new() }
+        Netlist {
+            name: name.into(),
+            cells: BTreeMap::new(),
+        }
     }
 
     /// The design name.
@@ -167,7 +170,11 @@ mod tests {
         let report = netlist.report(256);
         assert!((report.area_um2 - 2.16).abs() < 1e-9);
         assert!((report.power_uw - 0.26).abs() < 1e-9);
-        assert!((report.energy_pj - 165.0).abs() < 2.0, "energy {}", report.energy_pj);
+        assert!(
+            (report.energy_pj - 165.0).abs() < 2.0,
+            "energy {}",
+            report.energy_pj
+        );
     }
 
     #[test]
@@ -201,7 +208,9 @@ mod tests {
 
     #[test]
     fn power_scales_with_activity() {
-        let n = Netlist::new("n").with(Primitive::Or2, 4).with(Primitive::DFlipFlop, 2);
+        let n = Netlist::new("n")
+            .with(Primitive::Or2, 4)
+            .with(Primitive::DFlipFlop, 2);
         assert!(n.power_uw_at(1.0) > n.power_uw_at(0.5));
         assert!(n.power_uw_at(0.1) < n.power_uw());
         assert!(n.energy_pj_at(256, 1.0) > n.energy_pj(256));
@@ -209,7 +218,9 @@ mod tests {
 
     #[test]
     fn display_lists_cells() {
-        let n = Netlist::new("demo").with(Primitive::Or2, 2).with(Primitive::DFlipFlop, 1);
+        let n = Netlist::new("demo")
+            .with(Primitive::Or2, 2)
+            .with(Primitive::DFlipFlop, 1);
         let s = n.to_string();
         assert!(s.contains("demo"));
         assert!(s.contains("2xOR2"));

@@ -72,7 +72,12 @@ mod tests {
     use super::*;
 
     fn report(name: &str, area: f64, power: f64, energy: f64) -> CostReport {
-        CostReport { design: name.to_string(), area_um2: area, power_uw: power, energy_pj: energy }
+        CostReport {
+            design: name.to_string(),
+            area_um2: area,
+            power_uw: power,
+            energy_pj: energy,
+        }
     }
 
     #[test]

@@ -108,7 +108,12 @@ pub fn accelerator_breakdown(variant: PipelineVariant, config: &PipelineConfig) 
         }
     };
 
-    CostBreakdown { conversion, kernels, output_conversion, manipulation }
+    CostBreakdown {
+        conversion,
+        kernels,
+        output_conversion,
+        manipulation,
+    }
 }
 
 /// Costs one accelerator variant for frames of `frame_width` × `frame_height`
@@ -166,7 +171,10 @@ mod tests {
     }
 
     fn cost_of(costs: &[AcceleratorCost], v: PipelineVariant) -> &AcceleratorCost {
-        costs.iter().find(|c| c.variant == v).expect("variant present")
+        costs
+            .iter()
+            .find(|c| c.variant == v)
+            .expect("variant present")
     }
 
     #[test]
@@ -207,8 +215,14 @@ mod tests {
         assert!(none.energy_per_frame_nj < sync.energy_per_frame_nj);
         assert!(sync.energy_per_frame_nj < regen.energy_per_frame_nj);
         let saving = 1.0 - sync.energy_per_frame_nj / regen.energy_per_frame_nj;
-        assert!(saving > 0.10, "energy saving {saving:.3} should be at least 10%");
-        assert!(saving < 0.60, "energy saving {saving:.3} should stay in a plausible range");
+        assert!(
+            saving > 0.10,
+            "energy saving {saving:.3} should be at least 10%"
+        );
+        assert!(
+            saving < 0.60,
+            "energy saving {saving:.3} should stay in a plausible range"
+        );
     }
 
     #[test]
@@ -221,7 +235,10 @@ mod tests {
         let none = cost_of(&costs, PipelineVariant::NoManipulation);
         assert_eq!(none.manipulation_energy_nj, 0.0);
         let ratio = regen.manipulation_energy_nj / sync.manipulation_energy_nj;
-        assert!(ratio > 2.0, "manipulation energy ratio {ratio:.2} should be >= 2x");
+        assert!(
+            ratio > 2.0,
+            "manipulation energy ratio {ratio:.2} should be >= 2x"
+        );
     }
 
     #[test]
@@ -230,7 +247,10 @@ mod tests {
         let small = accelerator_cost(PipelineVariant::Synchronizer, &config, 50, 50);
         let large = accelerator_cost(PipelineVariant::Synchronizer, &config, 100, 100);
         assert!(large.energy_per_frame_nj > 3.0 * small.energy_per_frame_nj);
-        assert_eq!(large.area_um2, small.area_um2, "area is per accelerator, not per frame");
+        assert_eq!(
+            large.area_um2, small.area_um2,
+            "area is per accelerator, not per frame"
+        );
     }
 
     #[test]

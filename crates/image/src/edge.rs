@@ -55,6 +55,8 @@ pub fn sc_edge_detector<S: RandomSource>(
 ) -> Result<Bitstream> {
     let diag = a.try_xor(d)?;
     let anti = b.try_xor(c)?;
+    // The select bits are packed a word at a time by `Bitstream::from_fn`;
+    // the XORs and the MUX all run on the word-parallel combinators.
     let select = Bitstream::from_fn(diag.len(), |_| select_source.next_unit() < 0.5);
     Bitstream::mux(&anti, &diag, &select)
 }
@@ -116,8 +118,8 @@ mod tests {
             out
         };
         let mut sel = Lfsr::new(16, 0x1D0D);
-        let z = sc_edge_detector(&streams[0], &streams[1], &streams[2], &streams[3], &mut sel)
-            .unwrap();
+        let z =
+            sc_edge_detector(&streams[0], &streams[1], &streams[2], &streams[3], &mut sel).unwrap();
         let expected = roberts_cross_float_pixel(&values);
         assert!(
             (z.value() - expected).abs() < 0.05,
@@ -142,9 +144,12 @@ mod tests {
             })
             .collect();
         let mut sel = Lfsr::new(16, 0x42A7);
-        let wrong = sc_edge_detector(&streams[0], &streams[1], &streams[2], &streams[3], &mut sel)
-            .unwrap();
-        assert!(wrong.value() > 0.3, "uncorrelated inputs give a large spurious edge");
+        let wrong =
+            sc_edge_detector(&streams[0], &streams[1], &streams[2], &streams[3], &mut sel).unwrap();
+        assert!(
+            wrong.value() > 0.3,
+            "uncorrelated inputs give a large spurious edge"
+        );
 
         // Insert synchronizers in front of each XOR pair (the Fig. 5 idea as
         // used by the accelerator's synchronizer variant).

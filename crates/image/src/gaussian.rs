@@ -83,27 +83,44 @@ impl<S: RandomSource> ScGaussianBlur<S> {
     /// Applies the kernel to nine equal-length neighbour streams in row-major
     /// order, returning the blurred output stream.
     ///
+    /// The selection sequence is data-independent, so the gather runs
+    /// word-parallel: per 64 cycles, one selection *mask* is built for each
+    /// neighbour and the output word is nine AND-OR operations over the
+    /// neighbours' packed words — the streams themselves are never read bit
+    /// by bit.
+    ///
     /// # Panics
     ///
     /// Panics if fewer than nine streams are supplied or their lengths differ.
     #[must_use]
     pub fn apply(&mut self, neighbours: &[&Bitstream]) -> Bitstream {
-        assert_eq!(neighbours.len(), 9, "gaussian blur needs exactly 9 neighbour streams");
+        assert_eq!(
+            neighbours.len(),
+            9,
+            "gaussian blur needs exactly 9 neighbour streams"
+        );
         let n = neighbours[0].len();
         for s in neighbours {
             assert_eq!(s.len(), n, "neighbour stream length mismatch");
         }
-        Bitstream::from_fn(n, |i| {
-            let mut u = self.select_source.next_unit();
-            let mut selected = 8;
-            for (idx, w) in GAUSSIAN_WEIGHTS.iter().enumerate() {
-                if u < *w {
-                    selected = idx;
-                    break;
+        Bitstream::from_word_fn(n, |w| {
+            let valid = neighbours[0].word_len(w);
+            let mut masks = [0u64; 9];
+            for i in 0..valid {
+                let mut u = self.select_source.next_unit();
+                let mut selected = 8;
+                for (idx, weight) in GAUSSIAN_WEIGHTS.iter().enumerate() {
+                    if u < *weight {
+                        selected = idx;
+                        break;
+                    }
+                    u -= weight;
                 }
-                u -= w;
+                masks[selected] |= 1u64 << i;
             }
-            neighbours[selected].bit(i)
+            masks.iter().enumerate().fold(0u64, |out, (k, &mask)| {
+                out | (neighbours[k].as_words()[w] & mask)
+            })
         })
     }
 

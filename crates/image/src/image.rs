@@ -49,7 +49,11 @@ impl GrayImage {
     #[must_use]
     pub fn filled(width: usize, height: usize, value: f64) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        GrayImage { width, height, pixels: vec![value.clamp(0.0, 1.0); width * height] }
+        GrayImage {
+            width,
+            height,
+            pixels: vec![value.clamp(0.0, 1.0); width * height],
+        }
     }
 
     /// Creates an image where pixel `(x, y)` is `f(x, y)` clamped into `[0, 1]`.
@@ -66,7 +70,11 @@ impl GrayImage {
                 pixels.push(f(x, y).clamp(0.0, 1.0));
             }
         }
-        GrayImage { width, height, pixels }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// A horizontal-plus-vertical intensity gradient.
@@ -82,7 +90,7 @@ impl GrayImage {
     pub fn checkerboard(width: usize, height: usize, square: usize) -> Self {
         let square = square.max(1);
         Self::from_fn(width, height, |x, y| {
-            if (x / square + y / square) % 2 == 0 {
+            if (x / square + y / square).is_multiple_of(2) {
                 0.85
             } else {
                 0.15
@@ -152,7 +160,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[must_use]
     pub fn get(&self, x: usize, y: usize) -> f64 {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -162,7 +173,10 @@ impl GrayImage {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn set(&mut self, x: usize, y: usize, value: f64) {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = value.clamp(0.0, 1.0);
     }
 
@@ -255,7 +269,10 @@ mod tests {
         assert_eq!(a.mean_abs_error(&b).unwrap(), 0.5);
         assert_eq!(a.mean_abs_error(&a).unwrap(), 0.0);
         let c = GrayImage::filled(3, 4, 0.75);
-        assert!(matches!(a.mean_abs_error(&c), Err(ImageError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.mean_abs_error(&c),
+            Err(ImageError::DimensionMismatch { .. })
+        ));
         assert!(!a.mean_abs_error(&c).unwrap_err().to_string().is_empty());
     }
 

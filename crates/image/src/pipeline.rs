@@ -7,7 +7,7 @@ use crate::image::{GrayImage, ImageError};
 use sc_bitstream::{Bitstream, Probability};
 use sc_convert::DigitalToStochastic;
 use sc_core::{CorrelationManipulator, Synchronizer};
-use sc_rng::{Lfsr, RandomSource, Sobol, VanDerCorput};
+use sc_rng::{Lfsr, Sobol, VanDerCorput};
 use std::collections::HashMap;
 
 /// How the accelerator handles correlation between the Gaussian-blur outputs
@@ -78,7 +78,12 @@ impl PipelineConfig {
     /// A reduced configuration for fast unit tests.
     #[must_use]
     pub fn quick() -> Self {
-        PipelineConfig { stream_length: 64, tile_size: 6, rng_bank_size: 8, synchronizer_depth: 2 }
+        PipelineConfig {
+            stream_length: 64,
+            tile_size: 6,
+            rng_bank_size: 8,
+            synchronizer_depth: 2,
+        }
     }
 }
 
@@ -121,15 +126,10 @@ pub fn run_sc_pipeline(
 
 /// Generates the stochastic number for one input pixel using the bank source
 /// assigned to its position.
-fn generate_pixel_stream(
-    value: f64,
-    px: isize,
-    py: isize,
-    config: &PipelineConfig,
-) -> Bitstream {
+fn generate_pixel_stream(value: f64, px: isize, py: isize, config: &PipelineConfig) -> Bitstream {
     // Assign bank entries so that horizontally/vertically adjacent pixels use
     // different (mutually uncorrelated) Sobol dimensions.
-    let bank = config.rng_bank_size.min(8).max(1);
+    let bank = config.rng_bank_size.clamp(1, 8);
     let idx = ((px.rem_euclid(4) as usize) + 4 * (py.rem_euclid(2) as usize)) % bank;
     let mut generator = DigitalToStochastic::new(Sobol::new(idx as u32 + 1));
     generator.generate(Probability::saturating(value), config.stream_length)
@@ -162,7 +162,10 @@ fn process_tile(
     }
 
     // 2. Gaussian blur for every pixel the edge detector will touch.
-    let mut blur = ScGaussianBlur::new(Lfsr::new(16, 0xACE1 ^ (tile_index.wrapping_mul(2654435761) & 0xFFFF).max(1)));
+    let mut blur = ScGaussianBlur::new(Lfsr::new(
+        16,
+        0xACE1 ^ (tile_index.wrapping_mul(2654435761) & 0xFFFF).max(1),
+    ));
     let mut blurred: HashMap<(isize, isize), Bitstream> = HashMap::new();
     for gy in (y0 as isize)..=(y_end as isize) {
         for gx in (x0 as isize)..=(x_end as isize) {
@@ -184,22 +187,27 @@ fn process_tile(
     if variant == PipelineVariant::Regeneration {
         // Re-encode every blurred stream from a shared source: the outputs
         // become mutually positively correlated (the shared-RNG property of
-        // §II.B), which is what the XOR subtractors need.
+        // §II.B), which is what the XOR subtractors need. Routed through the
+        // word-batched D/S converter.
         for stream in blurred.values_mut() {
             let ones = stream.count_ones() as u64;
-            let mut shared = VanDerCorput::new();
-            *stream = Bitstream::from_fn(n, |_| {
-                Probability::from_ratio(ones, n as u64).get() > shared.next_unit()
-            });
+            let mut regen = DigitalToStochastic::new(VanDerCorput::new());
+            *stream = regen.generate(Probability::from_ratio(ones, n as u64), n);
         }
     }
 
     // 4. Roberts cross for every tile pixel.
-    let mut select_source = Lfsr::new(16, 0x7331 ^ (tile_index.wrapping_mul(40503) & 0xFFFF).max(1));
+    let mut select_source = Lfsr::new(
+        16,
+        0x7331 ^ (tile_index.wrapping_mul(40503) & 0xFFFF).max(1),
+    );
     for y in y0..y_end {
         for x in x0..x_end {
             let clamp_key = |px: isize, py: isize| {
-                ((px).clamp(x0 as isize, x_end as isize), (py).clamp(y0 as isize, y_end as isize))
+                (
+                    (px).clamp(x0 as isize, x_end as isize),
+                    (py).clamp(y0 as isize, y_end as isize),
+                )
             };
             let a = &blurred[&clamp_key(x as isize, y as isize)];
             let b = &blurred[&clamp_key(x as isize + 1, y as isize)];
@@ -245,7 +253,10 @@ pub fn compare_variants(
         .into_iter()
         .map(|variant| {
             let out = run_sc_pipeline(image, variant, config)?;
-            Ok(PipelineQuality { variant, mean_abs_error: out.mean_abs_error(&reference)? })
+            Ok(PipelineQuality {
+                variant,
+                mean_abs_error: out.mean_abs_error(&reference)?,
+            })
         })
         .collect()
 }
@@ -273,17 +284,29 @@ mod tests {
     #[test]
     fn variant_labels_and_all() {
         assert_eq!(PipelineVariant::all().len(), 3);
-        assert!(PipelineVariant::Regeneration.label().contains("Regeneration"));
-        assert!(PipelineVariant::Synchronizer.label().contains("Synchronizer"));
-        assert!(PipelineVariant::NoManipulation.label().contains("No Manipulation"));
+        assert!(PipelineVariant::Regeneration
+            .label()
+            .contains("Regeneration"));
+        assert!(PipelineVariant::Synchronizer
+            .label()
+            .contains("Synchronizer"));
+        assert!(PipelineVariant::NoManipulation
+            .label()
+            .contains("No Manipulation"));
     }
 
     #[test]
     fn degenerate_configs_rejected() {
         let img = GrayImage::filled(4, 4, 0.5);
-        let bad = PipelineConfig { tile_size: 0, ..PipelineConfig::quick() };
+        let bad = PipelineConfig {
+            tile_size: 0,
+            ..PipelineConfig::quick()
+        };
         assert!(run_sc_pipeline(&img, PipelineVariant::NoManipulation, &bad).is_err());
-        let bad = PipelineConfig { stream_length: 0, ..PipelineConfig::quick() };
+        let bad = PipelineConfig {
+            stream_length: 0,
+            ..PipelineConfig::quick()
+        };
         assert!(run_sc_pipeline(&img, PipelineVariant::Synchronizer, &bad).is_err());
     }
 
@@ -302,10 +325,17 @@ mod tests {
         // the error is several times larger; regeneration and synchronizers
         // are comparable to each other.
         let img = test_image();
-        let config = PipelineConfig { stream_length: 128, ..PipelineConfig::quick() };
+        let config = PipelineConfig {
+            stream_length: 128,
+            ..PipelineConfig::quick()
+        };
         let results = compare_variants(&img, &config).unwrap();
         let err = |v: PipelineVariant| {
-            results.iter().find(|r| r.variant == v).expect("variant present").mean_abs_error
+            results
+                .iter()
+                .find(|r| r.variant == v)
+                .expect("variant present")
+                .mean_abs_error
         };
         let none = err(PipelineVariant::NoManipulation);
         let regen = err(PipelineVariant::Regeneration);
@@ -322,7 +352,10 @@ mod tests {
             (regen - sync).abs() < 0.05,
             "regeneration ({regen:.3}) and synchronizer ({sync:.3}) should be comparable"
         );
-        assert!(sync < 0.08, "synchronizer variant error should be small, got {sync:.3}");
+        assert!(
+            sync < 0.08,
+            "synchronizer variant error should be small, got {sync:.3}"
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl CounterSource {
     pub fn with_phase(modulus: u64, phase: u64) -> Self {
         assert!(modulus > 0, "counter modulus must be non-zero");
         let phase = phase % modulus;
-        CounterSource { modulus, phase, state: phase }
+        CounterSource {
+            modulus,
+            phase,
+            state: phase,
+        }
     }
 
     /// The counter modulus.

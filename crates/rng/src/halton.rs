@@ -38,7 +38,11 @@ impl Halton {
     #[must_use]
     pub fn new(base: u32) -> Self {
         assert!(base >= 2, "halton base must be at least 2, got {base}");
-        Halton { base, start_index: 1, index: 1 }
+        Halton {
+            base,
+            start_index: 1,
+            index: 1,
+        }
     }
 
     /// Creates a Halton sequence starting at index `1 + offset`.
@@ -49,7 +53,11 @@ impl Halton {
     #[must_use]
     pub fn with_offset(base: u32, offset: u64) -> Self {
         assert!(base >= 2, "halton base must be at least 2, got {base}");
-        Halton { base, start_index: 1 + offset, index: 1 + offset }
+        Halton {
+            base,
+            start_index: 1 + offset,
+            index: 1 + offset,
+        }
     }
 
     /// The sequence base.
@@ -117,7 +125,14 @@ mod tests {
     fn base3_first_values() {
         let mut h = Halton::new(3);
         let got: Vec<f64> = (0..6).map(|_| h.next_unit()).collect();
-        let expected = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0, 7.0 / 9.0, 2.0 / 9.0];
+        let expected = [
+            1.0 / 3.0,
+            2.0 / 3.0,
+            1.0 / 9.0,
+            4.0 / 9.0,
+            7.0 / 9.0,
+            2.0 / 9.0,
+        ];
         for (g, e) in got.iter().zip(expected.iter()) {
             assert!((g - e).abs() < 1e-12, "{g} vs {e}");
         }

@@ -102,7 +102,13 @@ impl Lfsr {
         if seed == 0 {
             seed = 1;
         }
-        Lfsr { width, taps, seed, state: seed, structure }
+        Lfsr {
+            width,
+            taps,
+            seed,
+            state: seed,
+            structure,
+        }
     }
 
     /// The register width in bits.
@@ -178,7 +184,10 @@ mod tests {
             let period = lfsr.period();
             let mut seen = HashSet::new();
             for _ in 0..period {
-                assert!(seen.insert(lfsr.step()), "state repeated early at width {width}");
+                assert!(
+                    seen.insert(lfsr.step()),
+                    "state repeated early at width {width}"
+                );
             }
             // After a full period the register returns to its seed state.
             assert_eq!(lfsr.state(), 1);
@@ -194,7 +203,10 @@ mod tests {
             let period = lfsr.period();
             let mut seen = HashSet::new();
             for _ in 0..period {
-                assert!(seen.insert(lfsr.step()), "state repeated early at width {width}");
+                assert!(
+                    seen.insert(lfsr.step()),
+                    "state repeated early at width {width}"
+                );
             }
             assert_eq!(seen.len() as u64, period);
         }

@@ -19,13 +19,13 @@ const BITS: u32 = 32;
 /// dimensions 2..=8 (dimension 1 needs none). Each entry is
 /// `(degree, coefficient bits a, [m_1, m_2, ...])` following Joe & Kuo.
 const DIMENSION_DATA: &[(u32, u32, &[u32])] = &[
-    (1, 0, &[1]),                  // dim 2: x + 1
-    (2, 1, &[1, 3]),               // dim 3: x^2 + x + 1
-    (3, 1, &[1, 3, 1]),            // dim 4: x^3 + x + 1
-    (3, 2, &[1, 1, 1]),            // dim 5: x^3 + x^2 + 1
-    (4, 1, &[1, 1, 3, 3]),         // dim 6: x^4 + x + 1
-    (4, 4, &[1, 3, 5, 13]),        // dim 7: x^4 + x^3 + 1
-    (5, 2, &[1, 1, 5, 5, 17]),     // dim 8: x^5 + x^2 + 1
+    (1, 0, &[1]),              // dim 2: x + 1
+    (2, 1, &[1, 3]),           // dim 3: x^2 + x + 1
+    (3, 1, &[1, 3, 1]),        // dim 4: x^3 + x + 1
+    (3, 2, &[1, 1, 1]),        // dim 5: x^3 + x^2 + 1
+    (4, 1, &[1, 1, 3, 3]),     // dim 6: x^4 + x + 1
+    (4, 4, &[1, 3, 5, 13]),    // dim 7: x^4 + x^3 + 1
+    (5, 2, &[1, 1, 5, 5, 17]), // dim 8: x^5 + x^2 + 1
 ];
 
 /// A one-dimensional slice of the Sobol sequence.
@@ -61,7 +61,12 @@ impl Sobol {
             "sobol dimension {dimension} outside supported range 1..=8"
         );
         let directions = Self::direction_numbers(dimension);
-        Sobol { dimension, directions, state: 0, index: 0 }
+        Sobol {
+            dimension,
+            directions,
+            state: 0,
+            index: 0,
+        }
     }
 
     /// The dimension index of this source.
@@ -144,7 +149,10 @@ mod tests {
             let scaled = v * 16.0;
             assert!((scaled - scaled.round()).abs() < 1e-9 || *v < 1.0);
         }
-        let set: HashSet<u64> = first.iter().map(|v| (v * (1u64 << 32) as f64) as u64).collect();
+        let set: HashSet<u64> = first
+            .iter()
+            .map(|v| (v * (1u64 << 32) as f64) as u64)
+            .collect();
         assert_eq!(set.len(), first.len());
     }
 
@@ -208,7 +216,10 @@ mod tests {
             let mut s = Sobol::new(dim);
             let mut seen = HashSet::new();
             for _ in 0..256 {
-                assert!(seen.insert(s.next_raw()), "dimension {dim} repeated a value early");
+                assert!(
+                    seen.insert(s.next_raw()),
+                    "dimension {dim} repeated a value early"
+                );
             }
         }
     }

@@ -33,7 +33,10 @@ impl VanDerCorput {
     /// that generated stochastic numbers are not systematically biased low).
     #[must_use]
     pub fn new() -> Self {
-        VanDerCorput { start_index: 1, index: 1 }
+        VanDerCorput {
+            start_index: 1,
+            index: 1,
+        }
     }
 
     /// Creates the sequence starting at index `1 + offset`; phase-shifted
@@ -41,7 +44,10 @@ impl VanDerCorput {
     /// "different VDC" sources.
     #[must_use]
     pub fn with_offset(offset: u64) -> Self {
-        VanDerCorput { start_index: 1 + offset, index: 1 + offset }
+        VanDerCorput {
+            start_index: 1 + offset,
+            index: 1 + offset,
+        }
     }
 
     /// The radical inverse of `i` in base 2.
@@ -95,7 +101,10 @@ mod tests {
     fn first_values_match_definition() {
         let mut vdc = VanDerCorput::new();
         let got: Vec<f64> = (0..8).map(|_| vdc.next_unit()).collect();
-        assert_eq!(got, vec![0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875, 0.0625]);
+        assert_eq!(
+            got,
+            vec![0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875, 0.0625]
+        );
     }
 
     #[test]

@@ -158,7 +158,9 @@ impl Circuit {
                 expected: component.num_inputs(),
             });
         }
-        let outputs: Vec<NetId> = (0..component.num_outputs()).map(|_| self.add_net()).collect();
+        let outputs: Vec<NetId> = (0..component.num_outputs())
+            .map(|_| self.add_net())
+            .collect();
         self.instances.push(Instance {
             component: Box::new(component),
             inputs: inputs.to_vec(),
@@ -255,7 +257,10 @@ impl Circuit {
             match cycles {
                 None => cycles = Some(stream.len()),
                 Some(c) if c != stream.len() => {
-                    return Err(SimError::StimulusLengthMismatch { expected: c, found: stream.len() })
+                    return Err(SimError::StimulusLengthMismatch {
+                        expected: c,
+                        found: stream.len(),
+                    })
                 }
                 _ => {}
             }
@@ -287,7 +292,11 @@ impl Circuit {
                 nets[net.index()] = by_name[name.as_str()].bit(cycle);
             }
             // Non-transparent components drive their outputs from state first.
-            for inst in self.instances.iter_mut().filter(|i| !i.component.is_transparent()) {
+            for inst in self
+                .instances
+                .iter_mut()
+                .filter(|i| !i.component.is_transparent())
+            {
                 scratch_out.clear();
                 scratch_out.resize(inst.outputs.len(), false);
                 inst.component.evaluate(&[], &mut scratch_out);
@@ -316,12 +325,18 @@ impl Circuit {
             // Record outputs, activity, and trace.
             for (name, net) in &self.primary_outputs {
                 if nets[net.index()] {
-                    outputs.get_mut(name).expect("output registered").set(cycle, true);
+                    outputs
+                        .get_mut(name)
+                        .expect("output registered")
+                        .set(cycle, true);
                 }
             }
             if cycle > 0 {
-                self.toggle_count +=
-                    nets.iter().zip(prev_nets.iter()).filter(|(a, b)| a != b).count() as u64;
+                self.toggle_count += nets
+                    .iter()
+                    .zip(prev_nets.iter())
+                    .filter(|(a, b)| a != b)
+                    .count() as u64;
             }
             prev_nets.copy_from_slice(&nets);
             if let Some(t) = trace.as_mut() {
@@ -366,8 +381,11 @@ impl Circuit {
                 }
             }
         }
-        let mut ready: Vec<usize> =
-            transparent.iter().copied().filter(|i| in_degree[i] == 0).collect();
+        let mut ready: Vec<usize> = transparent
+            .iter()
+            .copied()
+            .filter(|i| in_degree[i] == 0)
+            .collect();
         ready.sort_unstable();
         let mut order = Vec::with_capacity(transparent.len());
         while let Some(idx) = ready.pop() {
@@ -406,7 +424,9 @@ mod tests {
         let y = c.add_input("y");
         let z = c.add_component(AndGate::new(), &[x, y])[0];
         c.mark_output("z", z);
-        let out = c.run(&[("x", bs("01010101")), ("y", bs("00111111"))]).unwrap();
+        let out = c
+            .run(&[("x", bs("01010101")), ("y", bs("00111111"))])
+            .unwrap();
         assert_eq!(out["z"], bs("00010101"));
         assert_eq!(out["z"].value(), 0.375);
         assert_eq!(c.component_count(), 1);
@@ -423,7 +443,11 @@ mod tests {
         let z = c.add_component(Mux2::new(), &[y, x, r])[0];
         c.mark_output("z", z);
         let out = c
-            .run(&[("x", bs("01110111")), ("y", bs("11000000")), ("r", bs("10100110"))])
+            .run(&[
+                ("x", bs("01110111")),
+                ("y", bs("11000000")),
+                ("r", bs("10100110")),
+            ])
             .unwrap();
         assert_eq!(out["z"].value(), 0.5);
     }
@@ -503,7 +527,8 @@ mod tests {
             SimError::MissingInput("y".to_string())
         );
         assert!(matches!(
-            c.run(&[("x", bs("01")), ("y", bs("01")), ("w", bs("01"))]).unwrap_err(),
+            c.run(&[("x", bs("01")), ("y", bs("01")), ("w", bs("01"))])
+                .unwrap_err(),
             SimError::UnknownInput(_)
         ));
         assert!(matches!(
@@ -517,7 +542,14 @@ mod tests {
         let mut c = Circuit::new();
         let x = c.add_input("x");
         let err = c.try_add_component(AndGate::new(), &[x]).unwrap_err();
-        assert!(matches!(err, SimError::PortCountMismatch { expected: 2, supplied: 1, .. }));
+        assert!(matches!(
+            err,
+            SimError::PortCountMismatch {
+                expected: 2,
+                supplied: 1,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("and2"));
     }
 

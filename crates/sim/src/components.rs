@@ -120,7 +120,10 @@ impl DFlipFlop {
     /// Creates a flip-flop with an explicit power-on value.
     #[must_use]
     pub fn with_initial(initial: bool) -> Self {
-        DFlipFlop { state: initial, initial }
+        DFlipFlop {
+            state: initial,
+            initial,
+        }
     }
 
     /// Current stored value.
@@ -189,7 +192,12 @@ impl<F: FnMut(&[bool]) -> Vec<bool> + Send> StreamFn<F> {
     /// length differs from `outputs`.
     #[must_use]
     pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, f: F) -> Self {
-        StreamFn { name: name.into(), inputs, outputs, f }
+        StreamFn {
+            name: name.into(),
+            inputs,
+            outputs,
+            f,
+        }
     }
 }
 
@@ -271,15 +279,15 @@ mod tests {
             assert_eq!(eval1(&mut NandGate::new(), &[a, b]), !(a && b));
             assert_eq!(eval1(&mut NorGate::new(), &[a, b]), !(a || b));
         }
-        assert_eq!(eval1(&mut NotGate::new(), &[true]), false);
-        assert_eq!(eval1(&mut NotGate::new(), &[false]), true);
+        assert!(!eval1(&mut NotGate::new(), &[true]));
+        assert!(eval1(&mut NotGate::new(), &[false]));
     }
 
     #[test]
     fn mux_selects() {
         let mut m = Mux2::new();
-        assert_eq!(eval1(&mut m, &[true, false, false]), true);
-        assert_eq!(eval1(&mut m, &[true, false, true]), false);
+        assert!(eval1(&mut m, &[true, false, false]));
+        assert!(!eval1(&mut m, &[true, false, true]));
         assert_eq!(m.num_inputs(), 3);
     }
 

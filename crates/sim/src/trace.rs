@@ -17,7 +17,9 @@ impl Trace {
     /// Creates an empty trace for `net_count` nets.
     #[must_use]
     pub fn new(net_count: usize) -> Self {
-        Trace { nets: vec![Bitstream::new(); net_count] }
+        Trace {
+            nets: vec![Bitstream::new(); net_count],
+        }
     }
 
     /// Appends one cycle of net values (indexed by net id).
@@ -55,11 +57,7 @@ impl Trace {
     pub fn toggle_count(&self) -> u64 {
         self.nets
             .iter()
-            .map(|n| {
-                (1..n.len())
-                    .filter(|&i| n.bit(i) != n.bit(i - 1))
-                    .count() as u64
-            })
+            .map(|n| (1..n.len()).filter(|&i| n.bit(i) != n.bit(i - 1)).count() as u64)
             .sum()
     }
 

@@ -9,29 +9,50 @@ use sc_core::analysis::{
 };
 use sc_repro::prelude::*;
 
+type ManipulatorRow = (
+    &'static str,
+    Box<dyn Fn() -> Box<dyn CorrelationManipulator>>,
+);
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SweepConfig { stream_length: 256, value_steps: 16 };
-    println!("Correlation manipulation sweep (N = {}, averaged over a value grid)\n", config.stream_length);
+    let config = SweepConfig {
+        stream_length: 256,
+        value_steps: 16,
+    };
+    println!(
+        "Correlation manipulation sweep (N = {}, averaged over a value grid)\n",
+        config.stream_length
+    );
     println!(
         "{:<22} {:<16} {:>10} {:>10} {:>10} {:>10}",
         "design", "sources", "in SCC", "out SCC", "X' bias", "Y' bias"
     );
 
     // Circuits that raise or lower correlation, fed initially-uncorrelated pairs.
-    let uncorrelated_rows: Vec<(&str, Box<dyn Fn() -> Box<dyn CorrelationManipulator>>)> = vec![
-        ("synchronizer D=1", Box::new(|| Box::new(Synchronizer::new(1)))),
-        ("synchronizer D=4", Box::new(|| Box::new(Synchronizer::new(4)))),
-        ("desynchronizer D=1", Box::new(|| Box::new(Desynchronizer::new(1)))),
-        ("2x synchronizer chain", Box::new(|| {
-            Box::new(ManipulatorChain::repeated(2, |_| Synchronizer::new(1)))
-        })),
+    let uncorrelated_rows: Vec<ManipulatorRow> = vec![
+        (
+            "synchronizer D=1",
+            Box::new(|| Box::new(Synchronizer::new(1))),
+        ),
+        (
+            "synchronizer D=4",
+            Box::new(|| Box::new(Synchronizer::new(4))),
+        ),
+        (
+            "desynchronizer D=1",
+            Box::new(|| Box::new(Desynchronizer::new(1))),
+        ),
+        (
+            "2x synchronizer chain",
+            Box::new(|| Box::new(ManipulatorChain::repeated(2, |_| Synchronizer::new(1)))),
+        ),
     ];
     for (name, make) in &uncorrelated_rows {
         for (sx, sy) in [
             (RngKind::VanDerCorput, RngKind::Halton),
             (RngKind::Lfsr, RngKind::VanDerCorput),
         ] {
-            let eval = evaluate_manipulator(|| make(), sx, sy, config)?;
+            let eval = evaluate_manipulator(make, sx, sy, config)?;
             println!(
                 "{:<22} {:<16} {:>10.3} {:>10.3} {:>10.4} {:>10.4}",
                 name,
@@ -45,15 +66,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Circuits that remove correlation, fed shared-source (SCC ≈ +1) pairs.
-    let correlated_rows: Vec<(&str, Box<dyn Fn() -> Box<dyn CorrelationManipulator>>)> = vec![
-        ("decorrelator D=4", Box::new(|| Box::new(Decorrelator::new(4)))),
-        ("decorrelator D=16", Box::new(|| Box::new(Decorrelator::new(16)))),
+    let correlated_rows: Vec<ManipulatorRow> = vec![
+        (
+            "decorrelator D=4",
+            Box::new(|| Box::new(Decorrelator::new(4))),
+        ),
+        (
+            "decorrelator D=16",
+            Box::new(|| Box::new(Decorrelator::new(16))),
+        ),
         ("isolator k=1", Box::new(|| Box::new(Isolator::new(1)))),
-        ("tracking forecast mem", Box::new(|| Box::new(TrackingForecastMemory::new(3)))),
+        (
+            "tracking forecast mem",
+            Box::new(|| Box::new(TrackingForecastMemory::new(3))),
+        ),
     ];
     for (name, make) in &correlated_rows {
         for source in [RngKind::Lfsr, RngKind::VanDerCorput, RngKind::Halton] {
-            let eval = evaluate_manipulator_on_correlated_inputs(|| make(), source, config)?;
+            let eval = evaluate_manipulator_on_correlated_inputs(make, source, config)?;
             println!(
                 "{:<22} {:<16} {:>10.3} {:>10.3} {:>10.4} {:>10.4}",
                 name,

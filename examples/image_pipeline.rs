@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let reference = run_float_pipeline(&image);
-    println!("floating-point reference edge energy (mean |gradient|): {:.4}\n", reference.mean());
+    println!(
+        "floating-point reference edge energy (mean |gradient|): {:.4}\n",
+        reference.mean()
+    );
 
     let quality = compare_variants(&image, &config)?;
     let costs = cost_all_variants(&config, 100, 100);
@@ -43,8 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "variant", "abs error", "area (um2)", "energy (nJ/frame)", "manip. energy (nJ/frame)"
     );
     for variant in PipelineVariant::all() {
-        let q = quality.iter().find(|q| q.variant == variant).expect("quality row");
-        let c = costs.iter().find(|c| c.variant == variant).expect("cost row");
+        let q = quality
+            .iter()
+            .find(|q| q.variant == variant)
+            .expect("quality row");
+        let c = costs
+            .iter()
+            .find(|c| c.variant == variant)
+            .expect("cost row");
         println!(
             "{:<22} {:>12.4} {:>14.0} {:>18.0} {:>22.0}",
             variant.label(),
@@ -55,8 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let regen = costs.iter().find(|c| c.variant == PipelineVariant::Regeneration).expect("regen");
-    let sync = costs.iter().find(|c| c.variant == PipelineVariant::Synchronizer).expect("sync");
+    let regen = costs
+        .iter()
+        .find(|c| c.variant == PipelineVariant::Regeneration)
+        .expect("regen");
+    let sync = costs
+        .iter()
+        .find(|c| c.variant == PipelineVariant::Synchronizer)
+        .expect("sync");
     println!(
         "\nsynchronizer variant total-energy saving vs regeneration: {:.0}% (paper: 24%)",
         100.0 * (1.0 - sync.energy_per_frame_nj / regen.energy_per_frame_nj)

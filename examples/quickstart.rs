@@ -16,11 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gen_y = DigitalToStochastic::new(Halton::new(3));
     let x = gen_x.generate(Probability::new(0.5)?, n);
     let y = gen_y.generate(Probability::new(0.75)?, n);
-    println!("pX = {:.4}, pY = {:.4}, SCC(X, Y) = {:+.3}", x.value(), y.value(), scc(&x, &y));
+    println!(
+        "pX = {:.4}, pY = {:.4}, SCC(X, Y) = {:+.3}",
+        x.value(),
+        y.value(),
+        scc(&x, &y)
+    );
 
     // 2. With uncorrelated inputs an AND gate multiplies.
     let product = and_multiply(&x, &y)?;
-    println!("AND on uncorrelated inputs  : {:.4} (expected pX*pY = 0.375)", product.value());
+    println!(
+        "AND on uncorrelated inputs  : {:.4} (expected pX*pY = 0.375)",
+        product.value()
+    );
 
     // 3. Synchronize the pair: the same AND gate now computes the minimum.
     let mut sync = Synchronizer::new(1);
@@ -31,11 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         xs.value(),
         ys.value()
     );
-    println!("AND on synchronized inputs  : {:.4} (expected min = 0.5)", xs.and(&ys).value());
+    println!(
+        "AND on synchronized inputs  : {:.4} (expected min = 0.5)",
+        xs.and(&ys).value()
+    );
 
     // 4. The packaged improved operators do the synchronization internally.
-    println!("sync_max(X, Y)              : {:.4} (expected max = 0.75)", sync_max(&x, &y, 1)?.value());
-    println!("sync_min(X, Y)              : {:.4} (expected min = 0.5)", sync_min(&x, &y, 1)?.value());
+    println!(
+        "sync_max(X, Y)              : {:.4} (expected max = 0.75)",
+        sync_max(&x, &y, 1)?.value()
+    );
+    println!(
+        "sync_min(X, Y)              : {:.4} (expected min = 0.5)",
+        sync_min(&x, &y, 1)?.value()
+    );
     println!(
         "desync_saturating_add(X, Y) : {:.4} (expected min(1, pX+pY) = 1.0)",
         desync_saturating_add(&x, &y, 1)?.value()
@@ -45,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    maximally correlated, which breaks multiplication — the decorrelator
     //    repairs it in the stochastic domain.
     let mut shared = DigitalToStochastic::new(VanDerCorput::new());
-    let (cx, cy) = shared.generate_correlated_pair(Probability::new(0.5)?, Probability::new(0.75)?, n);
+    let (cx, cy) =
+        shared.generate_correlated_pair(Probability::new(0.5)?, Probability::new(0.75)?, n);
     println!(
         "\ncorrelated pair             : SCC = {:+.3}, AND = {:.4} (min, not the product)",
         scc(&cx, &cy),

@@ -73,7 +73,10 @@ fn synchronizer_repairs_a_two_stage_computation() {
 
     // Stage 2 without manipulation: wrong.
     let wrong = xor_subtract(&s1, &s2).expect("equal lengths");
-    assert!((wrong.value() - expected).abs() > 0.1, "uncorrelated XOR should be off");
+    assert!(
+        (wrong.value() - expected).abs() > 0.1,
+        "uncorrelated XOR should be off"
+    );
 
     // Stage 2 with a synchronizer: close to the true |difference|.
     let mut sync = Synchronizer::new(2);
@@ -91,19 +94,31 @@ fn regeneration_and_decorrelator_agree_on_the_goal() {
     // Both regeneration (expensive) and the decorrelator (cheap) should make a
     // correlated pair usable for multiplication again.
     let mut shared = DigitalToStochastic::new(VanDerCorput::new());
-    let (x, y) =
-        shared.generate_correlated_pair(Probability::saturating(0.5), Probability::saturating(0.5), N);
-    assert!((x.and(&y).value() - 0.5).abs() < 0.02, "correlated AND computes min");
+    let (x, y) = shared.generate_correlated_pair(
+        Probability::saturating(0.5),
+        Probability::saturating(0.5),
+        N,
+    );
+    assert!(
+        (x.and(&y).value() - 0.5).abs() < 0.02,
+        "correlated AND computes min"
+    );
 
     let mut deco = Decorrelator::new(8);
     let (dx, dy) = deco.process(&x, &y).expect("equal lengths");
-    assert!((dx.and(&dy).value() - 0.25).abs() < 0.07, "decorrelated AND computes the product");
+    assert!(
+        (dx.and(&dy).value() - 0.25).abs() < 0.07,
+        "decorrelated AND computes the product"
+    );
 
     let mut rx = Regenerator::new(VanDerCorput::with_offset(1234));
     let mut ry = Regenerator::new(Halton::new(3));
     let gx = rx.regenerate(&x);
     let gy = ry.regenerate(&y);
-    assert!((gx.and(&gy).value() - 0.25).abs() < 0.05, "regenerated AND computes the product");
+    assert!(
+        (gx.and(&gy).value() - 0.25).abs() < 0.05,
+        "regenerated AND computes the product"
+    );
 }
 
 #[test]
@@ -129,7 +144,8 @@ fn cost_model_tracks_every_design_used_in_the_flow() {
 fn apc_preserves_precision_where_mux_adder_quantizes() {
     let (x, y) = uncorrelated_pair(1.0 / 8.0, 2.0 / 8.0);
     let mut apc = sc_convert::AccumulativeParallelCounter::new(2);
-    apc.accumulate_streams(&[x.clone(), y.clone()]).expect("equal lengths");
+    apc.accumulate_streams(&[x.clone(), y.clone()])
+        .expect("equal lengths");
     assert!((apc.sum_of_values() - 0.375).abs() < 0.02);
 
     let mut adder = sc_arith::add::MuxAdder::new(Lfsr::new(16, 0x7331));

@@ -34,7 +34,11 @@ fn quick_config() -> PipelineConfig {
 fn quality_ordering_matches_table4() {
     let results = compare_variants(&scene(), &quick_config()).expect("pipeline runs");
     let err = |v: PipelineVariant| {
-        results.iter().find(|r| r.variant == v).expect("variant present").mean_abs_error
+        results
+            .iter()
+            .find(|r| r.variant == v)
+            .expect("variant present")
+            .mean_abs_error
     };
     let none = err(PipelineVariant::NoManipulation);
     let regen = err(PipelineVariant::Regeneration);
@@ -43,7 +47,10 @@ fn quality_ordering_matches_table4() {
     // regeneration and synchronizer within noise of each other.
     assert!(none > 2.5 * regen, "none {none:.3} vs regen {regen:.3}");
     assert!(none > 2.5 * sync, "none {none:.3} vs sync {sync:.3}");
-    assert!((regen - sync).abs() < 0.04, "regen {regen:.3} vs sync {sync:.3}");
+    assert!(
+        (regen - sync).abs() < 0.04,
+        "regen {regen:.3} vs sync {sync:.3}"
+    );
     assert!(sync < 0.08);
 }
 
@@ -53,7 +60,11 @@ fn quality_ordering_holds_on_different_content() {
     let image = GrayImage::noise(12, 12, 7);
     let results = compare_variants(&image, &quick_config()).expect("pipeline runs");
     let err = |v: PipelineVariant| {
-        results.iter().find(|r| r.variant == v).expect("variant present").mean_abs_error
+        results
+            .iter()
+            .find(|r| r.variant == v)
+            .expect("variant present")
+            .mean_abs_error
     };
     assert!(err(PipelineVariant::NoManipulation) > 1.5 * err(PipelineVariant::Synchronizer));
     assert!(err(PipelineVariant::NoManipulation) > 1.5 * err(PipelineVariant::Regeneration));

@@ -11,7 +11,10 @@ use sc_repro::prelude::*;
 const N: usize = 256;
 
 fn sweep_config() -> SweepConfig {
-    SweepConfig { stream_length: N, value_steps: 12 }
+    SweepConfig {
+        stream_length: N,
+        value_steps: 12,
+    }
 }
 
 #[test]
@@ -44,7 +47,10 @@ fn table2_synchronizer_rows_shape() {
     assert!(row1.input_scc.abs() < 0.25);
     assert!(row1.output_scc > 0.9);
     assert!(row1.bias_x.abs() < 0.01 && row1.bias_y.abs() < 0.01);
-    assert!(row1.bias_x <= 1e-9 && row1.bias_y <= 1e-9, "bias is never positive");
+    assert!(
+        row1.bias_x <= 1e-9 && row1.bias_y <= 1e-9,
+        "bias is never positive"
+    );
 
     // LFSR / VDC row: weaker but still strong (0.903 in the paper).
     let row2 = evaluate_manipulator(
@@ -68,7 +74,11 @@ fn table2_desynchronizer_rows_shape() {
         config,
     )
     .expect("sweep");
-    assert!(row.output_scc < -0.85, "paper reports -0.981, got {}", row.output_scc);
+    assert!(
+        row.output_scc < -0.85,
+        "paper reports -0.981, got {}",
+        row.output_scc
+    );
     assert!(row.bias_x.abs() < 0.01 && row.bias_y.abs() < 0.01);
 
     // Already positively correlated inputs are still driven negative.
@@ -79,7 +89,11 @@ fn table2_desynchronizer_rows_shape() {
     )
     .expect("sweep");
     assert!(correlated.input_scc > 0.9);
-    assert!(correlated.output_scc < -0.5, "paper reports -0.930, got {}", correlated.output_scc);
+    assert!(
+        correlated.output_scc < -0.5,
+        "paper reports -0.930, got {}",
+        correlated.output_scc
+    );
 }
 
 #[test]
@@ -88,12 +102,9 @@ fn table2_decorrelator_beats_isolator_and_tfm() {
     let mut scc_magnitudes = Vec::new();
     let mut biases = Vec::new();
     for source in [RngKind::Lfsr, RngKind::VanDerCorput, RngKind::Halton] {
-        let deco = evaluate_manipulator_on_correlated_inputs(
-            || Decorrelator::new(4),
-            source,
-            config,
-        )
-        .expect("sweep");
+        let deco =
+            evaluate_manipulator_on_correlated_inputs(|| Decorrelator::new(4), source, config)
+                .expect("sweep");
         let iso = evaluate_manipulator_on_correlated_inputs(|| Isolator::new(1), source, config)
             .expect("sweep");
         let tfm = evaluate_manipulator_on_correlated_inputs(
@@ -103,7 +114,11 @@ fn table2_decorrelator_beats_isolator_and_tfm() {
         )
         .expect("sweep");
         assert!(deco.input_scc > 0.9, "inputs start maximally correlated");
-        assert!(deco.output_scc.abs() < 0.45, "{source}: decorrelator output {}", deco.output_scc);
+        assert!(
+            deco.output_scc.abs() < 0.45,
+            "{source}: decorrelator output {}",
+            deco.output_scc
+        );
         scc_magnitudes.push((deco.output_scc.abs(), iso.output_scc.abs()));
         biases.push((
             deco.bias_x.abs() + deco.bias_y.abs(),
@@ -117,9 +132,13 @@ fn table2_decorrelator_beats_isolator_and_tfm() {
     let (deco_scc, iso_scc) = scc_magnitudes
         .iter()
         .fold((0.0, 0.0), |acc, m| (acc.0 + m.0 / 3.0, acc.1 + m.1 / 3.0));
-    assert!(deco_scc <= iso_scc + 0.05, "decorrelator {deco_scc} vs isolator {iso_scc}");
-    let (deco_bias, tfm_bias) =
-        biases.iter().fold((0.0, 0.0), |acc, m| (acc.0 + m.0 / 3.0, acc.1 + m.1 / 3.0));
+    assert!(
+        deco_scc <= iso_scc + 0.05,
+        "decorrelator {deco_scc} vs isolator {iso_scc}"
+    );
+    let (deco_bias, tfm_bias) = biases
+        .iter()
+        .fold((0.0, 0.0), |acc, m| (acc.0 + m.0 / 3.0, acc.1 + m.1 / 3.0));
     assert!(
         deco_bias * 3.0 < tfm_bias,
         "decorrelator bias {deco_bias} should be far below TFM bias {tfm_bias}"
