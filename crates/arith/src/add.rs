@@ -73,7 +73,7 @@ impl<S: RandomSource> MuxAdder<S> {
     }
 }
 
-/// Correlation-agnostic scaled addition (reference [9] of the paper).
+/// Correlation-agnostic scaled addition (reference \[9\] of the paper).
 ///
 /// A parallel counter accumulates `X(t) + Y(t)` each cycle and emits a 1
 /// whenever two units of weight have accumulated, so the output stream encodes

@@ -1,7 +1,7 @@
 //! SC division.
 //!
 //! Division is implemented with the classic stochastic feedback integrator
-//! (Gaines; refined by Chen & Hayes, ISVLSI 2016 — reference [6] of the
+//! (Gaines; refined by Chen & Hayes, ISVLSI 2016 — reference \[6\] of the
 //! paper): a counter integrates the error between the numerator stream and
 //! the gated output, and the output bit is produced by comparing the counter
 //! against a random value. In steady state the output rate `pZ` satisfies

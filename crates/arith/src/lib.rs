@@ -12,8 +12,8 @@
 //! | [`subtract`] | `\|pX − pY\|` | XOR | positive |
 //! | [`divide`] | `pX / pY` | counter + feedback | positive |
 //! | [`maxmin`] | `max(pX, pY)`, `min(pX, pY)` | OR / AND | positive |
-//! | [`maxmin`] | correlation-agnostic max (SC-DCNN [12]) | counter + mux | agnostic |
-//! | [`add`] | correlation-agnostic add ([9]) | parallel counter | agnostic |
+//! | [`maxmin`] | correlation-agnostic max (SC-DCNN \[12\]) | counter + mux | agnostic |
+//! | [`add`] | correlation-agnostic add (\[9\]) | parallel counter | agnostic |
 //!
 //! The correlation-manipulating circuits that *create* the required
 //! correlations live in the `sc-core` crate; this crate only assumes its

@@ -4,7 +4,7 @@
 //!   are maximally positively correlated; with imperfect correlation the OR
 //!   output overshoots (`pZ ≥ max`) and the AND output undershoots
 //!   (`pZ ≤ min`). These are the cheap baselines of Table III.
-//! * **Correlation-agnostic max/min** (SC-DCNN, reference [12]) — running
+//! * **Correlation-agnostic max/min** (SC-DCNN, reference \[12\]) — running
 //!   counters track how many 1s each input has produced so far and the output
 //!   emits a 1 exactly when the running maximum (respectively minimum) of the
 //!   two counts advances. Accurate regardless of correlation but requires

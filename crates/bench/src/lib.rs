@@ -19,6 +19,12 @@
 //! | `ablation_satadd` | Fig. 5c — saturating adder accuracy sweep |
 //! | `ablation_length` | §II.A — stream length vs. precision sweep |
 //!
+//! Two perf-trajectory binaries record engine evidence as JSON:
+//! `word_parallel_speedup` (`BENCH_word_parallel.json`, bit-serial vs
+//! word-parallel kernels) and `graph_batch_throughput`
+//! (`BENCH_graph_batch.json`, sharded vs single-thread batch execution on
+//! the `sc_graph` engine).
+//!
 //! Criterion throughput benchmarks live in `benches/`.
 //!
 //! This library crate only holds the small shared reporting helpers used by

@@ -13,7 +13,7 @@
 //!   run on the **word-parallel kernel layer**: 64 stream bits per machine
 //!   operation via the packed-word API ([`Bitstream::as_words`],
 //!   [`Bitstream::map_words`], [`Bitstream::zip_with_words`], ...). The
-//!   original one-bit-per-step formulations are retained in [`reference`] as
+//!   original one-bit-per-step formulations are retained in [`reference`](mod@reference) as
 //!   an executable specification,
 //! * [`BitQueue`] — a packed bit FIFO used as the word-parallel delay-line
 //!   primitive by the manipulator kernels in `sc-core`,

@@ -1,6 +1,6 @@
 //! Regeneration: the expensive correlation-reset baseline.
 //!
-//! Regeneration (§II.B, reference [10]) converts a stochastic number back to
+//! Regeneration (§II.B, reference \[10\]) converts a stochastic number back to
 //! the binary domain with an S/D converter and immediately re-encodes it with
 //! a D/S converter driven by a *fresh* random source. The output stream has
 //! the same value but a brand-new bit ordering, so any correlation that had

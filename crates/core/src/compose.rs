@@ -85,6 +85,23 @@ impl ManipulatorChain {
         self.stages.push(Box::new(stage));
     }
 
+    /// Appends an already-boxed manipulator, the dynamic variant of
+    /// [`ManipulatorChain::push`] used by plan compilers (e.g. the `sc_graph`
+    /// fusion pass) that assemble chains from run-time descriptions.
+    ///
+    /// The boxed stage executes through the register-staged
+    /// [`bit_serial_step_word`](crate::kernel::bit_serial_step_word) kernel
+    /// view, so fused processing still makes a single pass per word.
+    pub fn push_boxed(&mut self, stage: Box<dyn CorrelationManipulator>) {
+        self.stages.push(Box::new(stage));
+    }
+
+    /// The names of the stages, in processing order.
+    #[must_use]
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
     /// Number of stages in the chain.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -215,6 +232,23 @@ mod tests {
         assert!(chain.name().contains("synchronizer"));
         assert!(chain.name().contains("decorrelator"));
         assert!(format!("{chain:?}").contains("synchronizer"));
+    }
+
+    #[test]
+    fn push_boxed_matches_push() {
+        let (x, y) = uncorrelated_pair(0.4, 0.6);
+        let mut typed = ManipulatorChain::new();
+        typed.push(Synchronizer::new(1));
+        typed.push(Decorrelator::new(4));
+        let mut boxed = ManipulatorChain::new();
+        boxed.push_boxed(Box::new(Synchronizer::new(1)));
+        boxed.push_boxed(Box::new(Decorrelator::new(4)));
+        assert_eq!(
+            typed.process(&x, &y).unwrap(),
+            boxed.process(&x, &y).unwrap()
+        );
+        assert_eq!(boxed.stage_names().len(), 2);
+        assert!(boxed.stage_names()[0].contains("synchronizer"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Isolators: the fixed-delay decorrelation baseline of Ting & Hayes [10].
+//! Isolators: the fixed-delay decorrelation baseline of Ting & Hayes \[10\].
 //!
 //! An isolator is simply a D flip-flop inserted into one operand path, so one
 //! stream is delayed by a fixed number of cycles relative to the other. For

@@ -11,8 +11,8 @@
 //! | [`Synchronizer`] | drives SCC toward **+1** (pairs up 1s) | Fig. 3a |
 //! | [`Desynchronizer`] | drives SCC toward **−1** (unpairs 1s) | Fig. 3b |
 //! | [`Decorrelator`] | drives SCC toward **0** (scrambles bit order) | Fig. 4 |
-//! | [`Isolator`] | baseline: fixed delay of one operand | Ting & Hayes [10] |
-//! | [`TrackingForecastMemory`] | baseline: probability-tracking re-randomizer | Tehrani et al. [11] |
+//! | [`Isolator`] | baseline: fixed delay of one operand | Ting & Hayes \[10\] |
+//! | [`TrackingForecastMemory`] | baseline: probability-tracking re-randomizer | Tehrani et al. \[11\] |
 //!
 //! On top of the manipulators the crate provides the paper's improved SC
 //! operators (Fig. 5): [`ops::sync_max`], [`ops::sync_min`] and

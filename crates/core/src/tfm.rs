@@ -1,5 +1,5 @@
 //! Tracking forecast memories (TFMs): the re-randomizing baseline of
-//! Tehrani et al. [11], [14].
+//! Tehrani et al. \[11\], \[14\].
 //!
 //! A TFM tracks the running value of a stochastic number with an exponential
 //! moving average `P ← P + β(X − P)` held in a small fixed-point register, and

@@ -1,0 +1,808 @@
+//! The graph compiler: validation, correlation planning, fusion, scheduling.
+//!
+//! Compilation proceeds in four passes:
+//!
+//! 1. **Validation** — wires must reference existing nodes/ports, arities
+//!    must match, sink names must be unique, and the graph must be acyclic
+//!    (Kahn topological sort; only [`crate::Graph::rewire`] can introduce a
+//!    cycle).
+//! 2. **Correlation planning** — every binary operator declares the SCC class
+//!    its inputs must have (paper Fig. 2). The planner derives the class of
+//!    each input pair *structurally*: streams from equal source specs are
+//!    positively correlated (shared-RNG, §II.B), streams from different specs
+//!    are uncorrelated, and a manipulator pins its output pair to the class it
+//!    establishes (+1 synchronizer / −1 desynchronizer / 0 decorrelator,
+//!    §III). Where a precondition is not met and
+//!    [`PlannerOptions::auto_repair`] is on, the pass inserts the
+//!    establishing manipulator in front of the operator — the paper's core
+//!    insight, applied automatically.
+//! 3. **Fusion** — maximal linear runs of manipulator nodes (each feeding
+//!    both outputs exclusively to the next) collapse into one
+//!    [`sc_core::ManipulatorChain`] step, so a run of `k` circuits makes a
+//!    single register-staged pass per 64-bit word instead of materialising
+//!    `k − 1` intermediate stream pairs.
+//! 4. **Scheduling** — nodes are laid out in topological order as a flat
+//!    step list over dense stream slots, ready for the batch executor.
+
+use crate::graph::{Graph, GraphError};
+use crate::node::{BinaryOp, ManipulatorKind, Node, NodeOp, SccClass, Wire};
+use sc_rng::SourceSpec;
+use std::collections::HashMap;
+
+/// Knobs of the correlation-planning pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannerOptions {
+    /// Insert correlation-establishing manipulators where a binary operator's
+    /// SCC precondition is not structurally guaranteed (default `true`).
+    /// When `false`, unmet preconditions are only recorded in the
+    /// [`CompileReport`].
+    pub auto_repair: bool,
+    /// Save depth of auto-inserted synchronizers.
+    pub synchronizer_depth: u32,
+    /// Save depth of auto-inserted desynchronizers.
+    pub desynchronizer_depth: u32,
+    /// Shuffle-buffer depth of auto-inserted decorrelators.
+    pub decorrelator_depth: usize,
+    /// Fuse linear manipulator runs into single chain steps (default `true`).
+    pub fuse: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            auto_repair: true,
+            synchronizer_depth: 1,
+            desynchronizer_depth: 1,
+            decorrelator_depth: 4,
+            fuse: true,
+        }
+    }
+}
+
+impl PlannerOptions {
+    /// Options with auto-repair disabled (preconditions only reported).
+    #[must_use]
+    pub fn no_repair() -> Self {
+        PlannerOptions {
+            auto_repair: false,
+            ..PlannerOptions::default()
+        }
+    }
+}
+
+/// What the planner did to a graph during compilation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileReport {
+    /// One entry per auto-inserted repair manipulator.
+    pub inserted: Vec<String>,
+    /// One entry per binary operator whose precondition is not structurally
+    /// guaranteed and was *not* repaired (auto-repair off).
+    pub unsatisfied: Vec<String>,
+    /// Number of fused manipulator runs of length ≥ 2.
+    pub fused_runs: usize,
+}
+
+/// One executable step of a compiled plan. Slot indices address the dense
+/// per-execution stream environment.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Step {
+    Input {
+        slot: usize,
+        dst: usize,
+    },
+    Generate {
+        slot: usize,
+        source: SourceSpec,
+        skip: u64,
+        dst: usize,
+    },
+    Constant {
+        probability: f64,
+        source: SourceSpec,
+        skip: u64,
+        dst: usize,
+    },
+    Manipulate {
+        kinds: Vec<ManipulatorKind>,
+        x: usize,
+        y: usize,
+        dst_x: usize,
+        dst_y: usize,
+    },
+    Regenerate {
+        source: SourceSpec,
+        skip: u64,
+        src: usize,
+        dst: usize,
+    },
+    Not {
+        src: usize,
+        dst: usize,
+    },
+    Binary {
+        op: BinaryOp,
+        x: usize,
+        y: usize,
+        dst: usize,
+    },
+    MuxAdd {
+        select: SourceSpec,
+        skip: u64,
+        x: usize,
+        y: usize,
+        dst: usize,
+    },
+    WeightedMux {
+        weights: Vec<f64>,
+        select: SourceSpec,
+        skip: u64,
+        srcs: Vec<usize>,
+        dst: usize,
+    },
+    SinkStream {
+        name: String,
+        src: usize,
+    },
+    SinkValue {
+        name: String,
+        src: usize,
+    },
+    SinkCount {
+        name: String,
+        src: usize,
+    },
+    SinkSum {
+        name: String,
+        srcs: Vec<usize>,
+    },
+    SccProbe {
+        name: String,
+        x: usize,
+        y: usize,
+    },
+}
+
+/// A validated, planned, fused, topologically ordered execution plan.
+///
+/// Produced by [`Graph::compile`]; executed by [`crate::Executor`]. The plan
+/// is immutable and `Send + Sync`, so one compiled graph can drive many
+/// worker threads at once.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) slot_count: usize,
+    pub(crate) value_slots: usize,
+    pub(crate) stream_slots: usize,
+    report: CompileReport,
+    /// Every operation the plan executes (graph nodes plus planner-inserted
+    /// repairs), for introspection and the `sc_hwcost` bridge.
+    ops: Vec<NodeOp>,
+}
+
+impl CompiledGraph {
+    /// What the planner inserted, left unrepaired, and fused.
+    #[must_use]
+    pub fn report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// Every operation the plan executes, including auto-inserted repair
+    /// manipulators.
+    #[must_use]
+    pub fn ops(&self) -> &[NodeOp] {
+        &self.ops
+    }
+
+    /// Number of executable steps (fused runs count once).
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of digital value slots the batch items must provide.
+    #[must_use]
+    pub fn value_slots(&self) -> usize {
+        self.value_slots
+    }
+
+    /// Number of input stream slots the batch items must provide.
+    #[must_use]
+    pub fn stream_slots(&self) -> usize {
+        self.stream_slots
+    }
+}
+
+impl Graph {
+    /// Compiles the graph into an executable plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`], [`GraphError::Cycle`],
+    /// [`GraphError::BadArity`] (a `WeightedMux` whose weight count drifted
+    /// from its input count via [`Graph::rewire`] misuse cannot occur, but
+    /// the check is kept for defence), or [`GraphError::DuplicateSink`].
+    pub fn compile(&self, options: &PlannerOptions) -> Result<CompiledGraph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        // Pass 1: structural validation (wires are builder-validated; arity
+        // and sink uniqueness are re-checked here to cover future mutation
+        // APIs).
+        let mut sink_names: Vec<&str> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(expected) = node.op.input_arity() {
+                if node.inputs.len() != expected {
+                    return Err(GraphError::BadArity {
+                        node: i,
+                        expected,
+                        got: node.inputs.len(),
+                    });
+                }
+            }
+            if let Some(name) = node.op.sink_name() {
+                if sink_names.contains(&name) {
+                    return Err(GraphError::DuplicateSink {
+                        name: name.to_string(),
+                    });
+                }
+                sink_names.push(name);
+            }
+        }
+
+        // Cycle check up front: the correlation planner's class derivation
+        // recurses through identity manipulators and must only ever see a DAG.
+        topo_order(&self.nodes)?;
+
+        // Pass 2: correlation planning over a mutable copy of the node list.
+        let mut nodes: Vec<Node> = self.nodes.to_vec();
+        let mut report = CompileReport::default();
+        plan_correlation(&mut nodes, options, &mut report);
+
+        // Topological order recomputed after planning so inserted repair
+        // nodes participate in scheduling (insertion cannot create cycles:
+        // a repair only splices into existing edges).
+        let order = topo_order(&nodes)?;
+
+        // Pass 3 + 4: fusion and step emission.
+        emit_steps(&nodes, &order, options, report)
+    }
+}
+
+/// Kahn topological sort; errors with a node on a cycle if one exists.
+fn topo_order(nodes: &[Node]) -> Result<Vec<usize>, GraphError> {
+    let mut indegree: Vec<usize> = nodes.iter().map(|n| n.inputs.len()).collect();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for wire in &node.inputs {
+            consumers[wire.node().index()].push(i);
+        }
+    }
+    let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| indegree[i] == 0).collect();
+    // Keep deterministic (insertion-order) scheduling: treat `ready` as a
+    // min-ordered queue over node indices.
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(&next) = ready.first() {
+        ready.remove(0);
+        order.push(next);
+        for &consumer in &consumers[next] {
+            indegree[consumer] -= 1;
+            if indegree[consumer] == 0 {
+                let pos = ready.binary_search(&consumer).unwrap_err();
+                ready.insert(pos, consumer);
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let node = (0..nodes.len())
+            .find(|&i| indegree[i] > 0)
+            .expect("incomplete order implies a node with remaining indegree");
+        return Err(GraphError::Cycle { node });
+    }
+    Ok(order)
+}
+
+/// Structural SCC class of a pair of wires (see the module docs for rules).
+fn pair_class(nodes: &[Node], a: Wire, b: Wire) -> SccClass {
+    if a == b {
+        return SccClass::Positive;
+    }
+    let na = &nodes[a.node().index()];
+    let nb = &nodes[b.node().index()];
+    // Unwrap identity manipulators: they preserve their input pair's class.
+    if let NodeOp::Manipulate(ManipulatorKind::Identity) = na.op {
+        return pair_class(nodes, na.inputs[a.port() as usize], b);
+    }
+    if let NodeOp::Manipulate(ManipulatorKind::Identity) = nb.op {
+        return pair_class(nodes, a, nb.inputs[b.port() as usize]);
+    }
+    // The two output ports of one manipulator carry the class it establishes.
+    if a.node() == b.node() {
+        if let NodeOp::Manipulate(kind) = &na.op {
+            return kind.output_class().unwrap_or(SccClass::Unknown);
+        }
+        return SccClass::Unknown;
+    }
+    let source_of = |op: &NodeOp| -> Option<(SourceSpec, u64)> {
+        match op {
+            NodeOp::Generate { source, skip, .. } | NodeOp::ConstStream { source, skip, .. } => {
+                Some((source.clone(), *skip))
+            }
+            _ => None,
+        }
+    };
+    // Two generated streams: equal spec + position ⇒ every comparator sample
+    // is shared ⇒ maximal positive correlation (§II.B); otherwise the sample
+    // sequences are independent ⇒ (close to) uncorrelated.
+    if let (Some(sa), Some(sb)) = (source_of(&na.op), source_of(&nb.op)) {
+        return if sa == sb {
+            SccClass::Positive
+        } else {
+            SccClass::Uncorrelated
+        };
+    }
+    // Two regenerated streams behave like generated streams of their
+    // re-encoding source.
+    if let (
+        NodeOp::Regenerate {
+            source: sa,
+            skip: ka,
+        },
+        NodeOp::Regenerate {
+            source: sb,
+            skip: kb,
+        },
+    ) = (&na.op, &nb.op)
+    {
+        return if sa == sb && ka == kb {
+            SccClass::Positive
+        } else {
+            SccClass::Uncorrelated
+        };
+    }
+    SccClass::Unknown
+}
+
+/// The correlation-planning pass: checks every binary operator's SCC
+/// precondition and (optionally) inserts the establishing manipulator.
+fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mut CompileReport) {
+    for i in 0..nodes.len() {
+        let NodeOp::Binary(op) = &nodes[i].op else {
+            continue;
+        };
+        let op = *op;
+        let requirement = op.requirement();
+        let (a, b) = (nodes[i].inputs[0], nodes[i].inputs[1]);
+        let class = pair_class(nodes, a, b);
+        if requirement.satisfied_by(class) {
+            continue;
+        }
+        let Some(kind) = requirement.establishing_manipulator(options) else {
+            continue;
+        };
+        if options.auto_repair {
+            let repair = crate::node::NodeId(nodes.len());
+            nodes.push(Node {
+                op: NodeOp::Manipulate(kind),
+                inputs: vec![a, b],
+            });
+            nodes[i].inputs[0] = Wire {
+                node: repair,
+                port: 0,
+            };
+            nodes[i].inputs[1] = Wire {
+                node: repair,
+                port: 1,
+            };
+            report.inserted.push(format!(
+                "{kind} inserted before {op} (node n{i}): inputs are {class:?}, {requirement:?} required"
+            ));
+        } else {
+            report.unsatisfied.push(format!(
+                "{op} (node n{i}) requires {requirement:?} inputs but gets {class:?}"
+            ));
+        }
+    }
+}
+
+/// Fusion + scheduling: walks the topological order, collapses linear
+/// manipulator runs, assigns dense slots, and emits the step list.
+fn emit_steps(
+    nodes: &[Node],
+    order: &[usize],
+    options: &PlannerOptions,
+    mut report: CompileReport,
+) -> Result<CompiledGraph, GraphError> {
+    // Count consumers of every wire to find fusible runs.
+    let mut consumer_count: HashMap<Wire, usize> = HashMap::new();
+    let mut sole_consumer: HashMap<Wire, usize> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        for wire in &node.inputs {
+            *consumer_count.entry(*wire).or_insert(0) += 1;
+            sole_consumer.insert(*wire, i);
+        }
+    }
+    let port = |i: usize, p: u8| Wire {
+        node: crate::node::NodeId(i),
+        port: p,
+    };
+    // A manipulator run `m → q` can fuse when both of m's outputs are
+    // consumed exactly once, by q's inputs 0/1 in order, and q is itself a
+    // manipulator.
+    let fuse_next = |i: usize| -> Option<usize> {
+        if !options.fuse {
+            return None;
+        }
+        let (p0, p1) = (port(i, 0), port(i, 1));
+        if consumer_count.get(&p0) != Some(&1) || consumer_count.get(&p1) != Some(&1) {
+            return None;
+        }
+        let q = *sole_consumer.get(&p0)?;
+        if sole_consumer.get(&p1) != Some(&q) {
+            return None;
+        }
+        let qn = &nodes[q];
+        if !matches!(qn.op, NodeOp::Manipulate(_)) || qn.inputs != vec![p0, p1] {
+            return None;
+        }
+        Some(q)
+    };
+
+    let mut slots: HashMap<Wire, usize> = HashMap::new();
+    let mut slot_count = 0usize;
+    let mut slot_of = |w: Wire, slots: &mut HashMap<Wire, usize>| -> usize {
+        *slots.entry(w).or_insert_with(|| {
+            let s = slot_count;
+            slot_count += 1;
+            s
+        })
+    };
+
+    let mut steps = Vec::new();
+    let mut ops = Vec::new();
+    let mut fused: Vec<bool> = vec![false; nodes.len()];
+    let mut value_slots = 0usize;
+    let mut stream_slots = 0usize;
+
+    for &i in order {
+        if fused[i] {
+            continue;
+        }
+        let node = &nodes[i];
+        ops.push(node.op.clone());
+        let inputs = &node.inputs;
+        match &node.op {
+            NodeOp::InputStream { slot } => {
+                stream_slots = stream_slots.max(slot + 1);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Input { slot: *slot, dst });
+            }
+            NodeOp::Generate { slot, source, skip } => {
+                value_slots = value_slots.max(slot + 1);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Generate {
+                    slot: *slot,
+                    source: source.clone(),
+                    skip: *skip,
+                    dst,
+                });
+            }
+            NodeOp::ConstStream {
+                probability,
+                source,
+                skip,
+            } => {
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Constant {
+                    probability: *probability,
+                    source: source.clone(),
+                    skip: *skip,
+                    dst,
+                });
+            }
+            NodeOp::Manipulate(kind) => {
+                let x = slot_of(inputs[0], &mut slots);
+                let y = slot_of(inputs[1], &mut slots);
+                let mut kinds = vec![*kind];
+                let mut last = i;
+                while let Some(next) = fuse_next(last) {
+                    fused[next] = true;
+                    let NodeOp::Manipulate(next_kind) = &nodes[next].op else {
+                        unreachable!("fuse_next only follows manipulator nodes");
+                    };
+                    let next_kind = *next_kind;
+                    ops.push(nodes[next].op.clone());
+                    kinds.push(next_kind);
+                    last = next;
+                }
+                if kinds.len() > 1 {
+                    report.fused_runs += 1;
+                }
+                let dst_x = slot_of(port(last, 0), &mut slots);
+                let dst_y = slot_of(port(last, 1), &mut slots);
+                steps.push(Step::Manipulate {
+                    kinds,
+                    x,
+                    y,
+                    dst_x,
+                    dst_y,
+                });
+            }
+            NodeOp::Regenerate { source, skip } => {
+                let src = slot_of(inputs[0], &mut slots);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Regenerate {
+                    source: source.clone(),
+                    skip: *skip,
+                    src,
+                    dst,
+                });
+            }
+            NodeOp::Not => {
+                let src = slot_of(inputs[0], &mut slots);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Not { src, dst });
+            }
+            NodeOp::Binary(op) => {
+                let x = slot_of(inputs[0], &mut slots);
+                let y = slot_of(inputs[1], &mut slots);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Binary { op: *op, x, y, dst });
+            }
+            NodeOp::MuxAdd { select, skip } => {
+                let x = slot_of(inputs[0], &mut slots);
+                let y = slot_of(inputs[1], &mut slots);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::MuxAdd {
+                    select: select.clone(),
+                    skip: *skip,
+                    x,
+                    y,
+                    dst,
+                });
+            }
+            NodeOp::WeightedMux {
+                weights,
+                select,
+                skip,
+            } => {
+                let srcs: Vec<usize> = inputs.iter().map(|w| slot_of(*w, &mut slots)).collect();
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::WeightedMux {
+                    weights: weights.clone(),
+                    select: select.clone(),
+                    skip: *skip,
+                    srcs,
+                    dst,
+                });
+            }
+            NodeOp::SinkStream { name } => {
+                let src = slot_of(inputs[0], &mut slots);
+                steps.push(Step::SinkStream {
+                    name: name.clone(),
+                    src,
+                });
+            }
+            NodeOp::SinkValue { name } => {
+                let src = slot_of(inputs[0], &mut slots);
+                steps.push(Step::SinkValue {
+                    name: name.clone(),
+                    src,
+                });
+            }
+            NodeOp::SinkCount { name } => {
+                let src = slot_of(inputs[0], &mut slots);
+                steps.push(Step::SinkCount {
+                    name: name.clone(),
+                    src,
+                });
+            }
+            NodeOp::SinkSum { name } => {
+                let srcs: Vec<usize> = inputs.iter().map(|w| slot_of(*w, &mut slots)).collect();
+                steps.push(Step::SinkSum {
+                    name: name.clone(),
+                    srcs,
+                });
+            }
+            NodeOp::SccProbe { name } => {
+                let x = slot_of(inputs[0], &mut slots);
+                let y = slot_of(inputs[1], &mut slots);
+                steps.push(Step::SccProbe {
+                    name: name.clone(),
+                    x,
+                    y,
+                });
+            }
+        }
+    }
+
+    Ok(CompiledGraph {
+        steps,
+        slot_count,
+        value_slots,
+        stream_slots,
+        report,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{BinaryOp, ManipulatorKind};
+    use sc_rng::SourceSpec;
+
+    fn sobol(d: u32) -> SourceSpec {
+        SourceSpec::Sobol { dimension: d }
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph::new();
+        assert!(matches!(
+            g.compile(&PlannerOptions::default()),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn duplicate_sink_rejected() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        g.sink_value("z", x);
+        g.sink_count("z", x);
+        assert!(matches!(
+            g.compile(&PlannerOptions::default()),
+            Err(GraphError::DuplicateSink { .. })
+        ));
+    }
+
+    #[test]
+    fn rewired_cycle_detected() {
+        let mut g = Graph::new();
+        let x = g.input_stream(0);
+        let y = g.input_stream(1);
+        let a = g.binary(BinaryOp::CaAdd, x, y);
+        let b = g.not(a);
+        // Make a depend on b: a → b → a.
+        g.rewire(a.node(), 0, b).unwrap();
+        assert!(matches!(
+            g.compile(&PlannerOptions::default()),
+            Err(GraphError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_cycle_is_rejected_not_overflowed() {
+        // Regression: pair_class recurses through identity manipulators, so a
+        // rewired identity self-loop must be caught by the up-front cycle
+        // check instead of overflowing the stack inside the planner.
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let (i0, i1) = g.manipulate(ManipulatorKind::Identity, x, y);
+        let z = g.binary(BinaryOp::AndMultiply, i0, i1);
+        g.sink_value("z", z);
+        // Make the identity node consume its own output.
+        g.rewire(i0.node(), 0, i0).unwrap();
+        assert!(matches!(
+            g.compile(&PlannerOptions::default()),
+            Err(GraphError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn planner_inserts_synchronizer_for_xor_on_uncorrelated_inputs() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let z = g.binary(BinaryOp::XorSubtract, x, y);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(plan.report().inserted.len(), 1);
+        assert!(plan.report().inserted[0].contains("synchronizer"));
+        assert!(plan
+            .ops()
+            .iter()
+            .any(|op| matches!(op, NodeOp::Manipulate(ManipulatorKind::Synchronizer { .. }))));
+    }
+
+    #[test]
+    fn planner_skips_satisfied_preconditions() {
+        let mut g = Graph::new();
+        // Shared spec ⇒ positively correlated ⇒ or_max satisfied directly.
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(1));
+        let z = g.binary(BinaryOp::OrMax, x, y);
+        g.sink_value("max", z);
+        // Different specs ⇒ uncorrelated ⇒ and_multiply satisfied directly.
+        let a = g.generate(2, sobol(3));
+        let b = g.generate(3, sobol(4));
+        let m = g.binary(BinaryOp::AndMultiply, a, b);
+        g.sink_value("prod", m);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert!(plan.report().inserted.is_empty());
+        assert!(plan.report().unsatisfied.is_empty());
+    }
+
+    #[test]
+    fn planner_tracks_manipulator_output_classes() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        // Desynchronizer pins the pair to Negative: saturating add satisfied.
+        let (dx, dy) = g.manipulate(ManipulatorKind::Desynchronizer { depth: 1 }, x, y);
+        let s = g.binary(BinaryOp::SaturatingAdd, dx, dy);
+        g.sink_value("sat", s);
+        // Identity preserves the underlying Uncorrelated class.
+        let (ix, iy) = g.manipulate(ManipulatorKind::Identity, x, y);
+        let p = g.binary(BinaryOp::AndMultiply, ix, iy);
+        g.sink_value("prod", p);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert!(
+            plan.report().inserted.is_empty(),
+            "unexpected inserts: {:?}",
+            plan.report().inserted
+        );
+    }
+
+    #[test]
+    fn no_repair_records_unsatisfied() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let z = g.binary(BinaryOp::XorSubtract, x, y);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::no_repair()).unwrap();
+        assert!(plan.report().inserted.is_empty());
+        assert_eq!(plan.report().unsatisfied.len(), 1);
+        assert!(plan.report().unsatisfied[0].contains("Positive"));
+    }
+
+    #[test]
+    fn linear_manipulator_runs_fuse() {
+        let mut g = Graph::new();
+        let x = g.input_stream(0);
+        let y = g.input_stream(1);
+        let (a0, a1) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+        let (b0, b1) = g.manipulate(ManipulatorKind::Synchronizer { depth: 2 }, a0, a1);
+        let (c0, c1) = g.manipulate(ManipulatorKind::Isolator { delay: 2 }, b0, b1);
+        g.sink_stream("x", c0);
+        g.sink_stream("y", c1);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(plan.report().fused_runs, 1);
+        // 2 inputs + 1 fused manipulator step + 2 sinks.
+        assert_eq!(plan.step_count(), 5);
+        let unfused = g.compile(&PlannerOptions {
+            fuse: false,
+            ..PlannerOptions::default()
+        });
+        assert_eq!(unfused.unwrap().step_count(), 7);
+    }
+
+    #[test]
+    fn branching_runs_do_not_fuse() {
+        let mut g = Graph::new();
+        let x = g.input_stream(0);
+        let y = g.input_stream(1);
+        let (a0, a1) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+        let (_, b1) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, a0, a1);
+        // a0 feeds the second manipulator AND a sink: the run must not fuse.
+        g.sink_stream("tap", a0);
+        g.sink_stream("out", b1);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(plan.report().fused_runs, 0);
+    }
+
+    #[test]
+    fn slot_counts_reflect_batch_requirements() {
+        let mut g = Graph::new();
+        let x = g.generate(3, sobol(1));
+        let s = g.input_stream(1);
+        let z = g.binary(BinaryOp::CaAdd, x, s);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(plan.value_slots(), 4);
+        assert_eq!(plan.stream_slots(), 2);
+    }
+}

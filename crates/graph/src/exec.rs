@@ -1,0 +1,560 @@
+//! The batch executor: runs a [`CompiledGraph`] word-parallel over batches of
+//! independent input sets, optionally sharded across a scoped worker pool.
+
+use crate::compile::{CompiledGraph, Step};
+use crate::graph::GraphError;
+use sc_arith::add::{half_select_stream, mux_add};
+use sc_bitstream::{scc, Bitstream, Probability};
+use sc_convert::{
+    AccumulativeParallelCounter, DigitalToStochastic, Regenerator, StochasticToDigital,
+};
+use sc_core::{CorrelationManipulator, ManipulatorChain};
+use sc_rng::RandomSource;
+use std::collections::BTreeMap;
+
+/// One independent input set of a batch: the digital values consumed by
+/// `Generate` nodes and the ready streams consumed by `InputStream` nodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchInput {
+    /// Digital values in `[0, 1]`, indexed by the `Generate` nodes' slots.
+    pub values: Vec<f64>,
+    /// Ready streams, indexed by the `InputStream` nodes' slots.
+    pub streams: Vec<Bitstream>,
+}
+
+impl BatchInput {
+    /// An input set with no values and no streams.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchInput::default()
+    }
+
+    /// An input set of digital values only.
+    #[must_use]
+    pub fn with_values(values: Vec<f64>) -> Self {
+        BatchInput {
+            values,
+            streams: Vec::new(),
+        }
+    }
+
+    /// An input set of ready streams only.
+    #[must_use]
+    pub fn with_streams(streams: Vec<Bitstream>) -> Self {
+        BatchInput {
+            values: Vec::new(),
+            streams,
+        }
+    }
+}
+
+/// The named results of executing a plan over one input set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecOutput {
+    streams: BTreeMap<String, Bitstream>,
+    values: BTreeMap<String, f64>,
+}
+
+impl ExecOutput {
+    /// The stream captured by the `SinkStream` sink of that name.
+    #[must_use]
+    pub fn stream(&self, name: &str) -> Option<&Bitstream> {
+        self.streams.get(name)
+    }
+
+    /// The value captured by the value-producing sink of that name
+    /// (`SinkValue`, `SinkCount`, `SinkSum`, or `SccProbe`).
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates over `(name, stream)` sink results in name order.
+    pub fn streams(&self) -> impl Iterator<Item = (&str, &Bitstream)> {
+        self.streams.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over `(name, value)` sink results in name order.
+    pub fn values(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Executes compiled plans over batches of input sets.
+///
+/// Every batch item is independent: each execution builds fresh source and
+/// FSM instances from the plan's specs, so results are deterministic and
+/// identical whether the batch runs on one thread or many. Sharding uses
+/// `std::thread::scope` — no pool is kept alive between calls and no
+/// external dependencies are involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    stream_length: usize,
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor generating streams of `stream_length` bits, single-threaded.
+    #[must_use]
+    pub fn new(stream_length: usize) -> Self {
+        Executor {
+            stream_length,
+            threads: 1,
+        }
+    }
+
+    /// Sets the number of worker threads used by [`Executor::run_batch`]
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured stream length `N`.
+    #[must_use]
+    pub fn stream_length(&self) -> usize {
+        self.stream_length
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes the plan over one input set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ValueSlotOutOfRange`] /
+    /// [`GraphError::StreamSlotOutOfRange`] if the input set is narrower than
+    /// the plan requires, and [`GraphError::Stream`] if input streams have
+    /// mismatched lengths.
+    pub fn run(&self, plan: &CompiledGraph, input: &BatchInput) -> Result<ExecOutput, GraphError> {
+        let n = self.stream_length;
+        let mut slots: Vec<Option<Bitstream>> = vec![None; plan.slot_count];
+        let mut out = ExecOutput::default();
+        // Borrow, never clone: operand reads finish before the destination
+        // slot is written, so the streams stay in place across the plan.
+        fn slot(slots: &[Option<Bitstream>], idx: usize) -> &Bitstream {
+            slots[idx]
+                .as_ref()
+                .expect("topological order guarantees producers run first")
+        }
+        for step in &plan.steps {
+            match step {
+                Step::Input { slot, dst } => {
+                    let stream =
+                        input
+                            .streams
+                            .get(*slot)
+                            .ok_or(GraphError::StreamSlotOutOfRange {
+                                slot: *slot,
+                                provided: input.streams.len(),
+                            })?;
+                    slots[*dst] = Some(stream.clone());
+                }
+                Step::Generate {
+                    slot,
+                    source,
+                    skip,
+                    dst,
+                } => {
+                    let value =
+                        *input
+                            .values
+                            .get(*slot)
+                            .ok_or(GraphError::ValueSlotOutOfRange {
+                                slot: *slot,
+                                provided: input.values.len(),
+                            })?;
+                    let mut d2s = DigitalToStochastic::new(source.build_skipped(*skip));
+                    slots[*dst] = Some(d2s.generate(Probability::saturating(value), n));
+                }
+                Step::Constant {
+                    probability,
+                    source,
+                    skip,
+                    dst,
+                } => {
+                    let mut d2s = DigitalToStochastic::new(source.build_skipped(*skip));
+                    slots[*dst] = Some(d2s.generate(Probability::saturating(*probability), n));
+                }
+                Step::Manipulate {
+                    kinds,
+                    x,
+                    y,
+                    dst_x,
+                    dst_y,
+                } => {
+                    let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
+                    let (ox, oy) = if kinds.len() == 1 {
+                        // A single circuit keeps its own word-level fast path.
+                        kinds[0].build().process(sx, sy)?
+                    } else {
+                        // A fused run makes one register-staged pass per word.
+                        let mut chain = ManipulatorChain::new();
+                        for kind in kinds {
+                            chain.push_boxed(kind.build());
+                        }
+                        chain.process(sx, sy)?
+                    };
+                    slots[*dst_x] = Some(ox);
+                    slots[*dst_y] = Some(oy);
+                }
+                Step::Regenerate {
+                    source,
+                    skip,
+                    src,
+                    dst,
+                } => {
+                    let mut regen = Regenerator::new(source.build_skipped(*skip));
+                    let regenerated = regen.regenerate(slot(&slots, *src));
+                    slots[*dst] = Some(regenerated);
+                }
+                Step::Not { src, dst } => {
+                    let complemented = slot(&slots, *src).not();
+                    slots[*dst] = Some(complemented);
+                }
+                Step::Binary { op, x, y, dst } => {
+                    let z = apply_binary(*op, slot(&slots, *x), slot(&slots, *y))?;
+                    slots[*dst] = Some(z);
+                }
+                Step::MuxAdd {
+                    select,
+                    skip,
+                    x,
+                    y,
+                    dst,
+                } => {
+                    let mut source = select.build_skipped(*skip);
+                    let z = {
+                        let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
+                        let sel = half_select_stream(&mut source, sx.len());
+                        mux_add(sx, sy, &sel)?
+                    };
+                    slots[*dst] = Some(z);
+                }
+                Step::WeightedMux {
+                    weights,
+                    select,
+                    skip,
+                    srcs,
+                    dst,
+                } => {
+                    let mut source = select.build_skipped(*skip);
+                    let z = {
+                        let refs: Vec<&Bitstream> = srcs.iter().map(|s| slot(&slots, *s)).collect();
+                        weighted_mux(&refs, weights, source.as_mut())?
+                    };
+                    slots[*dst] = Some(z);
+                }
+                Step::SinkStream { name, src } => {
+                    out.streams.insert(name.clone(), slot(&slots, *src).clone());
+                }
+                Step::SinkValue { name, src } => {
+                    let value = StochasticToDigital::convert(slot(&slots, *src)).get();
+                    out.values.insert(name.clone(), value);
+                }
+                Step::SinkCount { name, src } => {
+                    let count = StochasticToDigital::convert_to_count(slot(&slots, *src));
+                    out.values.insert(name.clone(), count as f64);
+                }
+                Step::SinkSum { name, srcs } => {
+                    // The APC consumes owned streams; sum sinks are rare
+                    // enough that the copy is irrelevant.
+                    let inputs: Vec<Bitstream> =
+                        srcs.iter().map(|s| slot(&slots, *s).clone()).collect();
+                    let mut apc = AccumulativeParallelCounter::new(inputs.len());
+                    apc.accumulate_streams(&inputs)?;
+                    out.values.insert(name.clone(), apc.sum_of_values());
+                }
+                Step::SccProbe { name, x, y } => {
+                    let value = scc(slot(&slots, *x), slot(&slots, *y));
+                    out.values.insert(name.clone(), value);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Executes the plan over a batch of independent input sets, sharded
+    /// across the configured worker threads, preserving input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-item error (see [`Executor::run`]).
+    pub fn run_batch(
+        &self,
+        plan: &CompiledGraph,
+        inputs: &[BatchInput],
+    ) -> Result<Vec<ExecOutput>, GraphError> {
+        let workers = self.threads.min(inputs.len()).max(1);
+        if workers <= 1 {
+            return inputs.iter().map(|item| self.run(plan, item)).collect();
+        }
+        let chunk_size = inputs.len().div_ceil(workers);
+        let mut chunk_results: Vec<Result<Vec<ExecOutput>, GraphError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk_size)
+                .map(|items| {
+                    scope.spawn(move || {
+                        items
+                            .iter()
+                            .map(|item| self.run(plan, item))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                chunk_results.push(handle.join().expect("executor worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        for result in chunk_results {
+            out.extend(result?);
+        }
+        Ok(out)
+    }
+}
+
+/// Applies a binary operator through the `sc_arith` word-parallel kernels.
+fn apply_binary(
+    op: crate::node::BinaryOp,
+    x: &Bitstream,
+    y: &Bitstream,
+) -> Result<Bitstream, GraphError> {
+    use crate::node::BinaryOp as B;
+    let z = match op {
+        B::AndMultiply => sc_arith::multiply::and_multiply(x, y)?,
+        B::XnorMultiply => sc_arith::multiply::xnor_multiply(x, y)?,
+        B::OrMax => sc_arith::maxmin::or_max(x, y)?,
+        B::AndMin => sc_arith::maxmin::and_min(x, y)?,
+        B::SaturatingAdd => sc_arith::add::saturating_add(x, y)?,
+        B::XorSubtract => sc_arith::subtract::xor_subtract(x, y)?,
+        B::CaAdd => sc_arith::add::ca_add(x, y)?,
+        B::CaMax => sc_arith::maxmin::ca_max(x, y)?,
+        B::CaMin => sc_arith::maxmin::ca_min(x, y)?,
+    };
+    Ok(z)
+}
+
+/// The weighted multiplexer tree: each cycle one input is sampled with
+/// probability equal to its weight (cumulative walk over `weights`; leftover
+/// mass falls to the last input). The selection sequence is data-independent,
+/// so the gather runs word-parallel: per 64 cycles one selection mask is
+/// built per input and the output word is one AND-OR per input over the
+/// packed words — the generalisation of the `sc_image` Gaussian-blur kernel.
+fn weighted_mux(
+    inputs: &[&Bitstream],
+    weights: &[f64],
+    source: &mut dyn RandomSource,
+) -> Result<Bitstream, GraphError> {
+    let n = inputs[0].len();
+    for s in inputs {
+        if s.len() != n {
+            return Err(GraphError::Stream(sc_bitstream::Error::LengthMismatch {
+                left: n,
+                right: s.len(),
+            }));
+        }
+    }
+    let mut masks = vec![0u64; weights.len()];
+    Ok(Bitstream::from_word_fn(n, |w| {
+        let valid = inputs[0].word_len(w);
+        masks.iter_mut().for_each(|m| *m = 0);
+        for i in 0..valid {
+            let mut u = source.next_unit();
+            let mut selected = weights.len() - 1;
+            for (idx, weight) in weights.iter().enumerate() {
+                if u < *weight {
+                    selected = idx;
+                    break;
+                }
+                u -= weight;
+            }
+            masks[selected] |= 1u64 << i;
+        }
+        masks.iter().enumerate().fold(0u64, |out, (k, &mask)| {
+            out | (inputs[k].as_words()[w] & mask)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{BinaryOp, ManipulatorKind};
+    use crate::{Graph, PlannerOptions};
+    use sc_rng::SourceSpec;
+
+    fn sobol(d: u32) -> SourceSpec {
+        SourceSpec::Sobol { dimension: d }
+    }
+
+    #[test]
+    fn generate_and_sink_round_trip() {
+        let mut g = Graph::new();
+        let x = g.generate(0, SourceSpec::VanDerCorput { offset: 0 });
+        g.sink_value("v", x);
+        g.sink_count("c", x);
+        g.sink_stream("s", x);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let out = Executor::new(256)
+            .run(&plan, &BatchInput::with_values(vec![0.25]))
+            .unwrap();
+        assert!((out.value("v").unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(out.value("c").unwrap(), 64.0);
+        assert_eq!(out.stream("s").unwrap().len(), 256);
+        assert_eq!(out.streams().count(), 1);
+        assert_eq!(out.values().count(), 2);
+    }
+
+    #[test]
+    fn missing_inputs_are_reported() {
+        let mut g = Graph::new();
+        let x = g.generate(2, sobol(1));
+        g.sink_value("v", x);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let err = Executor::new(64)
+            .run(&plan, &BatchInput::with_values(vec![0.5]))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::ValueSlotOutOfRange { .. }));
+
+        let mut g = Graph::new();
+        let s = g.input_stream(0);
+        g.sink_value("v", s);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let err = Executor::new(64)
+            .run(&plan, &BatchInput::new())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::StreamSlotOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mismatched_input_streams_error() {
+        let mut g = Graph::new();
+        let a = g.input_stream(0);
+        let b = g.input_stream(1);
+        let z = g.binary(BinaryOp::CaAdd, a, b);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let bad = BatchInput::with_streams(vec![Bitstream::zeros(64), Bitstream::zeros(65)]);
+        assert!(matches!(
+            Executor::new(64).run(&plan, &bad),
+            Err(GraphError::Stream(_))
+        ));
+    }
+
+    #[test]
+    fn scc_probe_and_sum_sinks() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(1)); // shared spec: positively correlated
+        g.scc_probe("scc", x, y);
+        g.sink_sum("sum", &[x, y]);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let out = Executor::new(256)
+            .run(&plan, &BatchInput::with_values(vec![0.5, 0.5]))
+            .unwrap();
+        assert!(out.value("scc").unwrap() > 0.99);
+        assert!((out.value("sum").unwrap() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn auto_inserted_synchronizer_fixes_xor_accuracy() {
+        let (px, py) = (0.6, 0.6);
+        let build = |options: &PlannerOptions| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(3));
+            let z = g.binary(BinaryOp::XorSubtract, x, y);
+            g.sink_value("z", z);
+            g.compile(options).unwrap()
+        };
+        let exec = Executor::new(1024);
+        let input = BatchInput::with_values(vec![px, py]);
+        let broken = exec
+            .run(&build(&PlannerOptions::no_repair()), &input)
+            .unwrap();
+        let repaired = exec
+            .run(&build(&PlannerOptions::default()), &input)
+            .unwrap();
+        // |0.6 − 0.6| = 0: uncorrelated XOR instead computes ≈ 2·p(1−p).
+        assert!(broken.value("z").unwrap() > 0.3);
+        assert!(repaired.value("z").unwrap() < 0.05);
+    }
+
+    #[test]
+    fn fused_chain_matches_unfused_bits() {
+        let mut g = Graph::new();
+        let x = g.input_stream(0);
+        let y = g.input_stream(1);
+        let (a0, a1) = g.manipulate(ManipulatorKind::Synchronizer { depth: 2 }, x, y);
+        let (b0, b1) = g.manipulate(ManipulatorKind::Desynchronizer { depth: 1 }, a0, a1);
+        g.sink_stream("x", b0);
+        g.sink_stream("y", b1);
+        let fused = g.compile(&PlannerOptions::default()).unwrap();
+        let unfused = g
+            .compile(&PlannerOptions {
+                fuse: false,
+                ..PlannerOptions::default()
+            })
+            .unwrap();
+        let input = BatchInput::with_streams(vec![
+            Bitstream::from_fn(301, |i| (i * 7 + 1) % 3 == 0),
+            Bitstream::from_fn(301, |i| (i * 5 + 2) % 4 < 2),
+        ]);
+        let exec = Executor::new(301);
+        assert_eq!(
+            exec.run(&fused, &input).unwrap(),
+            exec.run(&unfused, &input).unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, SourceSpec::Halton { base: 3, offset: 0 });
+        let (sx, sy) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+        let z = g.binary(BinaryOp::CaAdd, sx, sy);
+        g.sink_stream("z", z);
+        g.sink_value("zv", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let inputs: Vec<BatchInput> = (0..13)
+            .map(|i| BatchInput::with_values(vec![i as f64 / 13.0, 1.0 - i as f64 / 13.0]))
+            .collect();
+        let sequential = Executor::new(257).run_batch(&plan, &inputs).unwrap();
+        let sharded = Executor::new(257)
+            .with_threads(4)
+            .run_batch(&plan, &inputs)
+            .unwrap();
+        assert_eq!(sequential, sharded);
+        assert_eq!(sequential.len(), 13);
+    }
+
+    #[test]
+    fn batch_error_propagates_from_workers() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        g.sink_value("v", x);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let mut inputs = vec![BatchInput::with_values(vec![0.5]); 6];
+        inputs[4] = BatchInput::new(); // missing value slot
+        let err = Executor::new(64)
+            .with_threads(3)
+            .run_batch(&plan, &inputs)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::ValueSlotOutOfRange { .. }));
+    }
+
+    #[test]
+    fn executor_accessors() {
+        let exec = Executor::new(128).with_threads(0);
+        assert_eq!(exec.stream_length(), 128);
+        assert_eq!(exec.threads(), 1);
+    }
+}

@@ -112,7 +112,7 @@ pub fn desynchronizer_saturating_adder_netlist(depth: u32) -> Netlist {
     n
 }
 
-/// Netlist of the correlation-agnostic maximum of SC-DCNN (reference [12]):
+/// Netlist of the correlation-agnostic maximum of SC-DCNN (reference \[12\]):
 /// two activity counters, a comparator, an output register and selection logic.
 #[must_use]
 pub fn correlation_agnostic_max_netlist() -> Netlist {
@@ -130,7 +130,7 @@ pub fn mux_adder_netlist() -> Netlist {
     Netlist::new("mux-adder").with(Primitive::Mux2, 1)
 }
 
-/// Netlist of the correlation-agnostic adder of reference [9]
+/// Netlist of the correlation-agnostic adder of reference \[9\]
 /// (parallel counter plus carry state).
 #[must_use]
 pub fn correlation_agnostic_adder_netlist() -> Netlist {
@@ -235,7 +235,7 @@ pub fn mux_adder() -> CostReport {
     mux_adder_netlist().report(TABLE3_CYCLES)
 }
 
-/// Cost report of the correlation-agnostic adder of reference [9].
+/// Cost report of the correlation-agnostic adder of reference \[9\].
 #[must_use]
 pub fn correlation_agnostic_adder() -> CostReport {
     correlation_agnostic_adder_netlist().report(TABLE3_CYCLES)

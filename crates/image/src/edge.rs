@@ -57,7 +57,7 @@ pub fn sc_edge_detector<S: RandomSource>(
     let anti = b.try_xor(c)?;
     // The select bits are packed a word at a time by `Bitstream::from_fn`;
     // the XORs and the MUX all run on the word-parallel combinators.
-    let select = Bitstream::from_fn(diag.len(), |_| select_source.next_unit() < 0.5);
+    let select = sc_arith::add::half_select_stream(select_source, diag.len());
     Bitstream::mux(&anti, &diag, &select)
 }
 

@@ -17,6 +17,14 @@
 //! * [`PipelineVariant::Synchronizer`] — a synchronizer is inserted in front
 //!   of each ED subtractor pair (accurate and far cheaper).
 //!
+//! The stochastic pipeline is implemented on the `sc_graph` dataflow engine:
+//! every tile is built as a graph ([`graph::tile_graph`]) whose XOR
+//! subtractors declare their SCC +1 precondition, and the synchronizer
+//! variant's correlation repair is **auto-inserted by the graph planner**
+//! rather than wired by hand. [`run_sc_pipeline`] is a thin wrapper over
+//! build → compile → execute; the pre-graph per-tile loop is retained in
+//! `graph`'s tests as the bit-identity reference.
+//!
 //! The paper's input images are not published, so workloads are synthetic
 //! ([`GrayImage::gradient`], [`GrayImage::checkerboard`],
 //! [`GrayImage::gaussian_blob`], [`GrayImage::noise`]); accuracy is always
@@ -43,11 +51,13 @@
 pub mod accelerator;
 pub mod edge;
 pub mod gaussian;
+pub mod graph;
 pub mod image;
 pub mod pipeline;
 
 pub use accelerator::{AcceleratorCost, CostBreakdown};
 pub use edge::{roberts_cross_float, sc_edge_detector};
 pub use gaussian::{gaussian_blur_float, ScGaussianBlur, GAUSSIAN_WEIGHTS};
+pub use graph::{planner_options, tile_graph, TileGraph};
 pub use image::{GrayImage, ImageError};
 pub use pipeline::{run_float_pipeline, run_sc_pipeline, PipelineConfig, PipelineVariant};

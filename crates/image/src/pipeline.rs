@@ -1,14 +1,18 @@
 //! The tiled Gaussian-blur → edge-detector accelerator pipeline (§IV.A) and
 //! its three correlation-handling variants (Table IV).
+//!
+//! Since the `sc_graph` subsystem landed, [`run_sc_pipeline`] is a thin
+//! wrapper over the dataflow engine: each tile is built as a graph
+//! ([`crate::graph::tile_graph`]), compiled with the variant's planner
+//! options (the synchronizer variant's correlation repair is *inserted by
+//! the planner*, not by hand), and executed. The pre-graph per-tile loop is
+//! retained in `crate::graph`'s tests as the bit-identity reference.
 
-use crate::edge::{roberts_cross_float, sc_edge_detector};
-use crate::gaussian::{gaussian_blur_float, ScGaussianBlur};
+use crate::edge::roberts_cross_float;
+use crate::gaussian::gaussian_blur_float;
+use crate::graph::{planner_options, tile_graph};
 use crate::image::{GrayImage, ImageError};
-use sc_bitstream::{Bitstream, Probability};
-use sc_convert::DigitalToStochastic;
-use sc_core::{CorrelationManipulator, Synchronizer};
-use sc_rng::{Lfsr, Sobol, VanDerCorput};
-use std::collections::HashMap;
+use sc_graph::Executor;
 
 /// How the accelerator handles correlation between the Gaussian-blur outputs
 /// and the edge-detector inputs.
@@ -124,18 +128,9 @@ pub fn run_sc_pipeline(
     Ok(output)
 }
 
-/// Generates the stochastic number for one input pixel using the bank source
-/// assigned to its position.
-fn generate_pixel_stream(value: f64, px: isize, py: isize, config: &PipelineConfig) -> Bitstream {
-    // Assign bank entries so that horizontally/vertically adjacent pixels use
-    // different (mutually uncorrelated) Sobol dimensions.
-    let bank = config.rng_bank_size.clamp(1, 8);
-    let idx = ((px.rem_euclid(4) as usize) + 4 * (py.rem_euclid(2) as usize)) % bank;
-    let mut generator = DigitalToStochastic::new(Sobol::new(idx as u32 + 1));
-    generator.generate(Probability::saturating(value), config.stream_length)
-}
-
-/// Processes one tile whose top-left corner is `(x0, y0)`.
+/// Processes one tile whose top-left corner is `(x0, y0)`: build the tile's
+/// dataflow graph, compile it with the variant's planner options, execute,
+/// and scatter the sink values into the output image.
 fn process_tile(
     image: &GrayImage,
     output: &mut GrayImage,
@@ -145,88 +140,19 @@ fn process_tile(
     config: &PipelineConfig,
     tile_index: u64,
 ) {
-    let tile = config.tile_size;
-    let n = config.stream_length;
-    let x_end = (x0 + tile).min(image.width());
-    let y_end = (y0 + tile).min(image.height());
-
-    // 1. Input pixel streams for the haloed region: GB needs one extra ring,
-    //    the ED needs GB outputs one past the tile edge, so the input halo is
-    //    two pixels wide on the high side and one on the low side.
-    let mut inputs: HashMap<(isize, isize), Bitstream> = HashMap::new();
-    for py in (y0 as isize - 1)..=(y_end as isize + 1) {
-        for px in (x0 as isize - 1)..=(x_end as isize + 1) {
-            let value = image.get_clamped(px, py);
-            inputs.insert((px, py), generate_pixel_stream(value, px, py, config));
-        }
-    }
-
-    // 2. Gaussian blur for every pixel the edge detector will touch.
-    let mut blur = ScGaussianBlur::new(Lfsr::new(
-        16,
-        0xACE1 ^ (tile_index.wrapping_mul(2654435761) & 0xFFFF).max(1),
-    ));
-    let mut blurred: HashMap<(isize, isize), Bitstream> = HashMap::new();
-    for gy in (y0 as isize)..=(y_end as isize) {
-        for gx in (x0 as isize)..=(x_end as isize) {
-            let mut neighbours: Vec<&Bitstream> = Vec::with_capacity(9);
-            for dy in -1..=1isize {
-                for dx in -1..=1isize {
-                    let key = (
-                        (gx + dx).clamp(x0 as isize - 1, x_end as isize + 1),
-                        (gy + dy).clamp(y0 as isize - 1, y_end as isize + 1),
-                    );
-                    neighbours.push(&inputs[&key]);
-                }
-            }
-            blurred.insert((gx, gy), blur.apply(&neighbours));
-        }
-    }
-
-    // 3. Variant-specific correlation repair between GB and ED.
-    if variant == PipelineVariant::Regeneration {
-        // Re-encode every blurred stream from a shared source: the outputs
-        // become mutually positively correlated (the shared-RNG property of
-        // §II.B), which is what the XOR subtractors need. Routed through the
-        // word-batched D/S converter.
-        for stream in blurred.values_mut() {
-            let ones = stream.count_ones() as u64;
-            let mut regen = DigitalToStochastic::new(VanDerCorput::new());
-            *stream = regen.generate(Probability::from_ratio(ones, n as u64), n);
-        }
-    }
-
-    // 4. Roberts cross for every tile pixel.
-    let mut select_source = Lfsr::new(
-        16,
-        0x7331 ^ (tile_index.wrapping_mul(40503) & 0xFFFF).max(1),
-    );
-    for y in y0..y_end {
-        for x in x0..x_end {
-            let clamp_key = |px: isize, py: isize| {
-                (
-                    (px).clamp(x0 as isize, x_end as isize),
-                    (py).clamp(y0 as isize, y_end as isize),
-                )
-            };
-            let a = &blurred[&clamp_key(x as isize, y as isize)];
-            let b = &blurred[&clamp_key(x as isize + 1, y as isize)];
-            let c = &blurred[&clamp_key(x as isize, y as isize + 1)];
-            let d = &blurred[&clamp_key(x as isize + 1, y as isize + 1)];
-
-            let result = if variant == PipelineVariant::Synchronizer {
-                let mut sync_ad = Synchronizer::new(config.synchronizer_depth);
-                let (a2, d2) = sync_ad.process(a, d).expect("equal-length tile streams");
-                let mut sync_bc = Synchronizer::new(config.synchronizer_depth);
-                let (b2, c2) = sync_bc.process(b, c).expect("equal-length tile streams");
-                sc_edge_detector(&a2, &b2, &c2, &d2, &mut select_source)
-            } else {
-                sc_edge_detector(a, b, c, d, &mut select_source)
-            }
-            .expect("equal-length tile streams");
-
-            output.set(x, y, result.value());
-        }
+    let tile = tile_graph(image, x0, y0, variant, config, tile_index);
+    let plan = tile
+        .graph
+        .compile(&planner_options(variant, config))
+        .expect("tile graphs are structurally valid by construction");
+    let result = Executor::new(config.stream_length)
+        .run(&plan, &tile.input)
+        .expect("tile graphs execute over their own batch input");
+    for (x, y, name) in &tile.sinks {
+        let value = result
+            .value(name)
+            .expect("every tile pixel has a value sink");
+        output.set(*x, *y, value);
     }
 }
 

@@ -38,6 +38,7 @@ pub mod halton;
 pub mod lfsr;
 pub mod sobol;
 pub mod source;
+pub mod spec;
 pub mod vandercorput;
 
 pub use counter::CounterSource;
@@ -45,6 +46,7 @@ pub use halton::Halton;
 pub use lfsr::{Lfsr, LfsrStructure};
 pub use sobol::Sobol;
 pub use source::{RandomSource, RngKind, SourceExt};
+pub use spec::SourceSpec;
 pub use vandercorput::VanDerCorput;
 
 /// Constructs a boxed source of the requested kind with sensible defaults,

@@ -1,7 +1,7 @@
 //! Sobol low-discrepancy sequences.
 //!
 //! Sobol sequences (used for energy-efficient SC number generation by
-//! Liu & Han, DATE 2017 — reference [8] of the paper) are digital `(t, s)`
+//! Liu & Han, DATE 2017 — reference \[8\] of the paper) are digital `(t, s)`
 //! sequences in base 2 generated from *direction numbers* derived from
 //! primitive polynomials over GF(2). Dimension 1 is the plain Van der Corput
 //! sequence; higher dimensions are mutually well-distributed and thus make

@@ -91,6 +91,17 @@ pub trait SourceExt: RandomSource {
     fn take_units(&mut self, count: usize) -> Vec<f64> {
         (0..count).map(|_| self.next_unit()).collect()
     }
+
+    /// Advances the source by `count` samples, discarding them.
+    ///
+    /// Used to position an independently built source mid-sequence, e.g. when
+    /// a dataflow plan gives each node its own instance of a logically shared
+    /// source (see [`crate::SourceSpec::build_skipped`]).
+    fn skip_ahead(&mut self, count: u64) {
+        for _ in 0..count {
+            self.next_unit();
+        }
+    }
 }
 
 impl<T: RandomSource + ?Sized> SourceExt for T {}

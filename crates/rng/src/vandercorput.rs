@@ -5,7 +5,7 @@
 //! binary digits of `i` around the radix point. The sequence fills `[0, 1)`
 //! maximally evenly, which is why stochastic numbers generated from VDC
 //! comparisons converge with `O(1/N)` error rather than the `O(1/√N)` of true
-//! random sources (Alaghi & Hayes, DATE 2014 — reference [7] of the paper).
+//! random sources (Alaghi & Hayes, DATE 2014 — reference \[7\] of the paper).
 
 use crate::source::{RandomSource, RngKind};
 

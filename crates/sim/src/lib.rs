@@ -9,10 +9,15 @@
 //! nets, evaluated one clock cycle at a time with proper sequential /
 //! combinational ordering.
 //!
-//! The higher-level crates use it two ways:
+//! The higher-level crates use it three ways:
 //!
 //! * to cross-check the bitstream-level functional models of the correlation
-//!   manipulating circuits against gate/FSM-level implementations, and
+//!   manipulating circuits against gate/FSM-level implementations,
+//! * to cross-check **compiled `sc_graph` dataflow plans** — not only
+//!   hand-built circuits — against gate-level netlists of the same design
+//!   (see the workspace `graph_equivalence` suite, which runs a compiled
+//!   graph node and a simulated gate over the same streams and demands
+//!   bit-identical output), and
 //! * to count switching activity for the `sc-hwcost` power model.
 //!
 //! # Example

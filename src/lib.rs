@@ -14,8 +14,11 @@
 //! * [`sc_arith`] — SC arithmetic and correlation-agnostic baselines,
 //! * [`sc_core`] — the synchronizer, desynchronizer, decorrelator, and the
 //!   improved max/min/saturating-add operators (the paper's contribution),
+//! * [`sc_graph`] — the dataflow-graph compiler (SCC-aware planning, chain
+//!   fusion) and sharded batch executor,
 //! * [`sc_hwcost`] — the gate-level area/power/energy model,
-//! * [`sc_image`] — the Gaussian-blur → edge-detector accelerator case study.
+//! * [`sc_image`] — the Gaussian-blur → edge-detector accelerator case study,
+//!   implemented on the graph engine.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub use sc_arith;
 pub use sc_bitstream;
 pub use sc_convert;
 pub use sc_core;
+pub use sc_graph;
 pub use sc_hwcost;
 pub use sc_image;
 pub use sc_rng;
@@ -60,13 +64,17 @@ pub mod prelude {
         CorrelationManipulator, Decorrelator, Desynchronizer, Isolator, ManipulatorChain,
         Synchronizer, TrackingForecastMemory,
     };
+    pub use sc_graph::{
+        BatchInput, BinaryOp, CompiledGraph, ExecOutput, Executor, Graph, GraphError,
+        ManipulatorKind, PlannerOptions,
+    };
     pub use sc_hwcost::{characterize, Netlist, Primitive};
     pub use sc_image::{
         run_float_pipeline, run_sc_pipeline, GrayImage, PipelineConfig, PipelineVariant,
     };
     pub use sc_rng::{
         build_source, build_source_variant, CounterSource, Halton, Lfsr, RandomSource, RngKind,
-        Sobol, VanDerCorput,
+        Sobol, SourceSpec, VanDerCorput,
     };
 }
 
