@@ -1,0 +1,134 @@
+//! Measures the `sc_rtl` gate-level lowering backend over the GB→ED tile
+//! pipeline and records the evidence in `BENCH_rtl_elaborate.json`.
+//!
+//! Run with `cargo run --release -p sc_bench --bin rtl_elaborate`. The JSON
+//! file is written to the current directory (or to the path given as the
+//! first argument).
+//!
+//! Three things are measured / checked:
+//!
+//! 1. **Elaboration throughput** — time to lower the full Gaussian-blur →
+//!    edge-detect tile plan (planner-inserted synchronizer repairs included)
+//!    into one flat `sc_sim` circuit, with the resulting cell / net / gate
+//!    counts.
+//! 2. **Co-simulation smoke gate** — a reduced tile is clock-cycle
+//!    co-simulated and every output pixel must match the word-parallel
+//!    executor *bit for bit* (the `rtl_cosim` CI job's cheap in-binary gate).
+//! 3. **Structural-vs-table costing gate** — the structurally counted
+//!    `sc_hwcost` netlist of the elaborated tile must match the table-driven
+//!    bridge exactly.
+
+use sc_graph::cost::compiled_netlist;
+use sc_graph::Executor;
+use sc_image::{planner_options, tile_graph, GrayImage, PipelineConfig, PipelineVariant};
+use sc_rtl::{elaborate, sink_counter_bits};
+use std::time::Instant;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_rtl_elaborate.json".into());
+    let variant = PipelineVariant::Synchronizer;
+
+    // 1. Elaboration of the full-size (paper-default) tile.
+    let full = PipelineConfig::default();
+    let img = GrayImage::gaussian_blob(full.tile_size + 4, full.tile_size + 4);
+    let tile = tile_graph(&img, 0, 0, variant, &full, 0);
+    let plan = tile
+        .graph
+        .compile(&planner_options(variant, &full))
+        .expect("tile graph compiles");
+    let start = Instant::now();
+    let design = elaborate(&plan, &tile.input, full.stream_length).expect("tile plan lowers");
+    let elaborate_us = start.elapsed().as_secs_f64() * 1e6;
+    let histogram = design.kind_histogram();
+    let netlist = design.netlist("gb-ed-tile", sink_counter_bits(full.stream_length));
+    println!(
+        "elaborated {} cells / {} nets in {elaborate_us:.0} us ({} plan steps)",
+        design.cell_count(),
+        design.net_count(),
+        plan.step_count()
+    );
+    println!(
+        "structural netlist: {} primitive instances, {:.1} um^2",
+        netlist.cell_count(),
+        netlist.area_um2()
+    );
+
+    // Costing gate: structural == table, primitive by primitive.
+    let table = compiled_netlist(&plan, "gb-ed-tile", sink_counter_bits(full.stream_length));
+    let collect = |n: &sc_hwcost::Netlist| {
+        n.cells()
+            .map(|(p, c)| (p.to_string(), c))
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+    assert_eq!(
+        collect(&netlist),
+        collect(&table),
+        "structural netlist must match the table-driven cost bridge"
+    );
+    println!("structural netlist matches table-driven bridge");
+
+    // 2. Co-simulation smoke gate on a reduced tile.
+    let quick = PipelineConfig::quick();
+    let qimg = GrayImage::gaussian_blob(8, 8);
+    let qtile = tile_graph(&qimg, 0, 0, variant, &quick, 0);
+    let qplan = qtile
+        .graph
+        .compile(&planner_options(variant, &quick))
+        .expect("quick tile compiles");
+    let exec = Executor::new(quick.stream_length)
+        .run(&qplan, &qtile.input)
+        .expect("executor runs");
+    let qdesign = elaborate(&qplan, &qtile.input, quick.stream_length).expect("quick tile lowers");
+    let start = Instant::now();
+    let rtl = qdesign
+        .cosimulate(&qtile.input)
+        .expect("co-simulation runs");
+    let cosim_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut pixels = 0usize;
+    for (_, _, name) in &qtile.sinks {
+        let e = exec.value(name).expect("executor pixel");
+        let r = rtl.value(name).expect("rtl pixel");
+        assert_eq!(
+            e.to_bits(),
+            r.to_bits(),
+            "gate-level pixel {name} diverged from the word-parallel executor"
+        );
+        pixels += 1;
+    }
+    println!(
+        "co-simulated {} cells x {} cycles in {cosim_ms:.1} ms: {pixels} pixels bit-identical",
+        qdesign.cell_count(),
+        quick.stream_length
+    );
+
+    // JSON report.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"tile_size\": {},\n  \"stream_length\": {},\n",
+        full.tile_size, full.stream_length
+    ));
+    json.push_str(&format!("  \"plan_steps\": {},\n", plan.step_count()));
+    json.push_str(&format!("  \"cells\": {},\n", design.cell_count()));
+    json.push_str(&format!("  \"nets\": {},\n", design.net_count()));
+    json.push_str(&format!(
+        "  \"primitive_instances\": {},\n  \"area_um2\": {:.2},\n",
+        netlist.cell_count(),
+        netlist.area_um2()
+    ));
+    json.push_str(&format!("  \"elaborate_us\": {elaborate_us:.1},\n"));
+    json.push_str(&format!(
+        "  \"cosim_quick_tile_ms\": {cosim_ms:.2},\n  \"cosim_pixels_bit_identical\": {pixels},\n"
+    ));
+    json.push_str("  \"cell_histogram\": {\n");
+    let entries: Vec<String> = histogram
+        .iter()
+        .map(|(kind, count)| format!("    \"{kind}\": {count}"))
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_rtl_elaborate.json");
+    println!("wrote {out_path}");
+}

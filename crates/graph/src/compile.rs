@@ -25,7 +25,8 @@
 //!    step list over dense stream slots, ready for the batch executor.
 
 use crate::graph::{Graph, GraphError};
-use crate::node::{BinaryOp, ManipulatorKind, Node, NodeOp, SccClass, Wire};
+use crate::node::{BinaryOp, ManipulatorKind, Node, NodeOp, SccClass, UnaryFsmOp, Wire};
+use sc_bitstream::Bitstream;
 use sc_rng::SourceSpec;
 use std::collections::HashMap;
 
@@ -45,6 +46,13 @@ pub struct PlannerOptions {
     pub decorrelator_depth: usize,
     /// Fuse linear manipulator runs into single chain steps (default `true`).
     pub fuse: bool,
+    /// Measured-SCC feedback: when an operator's input pair has structural
+    /// class [`SccClass::Unknown`], run a short [`sc_core::SccTracker`]-style
+    /// probe execution of this length over representative inputs and use the
+    /// *measured* class for the repair decision instead of pessimistically
+    /// treating the pair as unknown. `None` (the default) keeps the purely
+    /// structural behaviour.
+    pub measure_unknown: Option<usize>,
 }
 
 impl Default for PlannerOptions {
@@ -55,6 +63,7 @@ impl Default for PlannerOptions {
             desynchronizer_depth: 1,
             decorrelator_depth: 4,
             fuse: true,
+            measure_unknown: None,
         }
     }
 }
@@ -65,6 +74,15 @@ impl PlannerOptions {
     pub fn no_repair() -> Self {
         PlannerOptions {
             auto_repair: false,
+            ..PlannerOptions::default()
+        }
+    }
+
+    /// Options with measured-SCC feedback enabled at the given probe length.
+    #[must_use]
+    pub fn with_measurement(probe_length: usize) -> Self {
+        PlannerOptions {
+            measure_unknown: Some(probe_length.max(1)),
             ..PlannerOptions::default()
         }
     }
@@ -80,84 +98,179 @@ pub struct CompileReport {
     pub unsatisfied: Vec<String>,
     /// Number of fused manipulator runs of length ≥ 2.
     pub fused_runs: usize,
+    /// One entry per structurally-unknown input pair whose class was resolved
+    /// by a measured-SCC probe ([`PlannerOptions::measure_unknown`]).
+    pub measured: Vec<String>,
 }
 
 /// One executable step of a compiled plan. Slot indices address the dense
-/// per-execution stream environment.
+/// per-execution stream environment (`0..CompiledGraph::slot_count()`).
+///
+/// Steps are public so lowering backends (the `sc_rtl` gate-level elaborator
+/// in particular) can walk a plan's exact execution structure — including
+/// fused manipulator runs and planner-inserted repairs — without re-deriving
+/// it from the source graph. The enum is `#[non_exhaustive]`: consumers must
+/// handle unknown future step kinds (typically by reporting the plan as
+/// unsupported).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Step {
+#[non_exhaustive]
+pub enum Step {
+    /// Copy `BatchInput::streams[slot]` into `dst`.
     Input {
+        /// Index into the batch item's stream list.
         slot: usize,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// D/S-convert `BatchInput::values[slot]` into `dst`.
     Generate {
+        /// Index into the batch item's value list.
         slot: usize,
+        /// Comparator sample source.
         source: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
         skip: u64,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// D/S-convert a constant probability into `dst`.
     Constant {
+        /// The encoded probability.
         probability: f64,
+        /// Comparator sample source.
         source: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
         skip: u64,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// Run a (possibly fused) chain of correlation manipulators.
     Manipulate {
+        /// The chained circuit kinds, in dataflow order.
         kinds: Vec<ManipulatorKind>,
+        /// X input slot.
         x: usize,
+        /// Y input slot.
         y: usize,
+        /// Manipulated-X destination slot.
         dst_x: usize,
+        /// Manipulated-Y destination slot.
         dst_y: usize,
     },
+    /// S/D + D/S regeneration from a fresh source.
     Regenerate {
+        /// Re-encoding sample source.
         source: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
         skip: u64,
+        /// Input stream slot.
         src: usize,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// Stream complement.
     Not {
+        /// Input stream slot.
         src: usize,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// A two-input arithmetic operator.
     Binary {
+        /// The operator.
         op: BinaryOp,
+        /// X input slot.
         x: usize,
+        /// Y input slot.
         y: usize,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// A saturating-counter FSM activation.
+    UnaryFsm {
+        /// The FSM design.
+        op: UnaryFsmOp,
+        /// Input stream slot.
+        src: usize,
+        /// Destination stream slot.
+        dst: usize,
+    },
+    /// The feedback SC divider.
+    Divide {
+        /// Comparison sample source.
+        source: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
+        skip: u64,
+        /// Integration counter width.
+        counter_bits: u32,
+        /// Numerator input slot.
+        x: usize,
+        /// Denominator input slot.
+        y: usize,
+        /// Destination stream slot.
+        dst: usize,
+    },
+    /// MUX scaled adder with a dedicated 0.5-valued select source.
     MuxAdd {
+        /// Select-stream source.
         select: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
         skip: u64,
+        /// X input slot (picked when the select bit is 1).
         x: usize,
+        /// Y input slot.
         y: usize,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// Weighted multiplexer tree.
     WeightedMux {
+        /// Per-input selection probabilities, in input order.
         weights: Vec<f64>,
+        /// Selection sample source.
         select: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
         skip: u64,
+        /// Input stream slots, one per weight.
         srcs: Vec<usize>,
+        /// Destination stream slot.
         dst: usize,
     },
+    /// Sink: expose the stream itself.
     SinkStream {
+        /// Output name.
         name: String,
+        /// Input stream slot.
         src: usize,
     },
+    /// Sink: S/D conversion to the stream's unipolar value.
     SinkValue {
+        /// Output name.
         name: String,
+        /// Input stream slot.
         src: usize,
     },
+    /// Sink: S/D conversion to the raw 1s count.
     SinkCount {
+        /// Output name.
         name: String,
+        /// Input stream slot.
         src: usize,
     },
+    /// Sink: accumulative parallel counter over all inputs.
     SinkSum {
+        /// Output name.
         name: String,
+        /// Input stream slots.
         srcs: Vec<usize>,
     },
+    /// Sink: SCC probe over a stream pair.
     SccProbe {
+        /// Output name.
         name: String,
+        /// X input slot.
         x: usize,
+        /// Y input slot.
         y: usize,
     },
 }
@@ -197,6 +310,66 @@ impl CompiledGraph {
     #[must_use]
     pub fn step_count(&self) -> usize {
         self.steps.len()
+    }
+
+    /// The executable steps, in scheduled order — the exact structure the
+    /// executor runs and lowering backends elaborate.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of dense stream slots an execution environment needs.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Returns a copy of the plan with every stored [`SourceSpec`] rewritten
+    /// by `retarget` (`None` keeps the spec unchanged). Wiring, slots, skips,
+    /// and scheduling are untouched, so the copy is exactly as valid as the
+    /// original.
+    ///
+    /// This exists so one compiled plan can serve as a *template* for a
+    /// family of structurally identical designs that differ only in source
+    /// seeding — e.g. `sc_image` compiles one plan per tile shape and
+    /// retargets the per-tile select-LFSR seeds, instead of re-running the
+    /// whole compiler per tile. Retargeting must preserve the spec *equality
+    /// structure* the planner reasoned about (two equal specs must stay
+    /// equal, two different specs must stay different); seed-only rewrites
+    /// within one family do.
+    #[must_use]
+    pub fn retarget_sources<F: Fn(&SourceSpec) -> Option<SourceSpec>>(
+        &self,
+        retarget: F,
+    ) -> CompiledGraph {
+        let swap = |spec: &mut SourceSpec| {
+            if let Some(new) = retarget(spec) {
+                *spec = new;
+            }
+        };
+        let mut plan = self.clone();
+        for step in &mut plan.steps {
+            match step {
+                Step::Generate { source, .. }
+                | Step::Constant { source, .. }
+                | Step::Regenerate { source, .. }
+                | Step::Divide { source, .. } => swap(source),
+                Step::MuxAdd { select, .. } | Step::WeightedMux { select, .. } => swap(select),
+                _ => {}
+            }
+        }
+        for op in &mut plan.ops {
+            match op {
+                NodeOp::Generate { source, .. }
+                | NodeOp::ConstStream { source, .. }
+                | NodeOp::Regenerate { source, .. }
+                | NodeOp::Divide { source, .. } => swap(source),
+                NodeOp::MuxAdd { select, .. } | NodeOp::WeightedMux { select, .. } => swap(select),
+                _ => {}
+            }
+        }
+        plan
     }
 
     /// Number of digital value slots the batch items must provide.
@@ -363,17 +536,30 @@ fn pair_class(nodes: &[Node], a: Wire, b: Wire) -> SccClass {
     SccClass::Unknown
 }
 
-/// The correlation-planning pass: checks every binary operator's SCC
+/// The correlation-planning pass: checks every tracked operator's SCC
 /// precondition and (optionally) inserts the establishing manipulator.
 fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mut CompileReport) {
     for i in 0..nodes.len() {
-        let NodeOp::Binary(op) = &nodes[i].op else {
+        let Some((label, requirement)) = nodes[i].op.correlation_requirement() else {
             continue;
         };
-        let op = *op;
-        let requirement = op.requirement();
         let (a, b) = (nodes[i].inputs[0], nodes[i].inputs[1]);
-        let class = pair_class(nodes, a, b);
+        let mut class = pair_class(nodes, a, b);
+        // Measured-SCC feedback: a structurally unknown pair (e.g. two
+        // arithmetic-operator outputs) is probed with a short execution over
+        // representative inputs, and the repair decision uses the measured
+        // class — the SccTracker-in-the-loop design the ROADMAP calls for.
+        if class == SccClass::Unknown {
+            if let Some(probe_length) = options.measure_unknown {
+                if let Some((scc, measured)) = measured_class(nodes, a, b, probe_length) {
+                    report.measured.push(format!(
+                        "inputs of {label} (node n{i}) measured SCC {scc:.3} over {probe_length} \
+                         cycles: treating pair as {measured:?}"
+                    ));
+                    class = measured;
+                }
+            }
+        }
         if requirement.satisfied_by(class) {
             continue;
         }
@@ -395,14 +581,101 @@ fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mu
                 port: 1,
             };
             report.inserted.push(format!(
-                "{kind} inserted before {op} (node n{i}): inputs are {class:?}, {requirement:?} required"
+                "{kind} inserted before {label} (node n{i}): inputs are {class:?}, {requirement:?} required"
             ));
         } else {
             report.unsatisfied.push(format!(
-                "{op} (node n{i}) requires {requirement:?} inputs but gets {class:?}"
+                "{label} (node n{i}) requires {requirement:?} inputs but gets {class:?}"
             ));
         }
     }
+}
+
+/// Probes the actual SCC of a wire pair by compiling the current node list
+/// (auto-repair and measurement off, so this cannot recurse) with an SCC
+/// probe appended, and executing it for `probe_length` cycles over
+/// representative inputs: every digital value slot is driven at 0.5 and every
+/// ready-stream slot with a phase-shifted alternating stream. Returns `None`
+/// if the probe graph fails to compile or execute.
+fn measured_class(
+    nodes: &[Node],
+    a: Wire,
+    b: Wire,
+    probe_length: usize,
+) -> Option<(f64, SccClass)> {
+    // Trim to the pair's ancestor cone: the probe executes only the logic
+    // that actually feeds the two wires (and none of the graph's own sinks),
+    // so each measurement costs the cone, not the whole design.
+    let mut needed = vec![false; nodes.len()];
+    let mut stack = vec![a.node().index(), b.node().index()];
+    while let Some(i) = stack.pop() {
+        if needed[i] {
+            continue;
+        }
+        needed[i] = true;
+        for wire in &nodes[i].inputs {
+            stack.push(wire.node().index());
+        }
+    }
+    // Two passes — repair nodes appended by earlier planning iterations sit
+    // at high indices but are referenced by lower-indexed consumers — so
+    // assign dense indices first, then clone with rewritten wires.
+    let mut remap = vec![usize::MAX; nodes.len()];
+    let mut count = 0usize;
+    for (i, include) in needed.iter().enumerate() {
+        if *include {
+            remap[i] = count;
+            count += 1;
+        }
+    }
+    let probe_wire = |w: Wire| Wire {
+        node: crate::node::NodeId(remap[w.node().index()]),
+        port: w.port(),
+    };
+    let mut probe_nodes: Vec<Node> = Vec::with_capacity(count + 1);
+    for (i, node) in nodes.iter().enumerate() {
+        if !needed[i] {
+            continue;
+        }
+        let mut clone = node.clone();
+        for wire in &mut clone.inputs {
+            *wire = probe_wire(*wire);
+        }
+        probe_nodes.push(clone);
+    }
+    // Sinks have no outputs, so the cone never contains one: the probe's
+    // sink name is free by construction.
+    let name = "__scc_probe".to_string();
+    probe_nodes.push(Node {
+        op: NodeOp::SccProbe { name: name.clone() },
+        inputs: vec![probe_wire(a), probe_wire(b)],
+    });
+    let probe_graph = Graph { nodes: probe_nodes };
+    let probe_options = PlannerOptions {
+        auto_repair: false,
+        measure_unknown: None,
+        fuse: false,
+        ..PlannerOptions::default()
+    };
+    let plan = probe_graph.compile(&probe_options).ok()?;
+    let input = crate::exec::BatchInput {
+        values: vec![0.5; plan.value_slots()],
+        streams: (0..plan.stream_slots())
+            .map(|slot| Bitstream::from_fn(probe_length, |i| (i + slot) % 2 == 0))
+            .collect(),
+    };
+    let out = crate::exec::Executor::new(probe_length)
+        .run(&plan, &input)
+        .ok()?;
+    let scc = out.value(&name)?;
+    let class = if scc >= 0.5 {
+        SccClass::Positive
+    } else if scc <= -0.5 {
+        SccClass::Negative
+    } else {
+        SccClass::Uncorrelated
+    };
+    Some((scc, class))
 }
 
 /// Fusion + scheduling: walks the topological order, collapses linear
@@ -548,6 +821,28 @@ fn emit_steps(
                 let y = slot_of(inputs[1], &mut slots);
                 let dst = slot_of(port(i, 0), &mut slots);
                 steps.push(Step::Binary { op: *op, x, y, dst });
+            }
+            NodeOp::UnaryFsm(op) => {
+                let src = slot_of(inputs[0], &mut slots);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::UnaryFsm { op: *op, src, dst });
+            }
+            NodeOp::Divide {
+                source,
+                skip,
+                counter_bits,
+            } => {
+                let x = slot_of(inputs[0], &mut slots);
+                let y = slot_of(inputs[1], &mut slots);
+                let dst = slot_of(port(i, 0), &mut slots);
+                steps.push(Step::Divide {
+                    source: source.clone(),
+                    skip: *skip,
+                    counter_bits: *counter_bits,
+                    x,
+                    y,
+                    dst,
+                });
             }
             NodeOp::MuxAdd { select, skip } => {
                 let x = slot_of(inputs[0], &mut slots);
@@ -757,6 +1052,111 @@ mod tests {
         assert!(plan.report().inserted.is_empty());
         assert_eq!(plan.report().unsatisfied.len(), 1);
         assert!(plan.report().unsatisfied[0].contains("Positive"));
+    }
+
+    #[test]
+    fn measured_scc_feedback_resolves_unknown_pairs() {
+        // or_max and and_min over a shared-spec (positively correlated) pair
+        // produce two operator outputs whose mutual class is structurally
+        // Unknown — but their actual SCC is strongly positive (both outputs
+        // are supersets/subsets of the same streams). The XOR subtractor over
+        // them therefore needs no repair once the pair is measured.
+        let build = |options: &PlannerOptions| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(1)); // shared spec ⇒ SCC +1
+            let hi = g.binary(BinaryOp::OrMax, x, y);
+            let lo = g.binary(BinaryOp::AndMin, x, y);
+            let z = g.binary(BinaryOp::XorSubtract, hi, lo);
+            g.sink_value("range", z);
+            g.compile(options).unwrap()
+        };
+        let structural = build(&PlannerOptions::default());
+        assert_eq!(
+            structural.report().inserted.len(),
+            1,
+            "without measurement the Unknown pair is pessimistically repaired"
+        );
+        assert!(structural.report().measured.is_empty());
+        let measured = build(&PlannerOptions::with_measurement(256));
+        assert!(
+            measured.report().inserted.is_empty(),
+            "measured SCC ≈ +1 satisfies the XOR precondition: {:?}",
+            measured.report().inserted
+        );
+        assert_eq!(measured.report().measured.len(), 1);
+        assert!(measured.report().measured[0].contains("Positive"));
+    }
+
+    #[test]
+    fn measurement_still_repairs_truly_uncorrelated_pairs() {
+        // Two unrelated multiplies: the pair really is uncorrelated, so the
+        // measured class must still trigger a synchronizer for the XOR.
+        let mut g = Graph::new();
+        let a = g.generate(0, sobol(1));
+        let b = g.generate(1, sobol(2));
+        let c = g.generate(2, sobol(3));
+        let d = g.generate(3, sobol(4));
+        let p = g.binary(BinaryOp::AndMultiply, a, b);
+        let q = g.binary(BinaryOp::AndMultiply, c, d);
+        let z = g.binary(BinaryOp::XorSubtract, p, q);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::with_measurement(256)).unwrap();
+        assert_eq!(plan.report().measured.len(), 1);
+        assert!(plan.report().measured[0].contains("Uncorrelated"));
+        assert_eq!(plan.report().inserted.len(), 1);
+    }
+
+    #[test]
+    fn retargeted_plan_matches_directly_compiled_plan() {
+        use crate::exec::{BatchInput, Executor};
+        let build = |seed: u64| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let z = g.mux_add(x, y, SourceSpec::Lfsr { width: 16, seed });
+            g.sink_stream("z", z);
+            g.compile(&PlannerOptions::default()).unwrap()
+        };
+        let template = build(0xACE1);
+        let retargeted = template.retarget_sources(|spec| match spec {
+            SourceSpec::Lfsr { width: 16, seed } if *seed == 0xACE1 => Some(SourceSpec::Lfsr {
+                width: 16,
+                seed: 0xBEEF,
+            }),
+            _ => None,
+        });
+        let direct = build(0xBEEF);
+        let input = BatchInput::with_values(vec![0.3, 0.8]);
+        let exec = Executor::new(257);
+        assert_eq!(
+            exec.run(&retargeted, &input).unwrap(),
+            exec.run(&direct, &input).unwrap()
+        );
+        // And the retargeted plan really differs from the template.
+        assert_ne!(
+            exec.run(&retargeted, &input).unwrap(),
+            exec.run(&template, &input).unwrap()
+        );
+    }
+
+    #[test]
+    fn steps_are_introspectable() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let z = g.binary(BinaryOp::CaAdd, x, y);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(plan.steps().len(), plan.step_count());
+        assert!(plan.slot_count() >= 3);
+        assert!(plan.steps().iter().any(|s| matches!(
+            s,
+            Step::Binary {
+                op: BinaryOp::CaAdd,
+                ..
+            }
+        )));
     }
 
     #[test]

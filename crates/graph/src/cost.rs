@@ -12,8 +12,8 @@
 //! consume them as ratios between designs, exactly like the paper's
 //! Table III / Table IV columns.
 
-use crate::compile::CompiledGraph;
-use crate::node::{BinaryOp, ManipulatorKind, NodeOp};
+use crate::compile::{CompiledGraph, Step};
+use crate::node::{BinaryOp, ManipulatorKind, NodeOp, UnaryFsmOp};
 use sc_hwcost::{characterize, Netlist, Primitive};
 use sc_rng::SourceSpec;
 
@@ -69,6 +69,16 @@ pub fn node_netlist(op: &NodeOp, converter_bits: u32) -> Netlist {
         }
         NodeOp::Not => Netlist::new("not").with(Primitive::Inverter, 1),
         NodeOp::Binary(op) => binary_netlist(*op),
+        NodeOp::UnaryFsm(op) => unary_fsm_netlist(*op),
+        NodeOp::Divide {
+            source,
+            counter_bits,
+            ..
+        } => {
+            let mut n = divider_netlist(*counter_bits);
+            n.merge(&source_netlist(source, converter_bits));
+            n
+        }
         NodeOp::MuxAdd { select, .. } => {
             let mut n = characterize::mux_adder_netlist();
             n.merge(&source_netlist(select, converter_bits));
@@ -91,11 +101,45 @@ pub fn node_netlist(op: &NodeOp, converter_bits: u32) -> Netlist {
         }
         // The APC sums its lanes into one wider accumulator.
         NodeOp::SinkSum { .. } => characterize::sd_converter(converter_bits + 2),
-        // An SCC probe counts both streams and their overlap.
-        NodeOp::SccProbe { .. } => {
-            characterize::sd_converter(converter_bits).scaled("scc-probe", 3)
+        // An SCC probe counts both streams and their overlap (one AND gate
+        // feeding the joint counter).
+        NodeOp::SccProbe { .. } => characterize::sd_converter(converter_bits)
+            .scaled("scc-probe", 3)
+            .with(Primitive::And2, 1),
+    }
+}
+
+/// Netlist of one saturating-counter FSM activation.
+#[must_use]
+pub fn unary_fsm_netlist(op: UnaryFsmOp) -> Netlist {
+    let state_bits = |states: u32| 32 - states.saturating_sub(1).leading_zeros();
+    match op {
+        // Saturating up/down counter plus the upper-half output comparison.
+        UnaryFsmOp::Stanh { half_states } => {
+            let bits = state_bits(2 * half_states).max(1);
+            Netlist::new(format!("stanh-{}s", 2 * half_states))
+                .with(Primitive::Counter(bits), 1)
+                .with(Primitive::Comparator(bits), 1)
+        }
+        // As stanh, plus the mid-state toggle flip-flop.
+        UnaryFsmOp::Slinear { states } => {
+            let bits = state_bits(states).max(1);
+            Netlist::new(format!("slinear-{states}s"))
+                .with(Primitive::Counter(bits), 1)
+                .with(Primitive::Comparator(bits), 1)
+                .with(Primitive::DFlipFlop, 1)
         }
     }
+}
+
+/// Netlist of the feedback SC divider (excluding its comparison source):
+/// integration counter, output comparator, and the feedback AND gate.
+#[must_use]
+pub fn divider_netlist(counter_bits: u32) -> Netlist {
+    Netlist::new(format!("divider-{counter_bits}b"))
+        .with(Primitive::Counter(counter_bits), 1)
+        .with(Primitive::Comparator(counter_bits), 1)
+        .with(Primitive::And2, 1)
 }
 
 /// Netlist of one binary arithmetic operator.
@@ -115,13 +159,78 @@ pub fn binary_netlist(op: BinaryOp) -> Netlist {
     }
 }
 
+/// Netlist of one *scheduled step* of a compiled plan. Equivalent to summing
+/// [`node_netlist`] over the step's operations, but with access to execution
+/// arity: a fused manipulator run is the sum of its chained circuits, and an
+/// APC sum sink over `k` lanes includes its `k − 1`-adder reduction tree.
+#[must_use]
+pub fn step_netlist(step: &Step, converter_bits: u32) -> Netlist {
+    match step {
+        Step::Input { .. } | Step::SinkStream { .. } => Netlist::new("wire"),
+        Step::Generate { source, .. } | Step::Constant { source, .. } => {
+            let mut n = characterize::ds_converter(converter_bits);
+            n.merge(&source_netlist(source, converter_bits));
+            n
+        }
+        Step::Manipulate { kinds, .. } => {
+            let mut n = Netlist::new("manipulator-chain");
+            for kind in kinds {
+                n.merge(&manipulator_netlist(kind));
+            }
+            n
+        }
+        Step::Regenerate { source, .. } => {
+            let mut n = characterize::regeneration_unit(converter_bits);
+            n.merge(&source_netlist(source, converter_bits));
+            n
+        }
+        Step::Not { .. } => Netlist::new("not").with(Primitive::Inverter, 1),
+        Step::Binary { op, .. } => binary_netlist(*op),
+        Step::UnaryFsm { op, .. } => unary_fsm_netlist(*op),
+        Step::Divide {
+            source,
+            counter_bits,
+            ..
+        } => {
+            let mut n = divider_netlist(*counter_bits);
+            n.merge(&source_netlist(source, converter_bits));
+            n
+        }
+        Step::MuxAdd { select, .. } => {
+            let mut n = characterize::mux_adder_netlist();
+            n.merge(&source_netlist(select, converter_bits));
+            n
+        }
+        Step::WeightedMux {
+            weights, select, ..
+        } => {
+            let mut n = Netlist::new("weighted-mux").with(
+                Primitive::Mux2,
+                weights.len().saturating_sub(1).max(1) as u64,
+            );
+            n.merge(&source_netlist(select, converter_bits));
+            n
+        }
+        Step::SinkValue { .. } | Step::SinkCount { .. } => {
+            characterize::sd_converter(converter_bits)
+        }
+        // A k-lane APC: full-adder reduction tree into one wider accumulator.
+        Step::SinkSum { srcs, .. } => characterize::sd_converter(converter_bits + 2)
+            .with(Primitive::FullAdder, srcs.len().saturating_sub(1) as u64),
+        Step::SccProbe { .. } => characterize::sd_converter(converter_bits)
+            .scaled("scc-probe", 3)
+            .with(Primitive::And2, 1),
+    }
+}
+
 /// Netlist of everything a compiled plan executes, including auto-inserted
-/// repair manipulators.
+/// repair manipulators, derived from the scheduled steps (see
+/// [`step_netlist`]).
 #[must_use]
 pub fn compiled_netlist(plan: &CompiledGraph, name: &str, converter_bits: u32) -> Netlist {
     let mut total = Netlist::new(name);
-    for op in plan.ops() {
-        total.merge(&node_netlist(op, converter_bits));
+    for step in plan.steps() {
+        total.merge(&step_netlist(step, converter_bits));
     }
     total
 }

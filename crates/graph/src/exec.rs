@@ -9,8 +9,8 @@ use sc_convert::{
     AccumulativeParallelCounter, DigitalToStochastic, Regenerator, StochasticToDigital,
 };
 use sc_core::{CorrelationManipulator, ManipulatorChain};
-use sc_rng::RandomSource;
-use std::collections::BTreeMap;
+use sc_rng::{RandomSource, RngKind, SourceSpec};
+use std::collections::{BTreeMap, HashMap};
 
 /// One independent input set of a batch: the digital values consumed by
 /// `Generate` nodes and the ready streams consumed by `InputStream` nodes.
@@ -80,6 +80,65 @@ impl ExecOutput {
     }
 }
 
+/// Per-execution cache of live source instances, so plan steps that draw from
+/// one *logically shared* hardware source (equal [`SourceSpec`], consecutive
+/// `skip` ranges) continue a single instance instead of each rebuilding a
+/// fresh source and sample-stepping to its position. For the tiled `sc_image`
+/// pipeline this turns the per-tile select-sample cost from quadratic in
+/// kernels (re-skipping `k·N` samples for kernel `k`) to linear, and the
+/// LFSR's companion-matrix [`sc_rng::RandomSource::skip_ahead`] makes the
+/// remaining cold positioning logarithmic.
+///
+/// Correctness: sources are deterministic, so continuing one instance from
+/// position `p` is bit-identical to `spec.build_skipped(p)`; any consumer
+/// whose requested position does not match the cached position gets a freshly
+/// positioned instance.
+#[derive(Default)]
+struct SourceCache {
+    entries: HashMap<SourceSpec, (Box<dyn RandomSource>, u64)>,
+}
+
+impl SourceCache {
+    /// Returns a source positioned `skip` samples into the spec's sequence
+    /// and records that the caller is about to draw `samples` more.
+    fn source(&mut self, spec: &SourceSpec, skip: u64, samples: u64) -> &mut dyn RandomSource {
+        let entry = self
+            .entries
+            .entry(spec.clone())
+            .and_modify(|(source, position)| {
+                if *position != skip {
+                    *source = spec.build_skipped(skip);
+                    *position = skip;
+                }
+            })
+            .or_insert_with(|| (spec.build_skipped(skip), skip));
+        entry.1 += samples;
+        entry.0.as_mut()
+    }
+}
+
+/// Adapter lending a cached source to the by-value converter constructors
+/// without giving up ownership.
+struct BorrowedSource<'a>(&'a mut dyn RandomSource);
+
+impl RandomSource for BorrowedSource<'_> {
+    fn next_unit(&mut self) -> f64 {
+        self.0.next_unit()
+    }
+
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+
+    fn kind(&self) -> RngKind {
+        self.0.kind()
+    }
+
+    fn skip_ahead(&mut self, count: u64) {
+        self.0.skip_ahead(count);
+    }
+}
+
 /// Executes compiled plans over batches of input sets.
 ///
 /// Every batch item is independent: each execution builds fresh source and
@@ -134,6 +193,7 @@ impl Executor {
     pub fn run(&self, plan: &CompiledGraph, input: &BatchInput) -> Result<ExecOutput, GraphError> {
         let n = self.stream_length;
         let mut slots: Vec<Option<Bitstream>> = vec![None; plan.slot_count];
+        let mut sources = SourceCache::default();
         let mut out = ExecOutput::default();
         // Borrow, never clone: operand reads finish before the destination
         // slot is written, so the streams stay in place across the plan.
@@ -169,7 +229,9 @@ impl Executor {
                                 slot: *slot,
                                 provided: input.values.len(),
                             })?;
-                    let mut d2s = DigitalToStochastic::new(source.build_skipped(*skip));
+                    let mut d2s = DigitalToStochastic::new(BorrowedSource(
+                        sources.source(source, *skip, n as u64),
+                    ));
                     slots[*dst] = Some(d2s.generate(Probability::saturating(value), n));
                 }
                 Step::Constant {
@@ -178,7 +240,9 @@ impl Executor {
                     skip,
                     dst,
                 } => {
-                    let mut d2s = DigitalToStochastic::new(source.build_skipped(*skip));
+                    let mut d2s = DigitalToStochastic::new(BorrowedSource(
+                        sources.source(source, *skip, n as u64),
+                    ));
                     slots[*dst] = Some(d2s.generate(Probability::saturating(*probability), n));
                 }
                 Step::Manipulate {
@@ -209,7 +273,8 @@ impl Executor {
                     src,
                     dst,
                 } => {
-                    let mut regen = Regenerator::new(source.build_skipped(*skip));
+                    let mut regen =
+                        Regenerator::new(BorrowedSource(sources.source(source, *skip, n as u64)));
                     let regenerated = regen.regenerate(slot(&slots, *src));
                     slots[*dst] = Some(regenerated);
                 }
@@ -221,6 +286,32 @@ impl Executor {
                     let z = apply_binary(*op, slot(&slots, *x), slot(&slots, *y))?;
                     slots[*dst] = Some(z);
                 }
+                Step::UnaryFsm { op, src, dst } => {
+                    let z = match op {
+                        crate::node::UnaryFsmOp::Stanh { half_states } => {
+                            sc_arith::fsm_ops::stanh(slot(&slots, *src), *half_states)
+                        }
+                        crate::node::UnaryFsmOp::Slinear { states } => {
+                            sc_arith::fsm_ops::slinear(slot(&slots, *src), *states)
+                        }
+                    };
+                    slots[*dst] = Some(z);
+                }
+                Step::Divide {
+                    source,
+                    skip,
+                    counter_bits,
+                    x,
+                    y,
+                    dst,
+                } => {
+                    let mut divider = sc_arith::divide::Divider::with_counter_bits(
+                        BorrowedSource(sources.source(source, *skip, n as u64)),
+                        *counter_bits,
+                    );
+                    let z = divider.divide(slot(&slots, *x), slot(&slots, *y))?;
+                    slots[*dst] = Some(z);
+                }
                 Step::MuxAdd {
                     select,
                     skip,
@@ -228,10 +319,12 @@ impl Executor {
                     y,
                     dst,
                 } => {
-                    let mut source = select.build_skipped(*skip);
                     let z = {
                         let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
-                        let sel = half_select_stream(&mut source, sx.len());
+                        let sel = half_select_stream(
+                            &mut BorrowedSource(sources.source(select, *skip, sx.len() as u64)),
+                            sx.len(),
+                        );
                         mux_add(sx, sy, &sel)?
                     };
                     slots[*dst] = Some(z);
@@ -243,10 +336,10 @@ impl Executor {
                     srcs,
                     dst,
                 } => {
-                    let mut source = select.build_skipped(*skip);
                     let z = {
                         let refs: Vec<&Bitstream> = srcs.iter().map(|s| slot(&slots, *s)).collect();
-                        weighted_mux(&refs, weights, source.as_mut())?
+                        let samples = refs.first().map_or(0, |s| s.len()) as u64;
+                        weighted_mux(&refs, weights, sources.source(select, *skip, samples))?
                     };
                     slots[*dst] = Some(z);
                 }
@@ -512,6 +605,107 @@ mod tests {
             exec.run(&fused, &input).unwrap(),
             exec.run(&unfused, &input).unwrap()
         );
+    }
+
+    #[test]
+    fn divide_and_unary_fsm_nodes_execute() {
+        let mut g = Graph::new();
+        // Positively correlated pair (shared spec): divide needs no repair.
+        let x = g.generate(0, SourceSpec::VanDerCorput { offset: 0 });
+        let y = g.generate(1, SourceSpec::VanDerCorput { offset: 0 });
+        let q = g.divide(
+            x,
+            y,
+            SourceSpec::Lfsr {
+                width: 16,
+                seed: 0x5A5A,
+            },
+        );
+        g.sink_value("q", q);
+        // Bipolar stanh/slinear over an LFSR-generated stream.
+        let a = g.generate(
+            2,
+            SourceSpec::Lfsr {
+                width: 16,
+                seed: 0xACE1,
+            },
+        );
+        let t = g.stanh(4, a);
+        let l = g.slinear(8, a);
+        g.sink_value("t", t);
+        g.sink_value("l", l);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert!(plan.report().inserted.is_empty(), "{:?}", plan.report());
+        let out = Executor::new(2048)
+            .run(&plan, &BatchInput::with_values(vec![0.3, 0.6, 0.9]))
+            .unwrap();
+        assert!(
+            (out.value("q").unwrap() - 0.5).abs() < 0.1,
+            "0.3 / 0.6 = 0.5, got {}",
+            out.value("q").unwrap()
+        );
+        // Bipolar input value 2·0.9 − 1 = 0.8 saturates stanh high.
+        assert!(out.value("t").unwrap() > 0.8);
+        assert!(out.value("l").unwrap() > 0.7);
+    }
+
+    #[test]
+    fn divider_precondition_is_planned() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2)); // independent ⇒ uncorrelated
+        let q = g.divide(
+            x,
+            y,
+            SourceSpec::Lfsr {
+                width: 16,
+                seed: 0x5A5A,
+            },
+        );
+        g.sink_value("q", q);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(plan.report().inserted.len(), 1);
+        assert!(plan.report().inserted[0].contains("divide"));
+    }
+
+    #[test]
+    fn shared_source_cache_matches_per_step_positioning() {
+        // Two MUX adders drawing from one logically shared select LFSR via
+        // per-node skips, in one plan (cache continues one instance) vs in
+        // two separate plans (each positions a fresh instance): identical.
+        let n = 301usize;
+        let select = SourceSpec::Lfsr {
+            width: 16,
+            seed: 0x1234,
+        };
+        let mut shared = Graph::new();
+        let a = shared.generate(0, sobol(1));
+        let b = shared.generate(1, sobol(2));
+        let z0 = shared.mux_add_skipped(a, b, select.clone(), 0);
+        let z1 = shared.mux_add_skipped(a, b, select.clone(), n as u64);
+        shared.sink_stream("z0", z0);
+        shared.sink_stream("z1", z1);
+        let plan = shared.compile(&PlannerOptions::default()).unwrap();
+        let out = Executor::new(n)
+            .run(&plan, &BatchInput::with_values(vec![0.4, 0.7]))
+            .unwrap();
+
+        let solo = |skip: u64| {
+            let mut g = Graph::new();
+            let a = g.generate(0, sobol(1));
+            let b = g.generate(1, sobol(2));
+            let z = g.mux_add_skipped(a, b, select.clone(), skip);
+            g.sink_stream("z", z);
+            let plan = g.compile(&PlannerOptions::default()).unwrap();
+            Executor::new(n)
+                .run(&plan, &BatchInput::with_values(vec![0.4, 0.7]))
+                .unwrap()
+                .stream("z")
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(out.stream("z0").unwrap(), &solo(0));
+        assert_eq!(out.stream("z1").unwrap(), &solo(n as u64));
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub mod exec;
 pub mod graph;
 pub mod node;
 
-pub use compile::{CompileReport, CompiledGraph, PlannerOptions};
+pub use compile::{CompileReport, CompiledGraph, PlannerOptions, Step};
 pub use exec::{BatchInput, ExecOutput, Executor};
 pub use graph::{Graph, GraphError};
-pub use node::{BinaryOp, CorrRequirement, ManipulatorKind, Node, NodeId, NodeOp, SccClass, Wire};
+pub use node::{
+    BinaryOp, CorrRequirement, ManipulatorKind, Node, NodeId, NodeOp, SccClass, UnaryFsmOp, Wire,
+};

@@ -230,6 +230,33 @@ impl BinaryOp {
     }
 }
 
+/// A one-input, one-output saturating-counter FSM operator drawn from
+/// `sc_arith::fsm_ops` (Brown & Card activation designs; bipolar streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryFsmOp {
+    /// Stochastic `tanh`-like activation: a saturating counter with
+    /// `2·half_states` states whose output is 1 in the upper half.
+    Stanh {
+        /// Half the FSM state count (`1..=2048`).
+        half_states: u32,
+    },
+    /// Stochastic clamped linear gain: a saturating counter with mid-state
+    /// toggling.
+    Slinear {
+        /// Total FSM state count (`2..=4096`).
+        states: u32,
+    },
+}
+
+impl fmt::Display for UnaryFsmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            UnaryFsmOp::Stanh { half_states } => write!(f, "stanh(S={})", 2 * half_states),
+            UnaryFsmOp::Slinear { states } => write!(f, "slinear(S={states})"),
+        }
+    }
+}
+
 impl fmt::Display for BinaryOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -297,6 +324,23 @@ pub enum NodeOp {
         /// The operator.
         BinaryOp,
     ),
+    /// A saturating-counter FSM activation. 1 input, 1 output.
+    UnaryFsm(
+        /// The FSM design.
+        UnaryFsmOp,
+    ),
+    /// The feedback SC divider `pZ = min(1, pX / pY)` (Fig. 2e), with its
+    /// dedicated comparison sample source. Prefers *positively correlated*
+    /// inputs, which the planner establishes like any other precondition.
+    /// 2 inputs, 1 output.
+    Divide {
+        /// Comparison sample source for the output bit decision.
+        source: SourceSpec,
+        /// Samples the source has already served to earlier consumers.
+        skip: u64,
+        /// Width of the saturating integration counter (`1..=20`).
+        counter_bits: u32,
+    },
     /// MUX scaled adder with a dedicated 0.5-valued select source
     /// (`0.5(pX + pY)`, Fig. 2a). 2 inputs, 1 output; select bit 1 picks the
     /// first input.
@@ -373,15 +417,31 @@ impl NodeOp {
             }
             NodeOp::Regenerate { .. }
             | NodeOp::Not
+            | NodeOp::UnaryFsm(_)
             | NodeOp::SinkStream { .. }
             | NodeOp::SinkValue { .. }
             | NodeOp::SinkCount { .. } => Some(1),
             NodeOp::Manipulate(_)
             | NodeOp::Binary(_)
+            | NodeOp::Divide { .. }
             | NodeOp::MuxAdd { .. }
             | NodeOp::SccProbe { .. } => Some(2),
             NodeOp::WeightedMux { weights, .. } => Some(weights.len()),
             NodeOp::SinkSum { .. } => None,
+        }
+    }
+
+    /// The correlation precondition this operation imposes on its two data
+    /// inputs, with a display label, if it is a two-input arithmetic operator
+    /// the planner tracks (binary ops and the feedback divider).
+    #[must_use]
+    pub fn correlation_requirement(&self) -> Option<(String, CorrRequirement)> {
+        match self {
+            NodeOp::Binary(op) => Some((op.to_string(), op.requirement())),
+            // Fig. 2e: the feedback divider wants positively correlated
+            // inputs; uncorrelated inputs increase convergence noise.
+            NodeOp::Divide { .. } => Some(("divide".to_string(), CorrRequirement::Positive)),
+            _ => None,
         }
     }
 
@@ -419,6 +479,8 @@ impl NodeOp {
             NodeOp::Regenerate { source, .. } => format!("regenerate({source})"),
             NodeOp::Not => "not".to_string(),
             NodeOp::Binary(op) => op.to_string(),
+            NodeOp::UnaryFsm(op) => op.to_string(),
+            NodeOp::Divide { source, .. } => format!("divide({source})"),
             NodeOp::MuxAdd { .. } => "mux_add".to_string(),
             NodeOp::WeightedMux { weights, .. } => format!("weighted_mux[{}]", weights.len()),
             NodeOp::SinkStream { name } => format!("sink_stream({name})"),

@@ -188,7 +188,10 @@ pub fn tile_graph(
             let diagonal = g.binary(BinaryOp::XorSubtract, a, d);
             let anti = g.binary(BinaryOp::XorSubtract, b, c);
             let z = g.mux_add_skipped(diagonal, anti, select_spec.clone(), pixel_index * n);
-            let name = format!("edge_{x}_{y}");
+            // Tile-relative sink names, so tiles of equal shape build
+            // *identical* graphs up to their select-LFSR seeds and one
+            // compiled plan can be cached and retargeted across them.
+            let name = format!("edge_{}_{}", x - x0, y - y0);
             g.sink_value(name.clone(), z);
             sinks.push((x, y, name));
             pixel_index += 1;
@@ -365,43 +368,50 @@ mod tests {
 
     /// The headline regression: the graph-compiled pipeline is bit-identical
     /// (and therefore value-identical per pixel) to the retained hand-rolled
-    /// implementation, for every variant, including truncated border tiles.
+    /// implementation, for every variant, including truncated border tiles —
+    /// and including image sizes where the per-shape plan cache actually
+    /// *hits*, so retargeted cached plans are pinned against the reference
+    /// too (a 12×12 image with 6-pixel tiles reuses plans across tiles).
     #[test]
     fn graph_pipeline_is_bit_identical_to_reference_loop() {
-        let blob = GrayImage::gaussian_blob(8, 8);
-        let img = GrayImage::from_fn(8, 8, |x, y| 0.7 * blob.get(x, y) + 0.3 * (y as f64 / 8.0));
         let config = PipelineConfig {
             stream_length: 96, // a partial final word, on purpose
             tile_size: 6,      // 8x8 image → 4 tiles, 3 of them truncated
             rng_bank_size: 8,
             synchronizer_depth: 2,
         };
-        for variant in PipelineVariant::all() {
-            let via_graph = run_sc_pipeline(&img, variant, &config).unwrap();
-            let mut reference_out = GrayImage::filled(img.width(), img.height(), 0.0);
-            let mut tile_index = 0u64;
-            let mut y0 = 0;
-            while y0 < img.height() {
-                let mut x0 = 0;
-                while x0 < img.width() {
-                    reference::process_tile(
-                        &img,
-                        &mut reference_out,
-                        x0,
-                        y0,
-                        variant,
-                        &config,
-                        tile_index,
-                    );
-                    tile_index += 1;
-                    x0 += config.tile_size;
+        for size in [8usize, 12] {
+            let blob = GrayImage::gaussian_blob(size, size);
+            let img = GrayImage::from_fn(size, size, |x, y| {
+                0.7 * blob.get(x, y) + 0.3 * (y as f64 / size as f64)
+            });
+            for variant in PipelineVariant::all() {
+                let via_graph = run_sc_pipeline(&img, variant, &config).unwrap();
+                let mut reference_out = GrayImage::filled(img.width(), img.height(), 0.0);
+                let mut tile_index = 0u64;
+                let mut y0 = 0;
+                while y0 < img.height() {
+                    let mut x0 = 0;
+                    while x0 < img.width() {
+                        reference::process_tile(
+                            &img,
+                            &mut reference_out,
+                            x0,
+                            y0,
+                            variant,
+                            &config,
+                            tile_index,
+                        );
+                        tile_index += 1;
+                        x0 += config.tile_size;
+                    }
+                    y0 += config.tile_size;
                 }
-                y0 += config.tile_size;
+                assert_eq!(
+                    via_graph, reference_out,
+                    "{variant:?} at {size}x{size}: graph pipeline diverged from the reference loop"
+                );
             }
-            assert_eq!(
-                via_graph, reference_out,
-                "{variant:?}: graph pipeline diverged from the reference loop"
-            );
         }
     }
 

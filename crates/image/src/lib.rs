@@ -60,4 +60,7 @@ pub use edge::{roberts_cross_float, sc_edge_detector};
 pub use gaussian::{gaussian_blur_float, ScGaussianBlur, GAUSSIAN_WEIGHTS};
 pub use graph::{planner_options, tile_graph, TileGraph};
 pub use image::{GrayImage, ImageError};
-pub use pipeline::{run_float_pipeline, run_sc_pipeline, PipelineConfig, PipelineVariant};
+pub use pipeline::{
+    run_float_pipeline, run_sc_pipeline, run_sc_pipeline_with_stats, PipelineConfig, PipelineStats,
+    PipelineVariant,
+};

@@ -10,9 +10,11 @@
 
 use crate::edge::roberts_cross_float;
 use crate::gaussian::gaussian_blur_float;
-use crate::graph::{planner_options, tile_graph};
+use crate::graph::{blur_select_seed, edge_select_seed, planner_options, tile_graph};
 use crate::image::{GrayImage, ImageError};
-use sc_graph::Executor;
+use sc_graph::{CompiledGraph, Executor};
+use sc_rng::SourceSpec;
+use std::collections::HashMap;
 
 /// How the accelerator handles correlation between the Gaussian-blur outputs
 /// and the edge-detector inputs.
@@ -97,6 +99,27 @@ pub fn run_float_pipeline(image: &GrayImage) -> GrayImage {
     roberts_cross_float(&gaussian_blur_float(image))
 }
 
+/// Execution statistics of one [`run_sc_pipeline_with_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Number of tiles processed.
+    pub tiles: usize,
+    /// Number of graph compilations actually run. Tiles of equal shape and
+    /// equal source-bank phase (tile origin modulo the bank pattern's 4×2
+    /// period) share one compiled plan with the per-tile select-LFSR seeds
+    /// retargeted onto the cached template, so this counts *distinct tile
+    /// classes*, not tiles.
+    pub compilations: usize,
+}
+
+/// A cached compiled plan for one tile shape, with the select-LFSR seeds it
+/// was compiled against (needed to retarget it to another tile's seeds).
+struct CachedPlan {
+    plan: CompiledGraph,
+    blur_seed: u64,
+    edge_seed: u64,
+}
+
 /// Runs the stochastic accelerator over the whole image, tile by tile, and
 /// returns the edge-magnitude output image.
 ///
@@ -109,28 +132,56 @@ pub fn run_sc_pipeline(
     variant: PipelineVariant,
     config: &PipelineConfig,
 ) -> Result<GrayImage, ImageError> {
+    run_sc_pipeline_with_stats(image, variant, config).map(|(out, _)| out)
+}
+
+/// Like [`run_sc_pipeline`], also reporting how much compilation work the
+/// plan cache saved.
+///
+/// # Errors
+///
+/// Same conditions as [`run_sc_pipeline`].
+pub fn run_sc_pipeline_with_stats(
+    image: &GrayImage,
+    variant: PipelineVariant,
+    config: &PipelineConfig,
+) -> Result<(GrayImage, PipelineStats), ImageError> {
     if config.tile_size == 0 || config.stream_length == 0 || config.rng_bank_size == 0 {
         return Err(ImageError::EmptyImage);
     }
     let mut output = GrayImage::filled(image.width(), image.height(), 0.0);
+    let mut cache: HashMap<(usize, usize, usize, usize), CachedPlan> = HashMap::new();
+    let mut stats = PipelineStats::default();
     let tile = config.tile_size;
     let mut tile_index = 0u64;
     let mut y0 = 0;
     while y0 < image.height() {
         let mut x0 = 0;
         while x0 < image.width() {
-            process_tile(image, &mut output, x0, y0, variant, config, tile_index);
+            process_tile(
+                image,
+                &mut output,
+                x0,
+                y0,
+                variant,
+                config,
+                tile_index,
+                &mut cache,
+                &mut stats,
+            );
             tile_index += 1;
             x0 += tile;
         }
         y0 += tile;
     }
-    Ok(output)
+    Ok((output, stats))
 }
 
 /// Processes one tile whose top-left corner is `(x0, y0)`: build the tile's
-/// dataflow graph, compile it with the variant's planner options, execute,
+/// dataflow graph, obtain a compiled plan — from the shape cache with the
+/// tile's select seeds retargeted in, or by compiling and caching — execute,
 /// and scatter the sink values into the output image.
+#[allow(clippy::too_many_arguments)]
 fn process_tile(
     image: &GrayImage,
     output: &mut GrayImage,
@@ -139,12 +190,66 @@ fn process_tile(
     variant: PipelineVariant,
     config: &PipelineConfig,
     tile_index: u64,
+    cache: &mut HashMap<(usize, usize, usize, usize), CachedPlan>,
+    stats: &mut PipelineStats,
 ) {
+    stats.tiles += 1;
     let tile = tile_graph(image, x0, y0, variant, config, tile_index);
-    let plan = tile
-        .graph
-        .compile(&planner_options(variant, config))
-        .expect("tile graphs are structurally valid by construction");
+    // Cache key: the tile shape *and* the tile origin's phase in the input
+    // source-bank pattern. `pixel_bank_index` assigns each input pixel's
+    // Sobol dimension from its absolute coordinates with periods 4 (x) and
+    // 2 (y), so only tiles whose origins agree modulo those periods build
+    // identical `Generate` layouts; two equal-shape tiles at different
+    // phases must not share a plan.
+    let key = (
+        (x0 + config.tile_size).min(image.width()) - x0,
+        (y0 + config.tile_size).min(image.height()) - y0,
+        x0 % 4,
+        y0 % 2,
+    );
+    let blur_seed = blur_select_seed(tile_index);
+    let edge_seed = edge_select_seed(tile_index);
+    // Tiles sharing a key build structurally identical graphs whose only
+    // difference is the two per-tile select-LFSR seeds, so the cached plan
+    // retargets onto this tile exactly. A (theoretical) seed collision
+    // between the blur and edge selects would make the rewrite ambiguous, so
+    // such tiles fall back to a direct compile.
+    let cached = cache
+        .get(&key)
+        .filter(|c| c.blur_seed != c.edge_seed && blur_seed != edge_seed);
+    let plan = match cached {
+        Some(c) => c.plan.retarget_sources(|spec| match spec {
+            SourceSpec::Lfsr { width: 16, seed } if *seed == c.blur_seed => {
+                Some(SourceSpec::Lfsr {
+                    width: 16,
+                    seed: blur_seed,
+                })
+            }
+            SourceSpec::Lfsr { width: 16, seed } if *seed == c.edge_seed => {
+                Some(SourceSpec::Lfsr {
+                    width: 16,
+                    seed: edge_seed,
+                })
+            }
+            _ => None,
+        }),
+        None => {
+            stats.compilations += 1;
+            let plan = tile
+                .graph
+                .compile(&planner_options(variant, config))
+                .expect("tile graphs are structurally valid by construction");
+            cache.insert(
+                key,
+                CachedPlan {
+                    plan: plan.clone(),
+                    blur_seed,
+                    edge_seed,
+                },
+            );
+            plan
+        }
+    };
     let result = Executor::new(config.stream_length)
         .run(&plan, &tile.input)
         .expect("tile graphs execute over their own batch input");
@@ -282,6 +387,31 @@ mod tests {
             sync < 0.08,
             "synchronizer variant error should be small, got {sync:.3}"
         );
+    }
+
+    #[test]
+    fn plan_cache_compiles_once_per_tile_shape() {
+        // An 8x8 image with 6-pixel tiles has 4 tiles in 4 distinct shapes
+        // (full, right edge, bottom edge, corner): every tile compiles.
+        let img = GrayImage::gradient(8, 8);
+        let config = PipelineConfig::quick();
+        let (_, stats) =
+            run_sc_pipeline_with_stats(&img, PipelineVariant::Synchronizer, &config).unwrap();
+        assert_eq!(stats.tiles, 4);
+        assert_eq!(stats.compilations, 4);
+        // A 12x12 image has 4 full-size tiles but only 2 bank phases
+        // (x0 ∈ {0, 6} ⇒ x0 % 4 ∈ {0, 2}); an 18x6 strip has 3 tiles in the
+        // same 2 phases: the cache collapses the repeats.
+        let img = GrayImage::gradient(12, 12);
+        let (_, stats) =
+            run_sc_pipeline_with_stats(&img, PipelineVariant::Synchronizer, &config).unwrap();
+        assert_eq!(stats.tiles, 4);
+        assert_eq!(stats.compilations, 2);
+        let img = GrayImage::gradient(18, 6);
+        let (_, stats) =
+            run_sc_pipeline_with_stats(&img, PipelineVariant::Synchronizer, &config).unwrap();
+        assert_eq!(stats.tiles, 3);
+        assert_eq!(stats.compilations, 2);
     }
 
     #[test]

@@ -129,24 +129,76 @@ impl Lfsr {
         self.state
     }
 
+    /// The feedback tap mask (primitive polynomial) of this register, as used
+    /// by RTL emission of the equivalent hardware LFSR.
+    #[must_use]
+    pub fn taps(&self) -> u64 {
+        self.taps
+    }
+
     /// Advances the register one step and returns the new state.
     pub fn step(&mut self) -> u64 {
+        self.state = self.transition(self.state);
+        self.state
+    }
+
+    /// The one-step state transition, as a pure function. Both feedback
+    /// structures are *linear* over GF(2): the next state is an XOR of shifted
+    /// state bits, which is what makes the companion-matrix jump of
+    /// [`Lfsr::jump`] possible.
+    fn transition(&self, state: u64) -> u64 {
         let mask = (1u64 << self.width) - 1;
         match self.structure {
             LfsrStructure::Fibonacci => {
-                let feedback = (self.state & self.taps).count_ones() as u64 & 1;
-                self.state = ((self.state << 1) | feedback) & mask;
+                let feedback = (state & self.taps).count_ones() as u64 & 1;
+                // Bit 0 of the shifted state is 0, so OR equals XOR: linear.
+                ((state << 1) | feedback) & mask
             }
             LfsrStructure::Galois => {
-                let out = self.state & 1;
-                self.state >>= 1;
-                if out == 1 {
-                    self.state ^= self.taps;
+                let shifted = state >> 1;
+                if state & 1 == 1 {
+                    (shifted ^ self.taps) & mask
+                } else {
+                    shifted
                 }
-                self.state &= mask;
             }
         }
-        self.state
+    }
+
+    /// Applies a linear map (columns = images of the basis vectors) to a state.
+    fn apply(matrix: &[u64], state: u64) -> u64 {
+        let mut out = 0u64;
+        let mut bits = state;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            out ^= matrix[i];
+            bits &= bits - 1;
+        }
+        out
+    }
+
+    /// Jumps the register `count` steps ahead in `O(w² log count)` word
+    /// operations via square-and-multiply over the companion matrix, instead
+    /// of `count` sequential register steps. Equivalent to calling
+    /// [`Lfsr::step`] `count` times.
+    pub fn jump(&mut self, count: u64) {
+        let mut base: Vec<u64> = (0..self.width)
+            .map(|i| self.transition(1u64 << i))
+            .collect();
+        let mut remaining = count;
+        let mut scratch = vec![0u64; self.width as usize];
+        while remaining != 0 {
+            if remaining & 1 == 1 {
+                self.state = Self::apply(&base, self.state);
+            }
+            remaining >>= 1;
+            if remaining != 0 {
+                for (i, slot) in scratch.iter_mut().enumerate() {
+                    *slot = Self::apply(&base, base[i]);
+                }
+                std::mem::swap(&mut base, &mut scratch);
+            }
+        }
     }
 }
 
@@ -167,6 +219,11 @@ impl RandomSource for Lfsr {
 
     fn label(&self) -> String {
         format!("LFSR-{}", self.width)
+    }
+
+    /// Companion-matrix fast-forward: `O(w² log count)` instead of `O(count)`.
+    fn skip_ahead(&mut self, count: u64) {
+        self.jump(count);
     }
 }
 
@@ -256,6 +313,51 @@ mod tests {
     fn label_mentions_width() {
         assert_eq!(Lfsr::new(16, 1).label(), "LFSR-16");
         assert_eq!(Lfsr::new(16, 1).kind(), RngKind::Lfsr);
+    }
+
+    #[test]
+    fn jump_matches_sequential_stepping() {
+        for structure in [LfsrStructure::Fibonacci, LfsrStructure::Galois] {
+            for width in [3u32, 8, 16, 24] {
+                for count in [0u64, 1, 2, 63, 64, 65, 1000, 1_000_003] {
+                    let mut stepped = Lfsr::with_structure(width, 0xACE1, structure);
+                    for _ in 0..count {
+                        stepped.step();
+                    }
+                    let mut jumped = Lfsr::with_structure(width, 0xACE1, structure);
+                    jumped.jump(count);
+                    assert_eq!(
+                        stepped.state(),
+                        jumped.state(),
+                        "width {width} count {count} {structure:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_ahead_uses_jump_and_matches_samples() {
+        let mut manual = Lfsr::new(16, 0xBEEF);
+        for _ in 0..12345 {
+            manual.next_unit();
+        }
+        let mut skipped = Lfsr::new(16, 0xBEEF);
+        skipped.skip_ahead(12345);
+        assert_eq!(manual.take_units(8), skipped.take_units(8));
+    }
+
+    #[test]
+    fn jump_wraps_past_full_period() {
+        let mut a = Lfsr::new(8, 0x5A);
+        let period = a.period();
+        a.jump(period);
+        assert_eq!(a.state(), 0x5A, "full period returns to the seed state");
+        let mut b = Lfsr::new(8, 0x5A);
+        b.jump(period * 3 + 7);
+        let mut c = Lfsr::new(8, 0x5A);
+        c.jump(7);
+        assert_eq!(b.state(), c.state());
     }
 
     #[test]

@@ -54,6 +54,21 @@ pub trait RandomSource: Send {
     fn label(&self) -> String {
         self.kind().to_string()
     }
+
+    /// Advances the source by `count` samples, discarding them.
+    ///
+    /// Used to position an independently built source mid-sequence, e.g. when
+    /// a dataflow plan gives each node its own instance of a logically shared
+    /// source (see [`crate::SourceSpec::build_skipped`]). The default
+    /// implementation steps sample by sample; sources with algebraic state
+    /// transitions override it with a sub-linear jump ([`crate::Lfsr`] uses a
+    /// companion-matrix power, `O(w² log count)` word operations instead of
+    /// `count` register steps).
+    fn skip_ahead(&mut self, count: u64) {
+        for _ in 0..count {
+            self.next_unit();
+        }
+    }
 }
 
 impl RandomSource for Box<dyn RandomSource> {
@@ -71,6 +86,10 @@ impl RandomSource for Box<dyn RandomSource> {
 
     fn label(&self) -> String {
         self.as_ref().label()
+    }
+
+    fn skip_ahead(&mut self, count: u64) {
+        self.as_mut().skip_ahead(count);
     }
 }
 
@@ -90,17 +109,6 @@ pub trait SourceExt: RandomSource {
     /// Collects the next `count` unit samples into a vector.
     fn take_units(&mut self, count: usize) -> Vec<f64> {
         (0..count).map(|_| self.next_unit()).collect()
-    }
-
-    /// Advances the source by `count` samples, discarding them.
-    ///
-    /// Used to position an independently built source mid-sequence, e.g. when
-    /// a dataflow plan gives each node its own instance of a logically shared
-    /// source (see [`crate::SourceSpec::build_skipped`]).
-    fn skip_ahead(&mut self, count: u64) {
-        for _ in 0..count {
-            self.next_unit();
-        }
     }
 }
 

@@ -16,7 +16,7 @@
 //!   reproducing the state a shared hardware source would have after serving
 //!   earlier consumers.
 
-use crate::{CounterSource, Halton, Lfsr, RandomSource, RngKind, Sobol, SourceExt, VanDerCorput};
+use crate::{CounterSource, Halton, Lfsr, RandomSource, RngKind, Sobol, VanDerCorput};
 use std::fmt;
 
 /// A buildable, comparable description of a [`RandomSource`].
@@ -130,6 +130,36 @@ impl SourceSpec {
         }
     }
 
+    /// Gate-model parameters of the hardware generator this spec describes,
+    /// used by the RTL lowering backend to size state registers and emit
+    /// Verilog parameters, and by the structural cost bridge.
+    #[must_use]
+    pub fn gate_model(&self) -> SourceGateModel {
+        match *self {
+            SourceSpec::Lfsr { width, .. } => SourceGateModel {
+                state_bits: width,
+                sequential: true,
+            },
+            // A base-2 Van der Corput generator is a bit-reversed counter;
+            // Halton generalises it to digit reversal in another radix. Both
+            // are modelled at the default 16-bit hardware resolution.
+            SourceSpec::VanDerCorput { .. } | SourceSpec::Halton { .. } => SourceGateModel {
+                state_bits: 16,
+                sequential: true,
+            },
+            // A Sobol generator keeps the previous sample and a direction
+            // vector bank; 32 state bits is the usual hardware configuration.
+            SourceSpec::Sobol { .. } => SourceGateModel {
+                state_bits: 32,
+                sequential: true,
+            },
+            SourceSpec::Counter { modulus, .. } => SourceGateModel {
+                state_bits: (64 - modulus.saturating_sub(1).leading_zeros()).max(1),
+                sequential: true,
+            },
+        }
+    }
+
     /// Builds a fresh source and advances it by `skip` samples, reproducing
     /// the state a shared source instance would have after `skip` earlier
     /// draws by other consumers.
@@ -166,6 +196,16 @@ impl SourceSpec {
         source.skip_ahead(skip);
         source
     }
+}
+
+/// Hardware parameters of the gate-level generator behind a [`SourceSpec`]
+/// (see [`SourceSpec::gate_model`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceGateModel {
+    /// Number of sequential state bits (register width) of the generator.
+    pub state_bits: u32,
+    /// Whether the generator holds clocked state (all current families do).
+    pub sequential: bool,
 }
 
 impl fmt::Display for SourceSpec {
@@ -258,6 +298,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn gate_models_cover_families() {
+        assert_eq!(
+            SourceSpec::Lfsr {
+                width: 16,
+                seed: 0xACE1
+            }
+            .gate_model()
+            .state_bits,
+            16
+        );
+        assert_eq!(
+            SourceSpec::VanDerCorput { offset: 0 }
+                .gate_model()
+                .state_bits,
+            16
+        );
+        assert_eq!(
+            SourceSpec::Sobol { dimension: 1 }.gate_model().state_bits,
+            32
+        );
+        assert_eq!(
+            SourceSpec::Counter {
+                modulus: 256,
+                phase: 0
+            }
+            .gate_model()
+            .state_bits,
+            8
+        );
+        assert_eq!(
+            SourceSpec::Counter {
+                modulus: 1,
+                phase: 0
+            }
+            .gate_model()
+            .state_bits,
+            1
+        );
+        assert!(
+            SourceSpec::Halton { base: 3, offset: 0 }
+                .gate_model()
+                .sequential
+        );
     }
 
     #[test]

@@ -175,6 +175,13 @@ impl Circuit {
         self.primary_outputs.push((name.into(), net));
     }
 
+    /// Marks a multi-bit bus as primary outputs named `prefix[i]`, LSB first.
+    pub fn mark_output_bus(&mut self, prefix: &str, nets: &[NetId]) {
+        for (i, net) in nets.iter().enumerate() {
+            self.mark_output(format!("{prefix}[{i}]"), *net);
+        }
+    }
+
     /// Number of component instances in the circuit.
     #[must_use]
     pub fn component_count(&self) -> usize {
@@ -237,6 +244,24 @@ impl Circuit {
         Ok(outputs)
     }
 
+    /// Like [`Circuit::run`] but with an explicit cycle count, so circuits
+    /// with *no* primary inputs (e.g. fully generator-driven designs lowered
+    /// from dataflow plans) can still be clocked.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::run`], plus a
+    /// [`SimError::StimulusLengthMismatch`] if any stimulus stream's length
+    /// differs from `cycles`.
+    pub fn run_cycles(
+        &mut self,
+        stimuli: &[(&str, Bitstream)],
+        cycles: usize,
+    ) -> Result<HashMap<String, Bitstream>, SimError> {
+        let (outputs, _) = self.run_traced_cycles(stimuli, Some(cycles), false)?;
+        Ok(outputs)
+    }
+
     /// Like [`Circuit::run`] but optionally records a full per-net [`Trace`].
     ///
     /// # Errors
@@ -247,9 +272,24 @@ impl Circuit {
         stimuli: &[(&str, Bitstream)],
         capture_trace: bool,
     ) -> Result<(HashMap<String, Bitstream>, Option<Trace>), SimError> {
+        self.run_traced_cycles(stimuli, None, capture_trace)
+    }
+
+    /// The most general run entry point: optional explicit cycle count plus
+    /// optional trace capture.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::run_cycles`].
+    pub fn run_traced_cycles(
+        &mut self,
+        stimuli: &[(&str, Bitstream)],
+        explicit_cycles: Option<usize>,
+        capture_trace: bool,
+    ) -> Result<(HashMap<String, Bitstream>, Option<Trace>), SimError> {
         // Validate stimuli.
         let mut by_name: HashMap<&str, &Bitstream> = HashMap::new();
-        let mut cycles: Option<usize> = None;
+        let mut cycles: Option<usize> = explicit_cycles;
         for (name, stream) in stimuli {
             if !self.primary_inputs.iter().any(|(n, _)| n == name) {
                 return Err(SimError::UnknownInput((*name).to_string()));
@@ -577,6 +617,35 @@ mod tests {
         c.mark_output("z", z);
         let out = c.run(&[("x", bs("0110"))]).unwrap();
         assert_eq!(out["z"], bs("1001"));
+    }
+
+    #[test]
+    fn run_cycles_clocks_inputless_circuits() {
+        use crate::components::UpCounter;
+        let mut c = Circuit::new();
+        let one = c.add_component(Constant::new(true), &[])[0];
+        let bus = c.add_component(UpCounter::new(4), &[one]);
+        c.mark_output_bus("cnt", &bus);
+        let out = c.run_cycles(&[], 5).unwrap();
+        // Final-cycle bus value = 5 (count including the current cycle).
+        let count: usize = (0..4)
+            .filter(|i| out[&format!("cnt[{i}]")].bit(4))
+            .map(|i| 1usize << i)
+            .sum();
+        assert_eq!(count, 5);
+        // Explicit cycle count must agree with stimulus lengths.
+        let mut c = Circuit::new();
+        let x = c.add_input("x");
+        let z = c.add_component(NotGate::new(), &[x])[0];
+        c.mark_output("z", z);
+        assert!(matches!(
+            c.run_cycles(&[("x", bs("0101"))], 5),
+            Err(SimError::StimulusLengthMismatch { .. })
+        ));
+        assert_eq!(
+            c.run_cycles(&[("x", bs("0101"))], 4).unwrap()["z"],
+            bs("1010")
+        );
     }
 
     #[test]

@@ -228,6 +228,108 @@ impl<F: FnMut(&[bool]) -> Vec<bool> + Send> Component for StreamFn<F> {
     }
 }
 
+/// A one-bit full adder: ports are `(a, b, carry_in)`, outputs are
+/// `(sum, carry_out)`. The building block of parallel-counter (APC) adder
+/// trees and of the correlation-agnostic adder's majority/sum pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FullAdder;
+
+impl FullAdder {
+    /// Creates the adder.
+    #[must_use]
+    pub fn new() -> Self {
+        FullAdder
+    }
+}
+
+impl Component for FullAdder {
+    fn name(&self) -> &str {
+        "fa"
+    }
+
+    fn num_inputs(&self) -> usize {
+        3
+    }
+
+    fn num_outputs(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&mut self, inputs: &[bool], outputs: &mut [bool]) {
+        let ones = inputs.iter().filter(|&&b| b).count();
+        outputs[0] = ones & 1 == 1; // sum
+        outputs[1] = ones >= 2; // carry
+    }
+}
+
+/// A `bits`-wide up counter with a combinational increment path: the output
+/// bus carries `state + enable` (LSB first), so at the final cycle of a run
+/// the bus holds the total number of enabled cycles *including* the current
+/// one — the S/D converter counter of Fig. 2f readable without an extra
+/// drain cycle. The register commits at the end of the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UpCounter {
+    bits: u32,
+    state: u64,
+}
+
+impl UpCounter {
+    /// Creates a zeroed counter with `bits` output bits (1–63).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (1..=63).contains(&bits),
+            "counter width {bits} outside supported range 1..=63"
+        );
+        UpCounter { bits, state: 0 }
+    }
+
+    /// The configured output width in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The committed count (excluding any in-flight cycle).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Component for UpCounter {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.bits as usize
+    }
+
+    fn evaluate(&mut self, inputs: &[bool], outputs: &mut [bool]) {
+        let value = (self.state + u64::from(inputs[0])) & ((1u64 << self.bits) - 1);
+        for (i, out) in outputs.iter_mut().enumerate() {
+            *out = (value >> i) & 1 == 1;
+        }
+    }
+
+    fn commit(&mut self, inputs: &[bool]) {
+        self.state = (self.state + u64::from(inputs[0])) & ((1u64 << self.bits) - 1);
+    }
+
+    fn reset(&mut self) {
+        self.state = 0;
+    }
+}
+
 /// A constant-value source component with no inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Constant(bool);
@@ -327,6 +429,48 @@ mod tests {
         let mut c = StreamFn::new("bad", 1, 2, |_: &[bool]| vec![true]);
         let mut out = [false, false];
         c.evaluate(&[true], &mut out);
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut fa = FullAdder::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let mut out = [false, false];
+                    fa.evaluate(&[a, b, cin], &mut out);
+                    let ones = usize::from(a) + usize::from(b) + usize::from(cin);
+                    assert_eq!(out[0], ones & 1 == 1, "sum for {a}{b}{cin}");
+                    assert_eq!(out[1], ones >= 2, "carry for {a}{b}{cin}");
+                }
+            }
+        }
+        assert_eq!(fa.num_inputs(), 3);
+        assert_eq!(fa.num_outputs(), 2);
+    }
+
+    #[test]
+    fn up_counter_counts_and_wraps() {
+        let mut c = UpCounter::new(2);
+        assert_eq!(c.bits(), 2);
+        let mut out = [false, false];
+        c.evaluate(&[true], &mut out);
+        assert_eq!(out, [true, false], "combinational increment visible");
+        c.commit(&[true]);
+        assert_eq!(c.count(), 1);
+        c.commit(&[true]);
+        c.commit(&[true]);
+        c.commit(&[true]);
+        assert_eq!(c.count(), 0, "2-bit counter wraps at 4");
+        c.commit(&[true]);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn zero_width_counter_panics() {
+        let _ = UpCounter::new(0);
     }
 
     #[test]
