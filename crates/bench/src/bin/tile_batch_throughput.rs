@@ -1,0 +1,226 @@
+//! Measures the cross-tile batch dispatcher of `sc_image` and the
+//! speculative FSM word-stepping of `sc_core`, recording the evidence in
+//! `BENCH_tile_batch.json`.
+//!
+//! Run with `cargo run --release -p sc_bench --bin tile_batch_throughput`.
+//! The JSON file is written to the current directory (or to the path given
+//! as the first argument).
+//!
+//! Two claims are gated:
+//!
+//! * **Cross-tile dispatch** — a whole image (every tile compiled or
+//!   cache-retargeted to its own plan) submitted as one heterogeneous
+//!   sharded `run_group` dispatch must beat the sequential per-tile loop
+//!   (the same dispatcher at one worker) on a multi-core machine; on a
+//!   single-CPU machine, where sharding can only break even, it must stay
+//!   within 15% of single-thread throughput — the same tolerance pattern as
+//!   `graph_batch_throughput`.
+//! * **Speculative FSM word-stepping** — the table-driven synchronizer and
+//!   desynchronizer `step_word` must beat the retained bit-serial path
+//!   (`process_bit_serial`, the in-tree reference every word path is
+//!   verified against) by at least 5× at 4096-bit streams, at the depths
+//!   the planner and pipeline actually insert (synchronizer D = 2,
+//!   desynchronizer D = 1).
+
+use sc_bitstream::Bitstream;
+use sc_core::{CorrelationManipulator, Desynchronizer, Synchronizer};
+use sc_image::{run_sc_pipeline_with_threads, GrayImage, PipelineConfig, PipelineVariant};
+use std::time::Instant;
+
+const FSM_STREAM_BITS: usize = 4096;
+
+/// Best observed rate (calls per second) over several samples, with the
+/// repetition count calibrated so each sample is long enough to time
+/// reliably.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    let mut reps = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        if ns >= 20_000_000 || reps >= 1 << 16 {
+            break;
+        }
+        reps = (reps * 20_000_000 / ns.max(1)).clamp(reps + 1, reps * 16);
+    }
+    let mut best = 0.0f64;
+    for _ in 0..7 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.max(reps as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_image() -> GrayImage {
+    let blob = GrayImage::gaussian_blob(30, 30);
+    GrayImage::from_fn(30, 30, |x, y| {
+        0.6 * blob.get(x, y) + 0.4 * (x as f64 / 30.0)
+    })
+}
+
+struct FsmRow {
+    kernel: &'static str,
+    bit_serial_ns: f64,
+    speculative_ns: f64,
+}
+
+impl FsmRow {
+    fn speedup(&self) -> f64 {
+        self.bit_serial_ns / self.speculative_ns
+    }
+}
+
+fn bench_fsm<M, F>(kernel: &'static str, make: F) -> FsmRow
+where
+    M: CorrelationManipulator,
+    F: Fn() -> M,
+{
+    let n = FSM_STREAM_BITS;
+    let x = Bitstream::from_fn(n, |i| (i * 7 + 3) % 5 < 2);
+    let y = Bitstream::from_fn(n, |i| (i * 11 + 1) % 3 == 0);
+    let serial = measure(|| {
+        let mut m = make();
+        std::hint::black_box(m.process_bit_serial(&x, &y).expect("equal lengths"));
+    });
+    let speculative = measure(|| {
+        let mut m = make();
+        std::hint::black_box(m.process(&x, &y).expect("equal lengths"));
+    });
+    let row = FsmRow {
+        kernel,
+        bit_serial_ns: 1e9 / serial,
+        speculative_ns: 1e9 / speculative,
+    };
+    println!(
+        "{:<20} bit-serial {:>10.0} ns   speculative {:>10.0} ns   speedup {:>6.1}x",
+        row.kernel,
+        row.bit_serial_ns,
+        row.speculative_ns,
+        row.speedup()
+    );
+    row
+}
+
+struct TileRow {
+    threads: usize,
+    images_per_sec: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_tile_batch.json".into());
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // On a single-CPU machine still exercise the sharded path (2 workers);
+    // the gate below adapts.
+    let sharded_threads = cpus.clamp(2, 8);
+
+    // --- Cross-tile dispatch: 30×30 image, 10-pixel tiles → 9 tiles in 4
+    // plan-cache classes, dispatched as one heterogeneous group.
+    let img = bench_image();
+    let config = PipelineConfig {
+        stream_length: 256,
+        tile_size: 10,
+        rng_bank_size: 8,
+        synchronizer_depth: 2,
+    };
+    let mut tile_rows: Vec<TileRow> = Vec::new();
+    for threads in [1usize, sharded_threads] {
+        let images_per_sec = measure(|| {
+            let out =
+                run_sc_pipeline_with_threads(&img, PipelineVariant::Synchronizer, &config, threads)
+                    .expect("benchmark pipeline executes");
+            std::hint::black_box(out);
+        });
+        println!("tiles 9  threads {threads}  {images_per_sec:>8.2} images/sec");
+        tile_rows.push(TileRow {
+            threads,
+            images_per_sec,
+        });
+    }
+    let single = tile_rows[0].images_per_sec;
+    let sharded = tile_rows[1].images_per_sec;
+    let tile_speedup = sharded / single;
+
+    // --- Speculative FSM word-stepping at the depths the planner inserts.
+    let fsm_rows = vec![
+        bench_fsm("synchronizer_d2", || Synchronizer::new(2)),
+        bench_fsm("desynchronizer_d1", || Desynchronizer::new(1)),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cpus\": {cpus},\n"));
+    json.push_str(&format!("  \"sharded_threads\": {sharded_threads},\n"));
+    json.push_str(
+        "  \"tile_dispatch\": {\n    \"image\": \"30x30, 10px tiles (9 tiles), N=256, \
+         synchronizer variant\",\n    \"unit\": \"whole images per second, best of 7 samples\",\n",
+    );
+    json.push_str(&format!(
+        "    \"cross_tile_speedup\": {tile_speedup:.3},\n    \"results\": [\n"
+    ));
+    for (i, row) in tile_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"threads\": {}, \"images_per_sec\": {:.2}}}{}\n",
+            row.threads,
+            row.images_per_sec,
+            if i + 1 == tile_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str(&format!(
+        "  \"fsm_word_stepping\": {{\n    \"stream_bits\": {FSM_STREAM_BITS},\n    \"unit\": \
+         \"ns per whole-stream call, best of 7 samples\",\n    \"results\": [\n"
+    ));
+    for (i, row) in fsm_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"kernel\": \"{}\", \"bit_serial_ns\": {:.0}, \"speculative_ns\": {:.0}, \
+             \"speedup\": {:.1}}}{}\n",
+            row.kernel,
+            row.bit_serial_ns,
+            row.speculative_ns,
+            row.speedup(),
+            if i + 1 == fsm_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_tile_batch.json");
+    println!("\nwrote {out_path}");
+
+    // Gate 1: cross-tile dispatch (strict on multi-core, tolerance on 1 CPU).
+    if cpus > 1 {
+        assert!(
+            sharded > single,
+            "cross-tile dispatch ({sharded:.2} images/s on {sharded_threads} threads) must \
+             beat the sequential per-tile loop ({single:.2} images/s) on a {cpus}-CPU machine"
+        );
+        println!("cross-tile dispatch beats sequential tiles: {tile_speedup:.2}x");
+    } else {
+        assert!(
+            tile_speedup >= 0.85,
+            "on a single CPU, cross-tile dispatch must stay within 15% of single-thread \
+             throughput (got {tile_speedup:.2}x)"
+        );
+        println!(
+            "single CPU: cross-tile dispatch within tolerance of sequential ({tile_speedup:.2}x)"
+        );
+    }
+
+    // Gate 2: speculative FSM stepping must beat the bit-serial path ≥ 5×.
+    for row in &fsm_rows {
+        assert!(
+            row.speedup() >= 5.0,
+            "{} speculative word-stepping speedup {:.1}x is below the 5x acceptance bar",
+            row.kernel,
+            row.speedup()
+        );
+    }
+    println!("speculative FSM word-stepping meets the 5x speedup bar");
+}

@@ -19,11 +19,14 @@
 //! | `ablation_satadd` | Fig. 5c — saturating adder accuracy sweep |
 //! | `ablation_length` | §II.A — stream length vs. precision sweep |
 //!
-//! Two perf-trajectory binaries record engine evidence as JSON:
+//! Three perf-trajectory binaries record engine evidence as JSON:
 //! `word_parallel_speedup` (`BENCH_word_parallel.json`, bit-serial vs
-//! word-parallel kernels) and `graph_batch_throughput`
+//! word-parallel kernels), `graph_batch_throughput`
 //! (`BENCH_graph_batch.json`, sharded vs single-thread batch execution on
-//! the `sc_graph` engine).
+//! the `sc_graph` engine), and `tile_batch_throughput`
+//! (`BENCH_tile_batch.json`, the `sc_image` cross-tile batch dispatcher vs
+//! the sequential per-tile loop, plus speculative table-driven FSM
+//! word-stepping vs the bit-serial reference).
 //!
 //! Criterion throughput benchmarks live in `benches/`.
 //!

@@ -7,9 +7,8 @@
 //! FSM compound, which §III.B suggests mitigating by giving alternating
 //! stages opposite initial states ([`crate::Synchronizer::with_initial_credit`]).
 
-use crate::kernel::{process_with_kernel, StreamKernel};
+use crate::kernel::StreamKernel;
 use crate::manipulator::CorrelationManipulator;
-use sc_bitstream::{Bitstream, Result};
 
 /// A chain stage: a manipulator that also exposes the word-level kernel
 /// interface, so the chain can fuse all stages into a single pass per word.
@@ -143,8 +142,8 @@ impl CorrelationManipulator for ManipulatorChain {
         }
     }
 
-    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
-        process_with_kernel(self, x, y)
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        StreamKernel::step_word(self, x, y, valid)
     }
 }
 

@@ -8,10 +8,9 @@
 //! a fixed offset and leave relative order intact, and unlike regeneration,
 //! which needs full S/D + D/S conversions.
 
-use crate::kernel::{process_with_kernel, StreamKernel};
+use crate::kernel::StreamKernel;
 use crate::manipulator::CorrelationManipulator;
 use crate::shuffle_buffer::ShuffleBuffer;
-use sc_bitstream::{Bitstream, Result};
 use sc_rng::{Lfsr, RandomSource};
 
 /// A decorrelator built from two independently addressed shuffle buffers.
@@ -90,8 +89,8 @@ impl<S: RandomSource> CorrelationManipulator for Decorrelator<S> {
         self.buffer_y.reset();
     }
 
-    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
-        process_with_kernel(self, x, y)
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        StreamKernel::step_word(self, x, y, valid)
     }
 }
 

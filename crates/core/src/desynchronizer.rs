@@ -12,8 +12,83 @@
 //! balanced between the two outputs, matching the four-state cycle of
 //! Fig. 3b. The save depth `D` generalises the design to bank up to `D` bits.
 
-use crate::kernel::{bit_serial_step_word, StreamKernel};
+use crate::kernel::{bit_serial_step_word, SpeculativeTable, StreamKernel, MAX_SPECULATIVE_STATES};
 use crate::manipulator::CorrelationManipulator;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of `(saved_x, saved_y)` pairs with `saved_x + saved_y ≤ D`: the
+/// FSM never banks more than `D` bits in total, so its bank states form a
+/// triangle, not a square.
+fn triangle(depth: u32) -> usize {
+    let d = depth as usize;
+    (d + 1) * (d + 2) / 2
+}
+
+/// State index of `(saved_x, saved_y, bank_x_next)` in the triangular
+/// `(saved_x + saved_y ≤ D) × 2` encoding the speculative table is built
+/// over: rows are enumerated by `saved_y` (row `sy` holds `D + 1 − sy`
+/// entries), and the bank-alternation flag selects the upper half. Keeping
+/// the encoding tight keeps the hot next-state array small enough to stay
+/// L1-resident during a word walk.
+fn state_index(depth: u32, saved_x: u32, saved_y: u32, bank_x_next: bool) -> usize {
+    let (d, sx, sy) = (depth as usize, saved_x as usize, saved_y as usize);
+    debug_assert!(sx + sy <= d);
+    let row_offset = sy * (d + 1) - sy * sy.saturating_sub(1) / 2;
+    usize::from(bank_x_next) * triangle(depth) + row_offset + sx
+}
+
+/// Inverse of [`state_index`]: recovers `(saved_x, saved_y, bank_x_next)`.
+/// Runs a tiny per-row loop (≤ D + 1 iterations), called once per processed
+/// word — off the hot chunk chain.
+fn state_decode(depth: u32, state: usize) -> (u32, u32, bool) {
+    let t = triangle(depth);
+    let bank_x_next = state >= t;
+    let mut rest = state - usize::from(bank_x_next) * t;
+    let mut sy = 0usize;
+    let mut row_len = depth as usize + 1;
+    while rest >= row_len {
+        rest -= row_len;
+        row_len -= 1;
+        sy += 1;
+    }
+    (rest as u32, sy as u32, bank_x_next)
+}
+
+/// Returns the shared speculative-stepping table for save depth `depth`, or
+/// `None` when the `(D+1)(D+2)` encoded states exceed
+/// [`MAX_SPECULATIVE_STATES`] (deep FSMs keep the bit-serial path). Built
+/// once per depth, process-wide, from the desynchronizer's own
+/// [`CorrelationManipulator::step`].
+fn speculative_table(depth: u32) -> Option<Arc<SpeculativeTable>> {
+    let states = 2 * triangle(depth);
+    if states > MAX_SPECULATIVE_STATES {
+        return None;
+    }
+    static TABLES: OnceLock<Mutex<HashMap<u32, Arc<SpeculativeTable>>>> = OnceLock::new();
+    let mut cache = TABLES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("desynchronizer table cache poisoned");
+    Some(Arc::clone(cache.entry(depth).or_insert_with(|| {
+        Arc::new(SpeculativeTable::build(states, |state, x, y| {
+            let (saved_x, saved_y, bank_x_next) = state_decode(depth, state);
+            let mut scratch = Desynchronizer {
+                depth,
+                saved_x,
+                saved_y,
+                bank_x_next,
+                table: None,
+            };
+            let (ox, oy) = scratch.step(x, y);
+            (
+                state_index(depth, scratch.saved_x, scratch.saved_y, scratch.bank_x_next),
+                ox,
+                oy,
+            )
+        }))
+    })))
+}
 
 /// FSM desynchronizer with configurable save depth.
 ///
@@ -34,7 +109,7 @@ use crate::manipulator::CorrelationManipulator;
 /// assert_eq!(y2.value(), 0.5);
 /// # Ok::<(), sc_bitstream::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Desynchronizer {
     depth: u32,
     /// Number of X 1s currently banked (X is owed this many output 1s).
@@ -44,6 +119,35 @@ pub struct Desynchronizer {
     /// Which stream banks its 1 on the next doubly-1 input; alternates to
     /// balance bias between the outputs (the S0→S1→S2→S3 cycle of Fig. 3b).
     bank_x_next: bool,
+    /// Shared speculative word-stepping table (`None` for very deep FSMs);
+    /// pure acceleration state, excluded from equality and hashing.
+    table: Option<Arc<SpeculativeTable>>,
+}
+
+impl std::fmt::Debug for Desynchronizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Desynchronizer")
+            .field("depth", &self.depth)
+            .field("saved_x", &self.saved_x)
+            .field("saved_y", &self.saved_y)
+            .field("bank_x_next", &self.bank_x_next)
+            .finish()
+    }
+}
+
+impl PartialEq for Desynchronizer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.depth, self.saved_x, self.saved_y, self.bank_x_next)
+            == (other.depth, other.saved_x, other.saved_y, other.bank_x_next)
+    }
+}
+
+impl Eq for Desynchronizer {}
+
+impl std::hash::Hash for Desynchronizer {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.depth, self.saved_x, self.saved_y, self.bank_x_next).hash(state);
+    }
 }
 
 impl Desynchronizer {
@@ -65,6 +169,7 @@ impl Desynchronizer {
             saved_x: 0,
             saved_y: 0,
             bank_x_next: true,
+            table: speculative_table(depth),
         }
     }
 
@@ -134,13 +239,37 @@ impl CorrelationManipulator for Desynchronizer {
         self.saved_y = 0;
         self.bank_x_next = true;
     }
+
+    /// Routes every entry point — `process`, boxed dispatch, fused chains —
+    /// onto the speculative table path.
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        StreamKernel::step_word(self, x, y, valid)
+    }
 }
 
 impl StreamKernel for Desynchronizer {
-    /// The unpairing FSM is data-dependent, so the transition function stays
-    /// bit-stepped; the word interface stages the bits through registers.
+    /// Speculative multi-bit stepping: the `(saved_x, saved_y, bank)` state
+    /// space is small, so all 64 output bits are resolved by table-driven
+    /// state propagation (thirteen chunk lookups per word) instead of
+    /// 64 data-dependent branchy transitions — bit-identical to
+    /// [`bit_serial_step_word`], which remains the in-tree reference (and the
+    /// fallback for depths whose state space exceeds the table bound).
     fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
-        bit_serial_step_word(self, x, y, valid)
+        let stepped = self.table.as_ref().map(|table| {
+            let mut state = state_index(self.depth, self.saved_x, self.saved_y, self.bank_x_next);
+            let out = table.step_word(&mut state, x, y, valid);
+            (out, state)
+        });
+        match stepped {
+            Some((out, state)) => {
+                let (saved_x, saved_y, bank_x_next) = state_decode(self.depth, state);
+                self.saved_x = saved_x;
+                self.saved_y = saved_y;
+                self.bank_x_next = bank_x_next;
+                out
+            }
+            None => bit_serial_step_word(self, x, y, valid),
+        }
     }
 }
 
@@ -270,6 +399,53 @@ mod tests {
     #[should_panic(expected = "outside supported range")]
     fn zero_depth_panics() {
         let _ = Desynchronizer::new(0);
+    }
+
+    /// The speculative table path must be bit-identical to the retained
+    /// bit-serial reference at awkward lengths, across depths (including one
+    /// past the table bound, which falls back to bit-serial) and from
+    /// mid-stream FSM states.
+    #[test]
+    fn speculative_word_stepping_matches_bit_serial() {
+        for n in [1usize, 63, 64, 65, 1000] {
+            let x = Bitstream::from_fn(n, |i| (i * 7 + 3) % 5 < 2);
+            let y = Bitstream::from_fn(n, |i| (i * 11 + 1) % 3 == 0);
+            for depth in [1u32, 2, 4, 6, 7] {
+                let mut fast = Desynchronizer::new(depth);
+                // Randomize the starting state with a prefix of (1,1) inputs.
+                for _ in 0..depth.min(3) {
+                    let _ = fast.step(true, true);
+                }
+                let mut slow = fast.clone();
+                assert_eq!(fast.table.is_some(), depth <= 6, "table bound at D=6");
+                let a = fast.process(&x, &y).unwrap();
+                let b = slow.process_bit_serial(&x, &y).unwrap();
+                assert_eq!(a, b, "n={n} depth={depth}");
+                assert_eq!(
+                    (fast.saved_x, fast.saved_y, fast.bank_x_next),
+                    (slow.saved_x, slow.saved_y, slow.bank_x_next),
+                    "end state n={n} depth={depth}"
+                );
+            }
+        }
+    }
+
+    /// Word-level entry points (direct, via the kernel trait, and via dynamic
+    /// dispatch) all take the speculative path and agree with the reference.
+    #[test]
+    fn speculative_step_word_entry_points_agree() {
+        let (x, y) = (0x5A5A_1234_FFFF_0001u64, 0xA5A5_4321_0000_FFFEu64);
+        for valid in [1u32, 3, 4, 17, 63, 64] {
+            let mut direct = Desynchronizer::new(2);
+            let mut reference = direct.clone();
+            let mut boxed: Box<dyn CorrelationManipulator> = Box::new(Desynchronizer::new(2));
+            let fast = StreamKernel::step_word(&mut direct, x, y, valid);
+            let via_box = StreamKernel::step_word(&mut boxed, x, y, valid);
+            let slow = bit_serial_step_word(&mut reference, x, y, valid);
+            assert_eq!(fast, slow, "valid={valid}");
+            assert_eq!(via_box, slow, "boxed valid={valid}");
+            assert_eq!(direct.banked_bits(), reference.banked_bits());
+        }
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! removing it). They are included here as the baseline the decorrelator is
 //! compared against.
 
-use crate::kernel::{process_with_kernel, StreamKernel};
+use crate::kernel::StreamKernel;
 use crate::manipulator::CorrelationManipulator;
-use sc_bitstream::{BitQueue, Bitstream, Result};
+use sc_bitstream::BitQueue;
 
 /// A chain of `k` isolator flip-flops in the X operand path (Y passes
 /// through untouched).
@@ -80,8 +80,8 @@ impl CorrelationManipulator for Isolator {
         self.pipeline = BitQueue::filled(self.delay, false);
     }
 
-    fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
-        process_with_kernel(self, x, y)
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        StreamKernel::step_word(self, x, y, valid)
     }
 }
 

@@ -77,7 +77,8 @@ pub use decorrelator::Decorrelator;
 pub use desynchronizer::Desynchronizer;
 pub use isolator::Isolator;
 pub use kernel::{
-    bit_serial_step_word, drive_step_word, process_with_kernel, BitSerial, StreamKernel,
+    bit_serial_step_word, drive_step_word, process_with_kernel, BitSerial, SpeculativeTable,
+    StreamKernel, MAX_SPECULATIVE_STATES,
 };
 pub use manipulator::{CorrelationManipulator, Identity};
 pub use shuffle_buffer::ShuffleBuffer;

@@ -31,13 +31,29 @@ pub trait CorrelationManipulator: Send {
     /// the current state; call [`CorrelationManipulator::reset`] explicitly
     /// when independent runs are required.
     ///
+    /// The default drives the engine loop through
+    /// [`CorrelationManipulator::step_word_dyn`], so a circuit that
+    /// overrides that one hook gets its word-level fast path on every entry
+    /// point — direct `process`, boxed dispatch, and fused chains — at once.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::LengthMismatch`] if the streams differ in length.
     fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
-        crate::kernel::drive_step_word(x, y, |xw, yw, valid| {
-            bit_serial_step_word(self, xw, yw, valid)
-        })
+        crate::kernel::drive_step_word(x, y, |xw, yw, valid| self.step_word_dyn(xw, yw, valid))
+    }
+
+    /// Word-level stepping through dynamic dispatch: the hook that lets the
+    /// default [`CorrelationManipulator::process`] and a
+    /// `Box<dyn CorrelationManipulator>` reach a concrete circuit's
+    /// [`StreamKernel::step_word`] fast path (object safety prevents the
+    /// blanket box impl from seeing it directly). The default stages the bits
+    /// through [`bit_serial_step_word`]; circuits with a faster word path —
+    /// the speculative-table FSMs, the shift-register and shuffle-buffer
+    /// circuits — override it to delegate to their [`StreamKernel`]
+    /// implementation.
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        bit_serial_step_word(self, x, y, valid)
     }
 
     /// The original one-bit-per-cycle `process` formulation, retained as the
@@ -84,11 +100,15 @@ impl CorrelationManipulator for Box<dyn CorrelationManipulator> {
     fn process(&mut self, x: &Bitstream, y: &Bitstream) -> Result<(Bitstream, Bitstream)> {
         self.as_mut().process(x, y)
     }
+
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        self.as_mut().step_word_dyn(x, y, valid)
+    }
 }
 
 impl StreamKernel for Box<dyn CorrelationManipulator> {
     fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
-        bit_serial_step_word(self.as_mut(), x, y, valid)
+        self.as_mut().step_word_dyn(x, y, valid)
     }
 }
 
@@ -124,6 +144,10 @@ impl CorrelationManipulator for Identity {
             });
         }
         Ok((x.clone(), y.clone()))
+    }
+
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        StreamKernel::step_word(self, x, y, valid)
     }
 }
 

@@ -16,9 +16,40 @@
 //! three-state FSM of Fig. 3a. An optional *flush* mode force-emits saved bits
 //! when the remaining stream length would otherwise strand them.
 
-use crate::kernel::{bit_serial_step_word, StreamKernel};
+use crate::kernel::{bit_serial_step_word, SpeculativeTable, StreamKernel, MAX_SPECULATIVE_STATES};
 use crate::manipulator::CorrelationManipulator;
 use sc_bitstream::{Bitstream, Error, Result};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Returns the shared speculative-stepping table for save depth `depth`, or
+/// `None` when the `2·D + 1` credit states exceed
+/// [`MAX_SPECULATIVE_STATES`] (very deep FSMs keep the bit-serial path).
+/// Tables are built once per depth, process-wide, from the synchronizer's own
+/// [`CorrelationManipulator::step`], and shared across instances and threads.
+fn speculative_table(depth: u32) -> Option<Arc<SpeculativeTable>> {
+    let states = 2 * depth as usize + 1;
+    if states > MAX_SPECULATIVE_STATES {
+        return None;
+    }
+    static TABLES: OnceLock<Mutex<HashMap<u32, Arc<SpeculativeTable>>>> = OnceLock::new();
+    let mut cache = TABLES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("synchronizer table cache poisoned");
+    Some(Arc::clone(cache.entry(depth).or_insert_with(|| {
+        Arc::new(SpeculativeTable::build(states, |state, x, y| {
+            let mut scratch = Synchronizer {
+                depth: depth as i32,
+                credit: state as i32 - depth as i32,
+                initial_credit: 0,
+                table: None,
+            };
+            let (ox, oy) = scratch.step(x, y);
+            ((scratch.credit + depth as i32) as usize, ox, oy)
+        }))
+    })))
+}
 
 /// FSM synchronizer with configurable save depth.
 ///
@@ -40,13 +71,41 @@ use sc_bitstream::{Bitstream, Error, Result};
 /// assert_eq!(scc(&x2, &y2), 1.0);
 /// # Ok::<(), sc_bitstream::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Synchronizer {
     depth: i32,
     /// Saved-bit credit: positive means `credit` unpaired X 1s are being held
     /// (X is owed that many output 1s), negative means Y 1s are held.
     credit: i32,
     initial_credit: i32,
+    /// Shared speculative word-stepping table (`None` for very deep FSMs);
+    /// pure acceleration state, excluded from equality and hashing.
+    table: Option<Arc<SpeculativeTable>>,
+}
+
+impl std::fmt::Debug for Synchronizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Synchronizer")
+            .field("depth", &self.depth)
+            .field("credit", &self.credit)
+            .field("initial_credit", &self.initial_credit)
+            .finish()
+    }
+}
+
+impl PartialEq for Synchronizer {
+    fn eq(&self, other: &Self) -> bool {
+        (self.depth, self.credit, self.initial_credit)
+            == (other.depth, other.credit, other.initial_credit)
+    }
+}
+
+impl Eq for Synchronizer {}
+
+impl std::hash::Hash for Synchronizer {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.depth, self.credit, self.initial_credit).hash(state);
+    }
 }
 
 impl Synchronizer {
@@ -65,6 +124,7 @@ impl Synchronizer {
             depth: depth as i32,
             credit: 0,
             initial_credit: 0,
+            table: speculative_table(depth),
         }
     }
 
@@ -196,13 +256,34 @@ impl CorrelationManipulator for Synchronizer {
     fn reset(&mut self) {
         self.credit = self.initial_credit;
     }
+
+    /// Routes every entry point — `process`, boxed dispatch, fused chains —
+    /// onto the speculative table path.
+    fn step_word_dyn(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
+        StreamKernel::step_word(self, x, y, valid)
+    }
 }
 
 impl StreamKernel for Synchronizer {
-    /// The pairing FSM is data-dependent, so the transition function stays
-    /// bit-stepped; the word interface stages the bits through registers.
+    /// Speculative multi-bit stepping: the credit FSM has only `2D + 1`
+    /// states, so all 64 output bits are resolved by table-driven state
+    /// propagation (thirteen chunk lookups per word) instead of 64
+    /// data-dependent branchy transitions — bit-identical to
+    /// [`bit_serial_step_word`], which remains the in-tree reference (and the
+    /// fallback for depths whose state space exceeds the table bound).
     fn step_word(&mut self, x: u64, y: u64, valid: u32) -> (u64, u64) {
-        bit_serial_step_word(self, x, y, valid)
+        let stepped = self.table.as_ref().map(|table| {
+            let mut state = (self.credit + self.depth) as usize;
+            let out = table.step_word(&mut state, x, y, valid);
+            (out, state as i32 - self.depth)
+        });
+        match stepped {
+            Some((out, credit)) => {
+                self.credit = credit;
+                out
+            }
+            None => bit_serial_step_word(self, x, y, valid),
+        }
     }
 }
 
@@ -381,6 +462,52 @@ mod tests {
         assert!(s
             .process_with_flush(&Bitstream::zeros(4), &Bitstream::zeros(5))
             .is_err());
+    }
+
+    /// The speculative table path must be bit-identical to the retained
+    /// bit-serial reference at awkward lengths, across depths (including one
+    /// past the table bound, which falls back to bit-serial) and non-zero
+    /// starting credits.
+    #[test]
+    fn speculative_word_stepping_matches_bit_serial() {
+        for n in [1usize, 63, 64, 65, 1000] {
+            let x = Bitstream::from_fn(n, |i| (i * 7 + 3) % 5 < 2);
+            let y = Bitstream::from_fn(n, |i| (i * 11 + 1) % 3 == 0);
+            for depth in [1u32, 2, 4, 31, 32] {
+                for credit in [-(depth.min(2) as i32), 0, 1] {
+                    let mut fast = Synchronizer::with_initial_credit(depth, credit);
+                    let mut slow = fast.clone();
+                    assert_eq!(fast.table.is_some(), depth <= 31, "table bound at D=31");
+                    let a = fast.process(&x, &y).unwrap();
+                    let b = slow.process_bit_serial(&x, &y).unwrap();
+                    assert_eq!(a, b, "n={n} depth={depth} credit={credit}");
+                    assert_eq!(
+                        fast.saved_bits(),
+                        slow.saved_bits(),
+                        "end state n={n} depth={depth} credit={credit}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Word-level entry points (direct, via the kernel trait, and via dynamic
+    /// dispatch) all take the speculative path and agree with the reference.
+    #[test]
+    fn speculative_step_word_entry_points_agree() {
+        let (x, y) = (0x5A5A_1234_FFFF_0001u64, 0xA5A5_4321_0000_FFFEu64);
+        for valid in [1u32, 3, 4, 17, 63, 64] {
+            let mut direct = Synchronizer::with_initial_credit(2, 1);
+            let mut reference = direct.clone();
+            let mut boxed: Box<dyn CorrelationManipulator> =
+                Box::new(Synchronizer::with_initial_credit(2, 1));
+            let fast = StreamKernel::step_word(&mut direct, x, y, valid);
+            let via_box = StreamKernel::step_word(&mut boxed, x, y, valid);
+            let slow = bit_serial_step_word(&mut reference, x, y, valid);
+            assert_eq!(fast, slow, "valid={valid}");
+            assert_eq!(via_box, slow, "boxed valid={valid}");
+            assert_eq!(direct.saved_bits(), reference.saved_bits());
+        }
     }
 
     #[test]

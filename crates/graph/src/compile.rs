@@ -31,7 +31,7 @@ use sc_rng::SourceSpec;
 use std::collections::HashMap;
 
 /// Knobs of the correlation-planning pass.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannerOptions {
     /// Insert correlation-establishing manipulators where a binary operator's
     /// SCC precondition is not structurally guaranteed (default `true`).
@@ -53,6 +53,12 @@ pub struct PlannerOptions {
     /// treating the pair as unknown. `None` (the default) keeps the purely
     /// structural behaviour.
     pub measure_unknown: Option<usize>,
+    /// The digital value fed to every `Generate` slot during a measured-SCC
+    /// probe execution (default `0.5`, the maximum-entropy stimulus). Set
+    /// this to a representative batch statistic — e.g. the mean pixel value
+    /// of the images a tile pipeline will process — so repair decisions are
+    /// driven by the operating point the design actually sees.
+    pub probe_value: f64,
 }
 
 impl Default for PlannerOptions {
@@ -64,6 +70,7 @@ impl Default for PlannerOptions {
             decorrelator_depth: 4,
             fuse: true,
             measure_unknown: None,
+            probe_value: 0.5,
         }
     }
 }
@@ -551,7 +558,9 @@ fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mu
         // class — the SccTracker-in-the-loop design the ROADMAP calls for.
         if class == SccClass::Unknown {
             if let Some(probe_length) = options.measure_unknown {
-                if let Some((scc, measured)) = measured_class(nodes, a, b, probe_length) {
+                if let Some((scc, measured)) =
+                    measured_class(nodes, a, b, probe_length, options.probe_value)
+                {
                     report.measured.push(format!(
                         "inputs of {label} (node n{i}) measured SCC {scc:.3} over {probe_length} \
                          cycles: treating pair as {measured:?}"
@@ -594,14 +603,16 @@ fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mu
 /// Probes the actual SCC of a wire pair by compiling the current node list
 /// (auto-repair and measurement off, so this cannot recurse) with an SCC
 /// probe appended, and executing it for `probe_length` cycles over
-/// representative inputs: every digital value slot is driven at 0.5 and every
-/// ready-stream slot with a phase-shifted alternating stream. Returns `None`
-/// if the probe graph fails to compile or execute.
+/// representative inputs: every digital value slot is driven at the
+/// configured [`PlannerOptions::probe_value`] stimulus and every ready-stream
+/// slot with a phase-shifted alternating stream. Returns `None` if the probe
+/// graph fails to compile or execute.
 fn measured_class(
     nodes: &[Node],
     a: Wire,
     b: Wire,
     probe_length: usize,
+    probe_value: f64,
 ) -> Option<(f64, SccClass)> {
     // Trim to the pair's ancestor cone: the probe executes only the logic
     // that actually feeds the two wires (and none of the graph's own sinks),
@@ -659,7 +670,7 @@ fn measured_class(
     };
     let plan = probe_graph.compile(&probe_options).ok()?;
     let input = crate::exec::BatchInput {
-        values: vec![0.5; plan.value_slots()],
+        values: vec![probe_value; plan.value_slots()],
         streams: (0..plan.stream_slots())
             .map(|slot| Bitstream::from_fn(probe_length, |i| (i + slot) % 2 == 0))
             .collect(),
@@ -1105,6 +1116,39 @@ mod tests {
         assert_eq!(plan.report().measured.len(), 1);
         assert!(plan.report().measured[0].contains("Uncorrelated"));
         assert_eq!(plan.report().inserted.len(), 1);
+    }
+
+    /// The configurable probe stimulus defaults to 0.5 and, at 0.5,
+    /// reproduces the decisions the planner made before the knob existed —
+    /// for both the skip-repair and the must-repair measured outcomes.
+    #[test]
+    fn probe_value_half_reproduces_current_decisions() {
+        assert!((PlannerOptions::default().probe_value - 0.5).abs() < f64::EPSILON);
+        let build = |options: &PlannerOptions| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(1));
+            let hi = g.binary(BinaryOp::OrMax, x, y);
+            let lo = g.binary(BinaryOp::AndMin, x, y);
+            let z = g.binary(BinaryOp::XorSubtract, hi, lo);
+            g.sink_value("range", z);
+            g.compile(options).unwrap()
+        };
+        let implicit = build(&PlannerOptions::with_measurement(256));
+        let explicit = build(&PlannerOptions {
+            probe_value: 0.5,
+            ..PlannerOptions::with_measurement(256)
+        });
+        assert_eq!(implicit.report(), explicit.report());
+        assert!(explicit.report().inserted.is_empty());
+        // A different stimulus still measures (and here reaches the same
+        // strongly-positive verdict — the pair is shared-source at any value).
+        let shifted = build(&PlannerOptions {
+            probe_value: 0.8,
+            ..PlannerOptions::with_measurement(256)
+        });
+        assert_eq!(shifted.report().measured.len(), 1);
+        assert!(shifted.report().measured[0].contains("Positive"));
     }
 
     #[test]

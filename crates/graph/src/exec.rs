@@ -378,39 +378,111 @@ impl Executor {
     /// # Errors
     ///
     /// Propagates the first per-item error (see [`Executor::run`]).
+    ///
+    /// # Panics
+    ///
+    /// If an execution panics on a worker thread, the original panic payload
+    /// is resumed on the caller's thread.
     pub fn run_batch(
         &self,
         plan: &CompiledGraph,
         inputs: &[BatchInput],
     ) -> Result<Vec<ExecOutput>, GraphError> {
-        let workers = self.threads.min(inputs.len()).max(1);
+        self.dispatch(inputs.len(), |index| self.run(plan, &inputs[index]))
+    }
+
+    /// Executes a heterogeneous group of `(plan, input)` jobs in one sharded
+    /// dispatch, preserving job order.
+    ///
+    /// This is the cross-plan generalisation of [`Executor::run_batch`]: a
+    /// whole image's tiles, each compiled (or retargeted) to its own plan,
+    /// can saturate the worker pool in a single call instead of serialising
+    /// per-plan batches — work is divided into `min(threads, jobs)`
+    /// near-equal contiguous shards, so small tail groups cannot strand
+    /// workers idle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-job error (see [`Executor::run`]).
+    ///
+    /// # Panics
+    ///
+    /// If an execution panics on a worker thread, the original panic payload
+    /// is resumed on the caller's thread.
+    pub fn run_group(&self, jobs: &[ExecJob<'_>]) -> Result<Vec<ExecOutput>, GraphError> {
+        self.dispatch(jobs.len(), |index| {
+            let job = &jobs[index];
+            self.run(job.plan, job.input)
+        })
+    }
+
+    /// Shared sharded-dispatch engine: runs `execute(0..len)` across the
+    /// worker pool in balanced contiguous spans, collecting results in index
+    /// order and resuming any worker panic on the caller's thread.
+    fn dispatch<F>(&self, len: usize, execute: F) -> Result<Vec<ExecOutput>, GraphError>
+    where
+        F: Fn(usize) -> Result<ExecOutput, GraphError> + Sync,
+    {
+        let workers = self.threads.min(len).max(1);
         if workers <= 1 {
-            return inputs.iter().map(|item| self.run(plan, item)).collect();
+            return (0..len).map(execute).collect();
         }
-        let chunk_size = inputs.len().div_ceil(workers);
-        let mut chunk_results: Vec<Result<Vec<ExecOutput>, GraphError>> = Vec::new();
+        let spans = balanced_spans(len, workers);
+        let mut span_results: Vec<Result<Vec<ExecOutput>, GraphError>> =
+            Vec::with_capacity(spans.len());
         std::thread::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .chunks(chunk_size)
-                .map(|items| {
-                    scope.spawn(move || {
-                        items
-                            .iter()
-                            .map(|item| self.run(plan, item))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
+            let execute = &execute;
+            let handles: Vec<_> = spans
+                .into_iter()
+                .map(|span| scope.spawn(move || span.map(execute).collect::<Result<Vec<_>, _>>()))
                 .collect();
             for handle in handles {
-                chunk_results.push(handle.join().expect("executor worker panicked"));
+                span_results.push(match handle.join() {
+                    Ok(result) => result,
+                    // Surface the worker's own panic message to the caller
+                    // instead of a generic join failure.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                });
             }
         });
-        let mut out = Vec::with_capacity(inputs.len());
-        for result in chunk_results {
+        let mut out = Vec::with_capacity(len);
+        for result in span_results {
             out.extend(result?);
         }
         Ok(out)
     }
+}
+
+/// One `(plan, input)` pairing of a heterogeneous [`Executor::run_group`]
+/// dispatch.
+#[derive(Clone, Copy)]
+pub struct ExecJob<'a> {
+    /// The compiled plan to execute.
+    pub plan: &'a CompiledGraph,
+    /// The input set to feed it.
+    pub input: &'a BatchInput,
+}
+
+/// Splits `0..len` into exactly `min(workers, len).max(1)` contiguous spans
+/// whose lengths differ by at most one.
+///
+/// This replaces `chunks(len.div_ceil(workers))` sharding, which could
+/// produce *fewer* chunks than workers and leave the rest idle: 9 inputs on
+/// 8 threads made five 2-item chunks — three idle workers and a ~2× tail
+/// latency — where this division makes eight chunks of 1–2 items.
+fn balanced_spans(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = workers.min(len).max(1);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut spans = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        spans.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    spans
 }
 
 /// Applies a binary operator through the `sc_arith` word-parallel kernels.
@@ -743,6 +815,121 @@ mod tests {
             .run_batch(&plan, &inputs)
             .unwrap_err();
         assert!(matches!(err, GraphError::ValueSlotOutOfRange { .. }));
+    }
+
+    /// Work is divided into exactly `min(workers, len)` near-equal spans:
+    /// the awkward sizes that used to strand workers idle (9 inputs on 8
+    /// threads → five `div_ceil`-sized chunks, three idle threads) now
+    /// produce one span per worker, covering `0..len` in order.
+    #[test]
+    fn balanced_spans_use_every_worker() {
+        for (len, workers) in [
+            (9usize, 8usize),
+            (17, 16),
+            (65, 64),
+            (13, 4),
+            (8, 8),
+            (3, 8),
+        ] {
+            let spans = balanced_spans(len, workers);
+            assert_eq!(
+                spans.len(),
+                workers.min(len),
+                "chunk count for {len} items on {workers} workers"
+            );
+            let sizes: Vec<usize> = spans.iter().map(|s| s.end - s.start).collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(min >= 1, "{len}/{workers}: no empty spans");
+            assert!(
+                max - min <= 1,
+                "{len}/{workers}: near-equal sizes {sizes:?}"
+            );
+            let mut next = 0;
+            for span in &spans {
+                assert_eq!(span.start, next, "{len}/{workers}: contiguous in order");
+                next = span.end;
+            }
+            assert_eq!(next, len, "{len}/{workers}: full coverage");
+        }
+        assert!(balanced_spans(0, 4).len() == 1 && balanced_spans(0, 4)[0].is_empty());
+    }
+
+    /// A poisoned `InputStream` (length mismatch) on one shard must surface
+    /// as an error — not a panic — while a run without the poisoned item
+    /// keeps every shard's results in input order.
+    #[test]
+    fn poisoned_shard_errors_while_others_stay_ordered() {
+        let mut g = Graph::new();
+        let s = g.input_stream(0);
+        let t = g.input_stream(1);
+        let z = g.binary(BinaryOp::CaAdd, s, t);
+        g.sink_count("ones", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let n = 96usize;
+        let item = |ones: usize| {
+            BatchInput::with_streams(vec![
+                Bitstream::from_fn(n, |i| i < ones),
+                Bitstream::zeros(n),
+            ])
+        };
+        // 9 items on 8 workers: the balanced division gives every worker a
+        // shard; item 3's second stream is poisoned with a bad length.
+        let mut inputs: Vec<BatchInput> = (0..9).map(item).collect();
+        inputs[3].streams[1] = Bitstream::zeros(n + 1);
+        let exec = Executor::new(n).with_threads(8);
+        let err = exec.run_batch(&plan, &inputs).unwrap_err();
+        assert!(matches!(err, GraphError::Stream(_)), "errors, not panics");
+        // Healthy inputs: results arrive in input order across all shards,
+        // identical to the sequential reference, and item-distinct (so a
+        // mis-stitched order could not pass by coincidence).
+        let inputs: Vec<BatchInput> = (0..9).map(item).collect();
+        let sharded = exec.run_batch(&plan, &inputs).unwrap();
+        let sequential = Executor::new(n).run_batch(&plan, &inputs).unwrap();
+        assert_eq!(sharded, sequential, "shard results stitched in input order");
+        let counts: Vec<f64> = sharded.iter().map(|o| o.value("ones").unwrap()).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(counts, sorted, "per-item counts grow with input index");
+    }
+
+    /// Heterogeneous dispatch: different plans in one sharded call produce
+    /// exactly what running each plan alone produces, in job order, at any
+    /// thread count.
+    #[test]
+    fn run_group_matches_individual_runs() {
+        let make_plan = |flip: bool| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let z = if flip {
+                g.binary(BinaryOp::AndMultiply, x, y)
+            } else {
+                g.binary(BinaryOp::CaAdd, x, y)
+            };
+            g.sink_value("z", z);
+            g.compile(&PlannerOptions::default()).unwrap()
+        };
+        let plans: Vec<CompiledGraph> = (0..7).map(|i| make_plan(i % 2 == 0)).collect();
+        let inputs: Vec<BatchInput> = (0..7)
+            .map(|i| BatchInput::with_values(vec![i as f64 / 7.0, 1.0 - i as f64 / 9.0]))
+            .collect();
+        let jobs: Vec<ExecJob<'_>> = plans
+            .iter()
+            .zip(&inputs)
+            .map(|(plan, input)| ExecJob { plan, input })
+            .collect();
+        let solo: Vec<ExecOutput> = jobs
+            .iter()
+            .map(|j| Executor::new(193).run(j.plan, j.input).unwrap())
+            .collect();
+        for threads in [1usize, 3, 8] {
+            let grouped = Executor::new(193)
+                .with_threads(threads)
+                .run_group(&jobs)
+                .unwrap();
+            assert_eq!(grouped, solo, "threads={threads}");
+        }
+        assert!(Executor::new(193).run_group(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod graph;
 pub mod node;
 
 pub use compile::{CompileReport, CompiledGraph, PlannerOptions, Step};
-pub use exec::{BatchInput, ExecOutput, Executor};
+pub use exec::{BatchInput, ExecJob, ExecOutput, Executor};
 pub use graph::{Graph, GraphError};
 pub use node::{
     BinaryOp, CorrRequirement, ManipulatorKind, Node, NodeId, NodeOp, SccClass, UnaryFsmOp, Wire,

@@ -411,6 +411,19 @@ mod tests {
                     via_graph, reference_out,
                     "{variant:?} at {size}x{size}: graph pipeline diverged from the reference loop"
                 );
+                // The cross-tile batch dispatcher must match the retained
+                // sequential reference at one worker and at many.
+                for threads in [1usize, 4] {
+                    let (dispatched, _) = crate::pipeline::run_sc_pipeline_with_threads(
+                        &img, variant, &config, threads,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        dispatched, reference_out,
+                        "{variant:?} at {size}x{size}, {threads} threads: cross-tile \
+                         dispatch diverged from the reference loop"
+                    );
+                }
             }
         }
     }

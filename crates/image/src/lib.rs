@@ -61,6 +61,6 @@ pub use gaussian::{gaussian_blur_float, ScGaussianBlur, GAUSSIAN_WEIGHTS};
 pub use graph::{planner_options, tile_graph, TileGraph};
 pub use image::{GrayImage, ImageError};
 pub use pipeline::{
-    run_float_pipeline, run_sc_pipeline, run_sc_pipeline_with_stats, PipelineConfig, PipelineStats,
-    PipelineVariant,
+    run_float_pipeline, run_sc_pipeline, run_sc_pipeline_with_stats, run_sc_pipeline_with_threads,
+    PipelineConfig, PipelineStats, PipelineVariant,
 };

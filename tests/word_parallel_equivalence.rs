@@ -160,6 +160,39 @@ fn manipulators_match_bit_serial_reference() {
     });
 }
 
+/// Speculative FSM word-stepping (the table-driven synchronizer /
+/// desynchronizer `step_word`) is bit-identical to [`bit_serial_step_word`]
+/// at the canonical awkward lengths, driven word by word with the exact
+/// per-word `valid` counts the engine uses.
+#[test]
+fn speculative_fsm_word_stepping_matches_bit_serial_fallback() {
+    use sc_core::bit_serial_step_word;
+    for (salt, &n) in [1usize, 63, 64, 65, 1000].iter().enumerate() {
+        let (x, y) = stream_pair(n, salt);
+        for depth in [1u32, 2, 4] {
+            let mut sync_fast = Synchronizer::new(depth);
+            let mut sync_slow = Synchronizer::new(depth);
+            let mut desync_fast = Desynchronizer::new(depth);
+            let mut desync_slow = Desynchronizer::new(depth);
+            for (w, (xw, yw)) in x.zip_words(&y).enumerate() {
+                let valid = (n - w * 64).min(64) as u32;
+                assert_eq!(
+                    StreamKernel::step_word(&mut sync_fast, xw, yw, valid),
+                    bit_serial_step_word(&mut sync_slow, xw, yw, valid),
+                    "synchronizer d={depth} n={n} word={w}"
+                );
+                assert_eq!(
+                    StreamKernel::step_word(&mut desync_fast, xw, yw, valid),
+                    bit_serial_step_word(&mut desync_slow, xw, yw, valid),
+                    "desynchronizer d={depth} n={n} word={w}"
+                );
+            }
+            assert_eq!(sync_fast.saved_bits(), sync_slow.saved_bits());
+            assert_eq!(desync_fast.banked_bits(), desync_slow.banked_bits());
+        }
+    }
+}
+
 #[test]
 fn fused_chain_matches_stagewise_processing() {
     for (salt, &n) in LENGTHS.iter().enumerate() {
@@ -309,5 +342,43 @@ proptest! {
         let word = Decorrelator::new(delay.min(32)).process(&x, &y).unwrap();
         let serial = Decorrelator::new(delay.min(32)).process_bit_serial(&x, &y).unwrap();
         prop_assert_eq!(word, serial);
+    }
+
+    /// Speculative FSM stepping from a *random mid-stream state*: a random
+    /// warm-up prefix drives the FSM into an arbitrary reachable state before
+    /// the compared segment, so table-driven propagation must agree with the
+    /// bit-serial reference from every starting state, not just power-on.
+    #[test]
+    fn prop_speculative_fsm_random_state_bit_identical(
+        warm_x in proptest::collection::vec(any::<bool>(), 0..150),
+        warm_y in proptest::collection::vec(any::<bool>(), 0..150),
+        bits_x in proptest::collection::vec(any::<bool>(), 1..300),
+        bits_y in proptest::collection::vec(any::<bool>(), 1..300),
+        depth in 1u32..8,
+    ) {
+        let w = warm_x.len().min(warm_y.len());
+        let n = bits_x.len().min(bits_y.len());
+        let x = Bitstream::from_bools(bits_x.into_iter().take(n));
+        let y = Bitstream::from_bools(bits_y.into_iter().take(n));
+
+        let mut sync_fast = Synchronizer::new(depth);
+        let mut desync_fast = Desynchronizer::new(depth);
+        for i in 0..w {
+            let _ = sync_fast.step(warm_x[i], warm_y[i]);
+            let _ = desync_fast.step(warm_x[i], warm_y[i]);
+        }
+        let mut sync_slow = sync_fast.clone();
+        let mut desync_slow = desync_fast.clone();
+
+        prop_assert_eq!(
+            sync_fast.process(&x, &y).unwrap(),
+            sync_slow.process_bit_serial(&x, &y).unwrap()
+        );
+        prop_assert_eq!(sync_fast.saved_bits(), sync_slow.saved_bits());
+        prop_assert_eq!(
+            desync_fast.process(&x, &y).unwrap(),
+            desync_slow.process_bit_serial(&x, &y).unwrap()
+        );
+        prop_assert_eq!(desync_fast.banked_bits(), desync_slow.banked_bits());
     }
 }
