@@ -9,12 +9,13 @@
 //! Two claims are gated:
 //!
 //! * **Cross-tile dispatch** — a whole image (every tile compiled or
-//!   cache-retargeted to its own plan) submitted as one heterogeneous
-//!   sharded `run_group` dispatch must beat the sequential per-tile loop
-//!   (the same dispatcher at one worker) on a multi-core machine; on a
-//!   single-CPU machine, where sharding can only break even, it must stay
-//!   within 15% of single-thread throughput — the same tolerance pattern as
-//!   `graph_batch_throughput`.
+//!   cache-retargeted to its own plan) streamed through the executor's
+//!   persistent-pool dispatcher (`run_sc_pipeline_with_threads`, i.e.
+//!   `Executor::run_stream` at the default window) must beat the sequential
+//!   per-tile loop (the same dispatcher at one worker) on a multi-core
+//!   machine; on a single-CPU machine, where sharding can only break even,
+//!   it must stay within 15% of single-thread throughput — the same
+//!   tolerance pattern as `graph_batch_throughput`.
 //! * **Speculative FSM word-stepping** — the table-driven synchronizer and
 //!   desynchronizer `step_word` must beat the retained bit-serial path
 //!   (`process_bit_serial`, the in-tree reference every word path is
@@ -22,39 +23,12 @@
 //!   the planner and pipeline actually insert (synchronizer D = 2,
 //!   desynchronizer D = 1).
 
+use sc_bench::measure_rate as measure;
 use sc_bitstream::Bitstream;
 use sc_core::{CorrelationManipulator, Desynchronizer, Synchronizer};
 use sc_image::{run_sc_pipeline_with_threads, GrayImage, PipelineConfig, PipelineVariant};
-use std::time::Instant;
 
 const FSM_STREAM_BITS: usize = 4096;
-
-/// Best observed rate (calls per second) over several samples, with the
-/// repetition count calibrated so each sample is long enough to time
-/// reliably.
-fn measure<F: FnMut()>(mut f: F) -> f64 {
-    let mut reps = 1u64;
-    loop {
-        let start = Instant::now();
-        for _ in 0..reps {
-            f();
-        }
-        let ns = start.elapsed().as_nanos() as u64;
-        if ns >= 20_000_000 || reps >= 1 << 16 {
-            break;
-        }
-        reps = (reps * 20_000_000 / ns.max(1)).clamp(reps + 1, reps * 16);
-    }
-    let mut best = 0.0f64;
-    for _ in 0..7 {
-        let start = Instant::now();
-        for _ in 0..reps {
-            f();
-        }
-        best = best.max(reps as f64 / start.elapsed().as_secs_f64());
-    }
-    best
-}
 
 fn bench_image() -> GrayImage {
     let blob = GrayImage::gaussian_blob(30, 30);
@@ -130,6 +104,7 @@ fn main() {
         tile_size: 10,
         rng_bank_size: 8,
         synchronizer_depth: 2,
+        measure_scc: None,
     };
     let mut tile_rows: Vec<TileRow> = Vec::new();
     for threads in [1usize, sharded_threads] {

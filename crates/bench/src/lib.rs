@@ -19,14 +19,18 @@
 //! | `ablation_satadd` | Fig. 5c — saturating adder accuracy sweep |
 //! | `ablation_length` | §II.A — stream length vs. precision sweep |
 //!
-//! Three perf-trajectory binaries record engine evidence as JSON:
+//! Four perf-trajectory binaries record engine evidence as JSON:
 //! `word_parallel_speedup` (`BENCH_word_parallel.json`, bit-serial vs
 //! word-parallel kernels), `graph_batch_throughput`
 //! (`BENCH_graph_batch.json`, sharded vs single-thread batch execution on
-//! the `sc_graph` engine), and `tile_batch_throughput`
+//! the `sc_graph` engine), `tile_batch_throughput`
 //! (`BENCH_tile_batch.json`, the `sc_image` cross-tile batch dispatcher vs
 //! the sequential per-tile loop, plus speculative table-driven FSM
-//! word-stepping vs the bit-serial reference).
+//! word-stepping vs the bit-serial reference), and
+//! `stream_window_throughput` (`BENCH_stream_window.json`, the
+//! bounded-window streaming dispatcher: peak live retargeted plans must
+//! stay within every window while streaming throughput holds ≥ 0.9× the
+//! full dispatch).
 //!
 //! Criterion throughput benchmarks live in `benches/`.
 //!
@@ -139,6 +143,38 @@ pub fn cell(v: f64) -> String {
 #[must_use]
 pub fn cell1(v: f64) -> String {
     format!("{v:.1}")
+}
+
+/// Best observed call rate (calls per second) of `f` over seven samples,
+/// with the repetition count first calibrated so each sample runs for at
+/// least ~20 ms and times reliably.
+///
+/// The shared throughput-gate helper of the `tile_batch_throughput` and
+/// `stream_window_throughput` binaries — one calibration loop, so the two
+/// gates can never silently measure differently.
+pub fn measure_rate<F: FnMut()>(mut f: F) -> f64 {
+    use std::time::Instant;
+    let mut reps = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        if ns >= 20_000_000 || reps >= 1 << 16 {
+            break;
+        }
+        reps = (reps * 20_000_000 / ns.max(1)).clamp(reps + 1, reps * 16);
+    }
+    let mut best = 0.0f64;
+    for _ in 0..7 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.max(reps as f64 / start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 #[cfg(test)]

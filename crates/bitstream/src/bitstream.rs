@@ -219,8 +219,10 @@ impl Bitstream {
         &mut self.words
     }
 
-    /// Mask selecting the valid bits of the *final* storage word
-    /// (`u64::MAX` when the length is a multiple of 64 or zero).
+    /// Mask selecting the valid bits of the *final* storage word:
+    /// `u64::MAX` when the length is a positive multiple of 64, the low
+    /// `len % 64` bits for a partial final word, and `0` for an empty
+    /// stream (which has no valid bits).
     #[must_use]
     pub fn tail_mask(&self) -> u64 {
         tail_mask_for(self.len)
@@ -636,11 +638,17 @@ impl Bitstream {
     }
 }
 
-/// Mask selecting the low `len % 64` bits, or all 64 when `len` is a multiple
-/// of 64 (including 0, where the mask is unused).
+/// Mask selecting the low `len % 64` bits: all 64 when `len` is a *positive*
+/// multiple of 64, and `0` for a zero-length stream, which has no valid bits
+/// at all. (The `0 % 64 == 0` case used to fall into the full-word branch
+/// and return `u64::MAX` — harmless internally, since an empty stream stores
+/// no words for the mask to touch, but wrong for any caller combining
+/// [`Bitstream::tail_mask`] with its own word buffers.)
 fn tail_mask_for(len: usize) -> u64 {
     let rem = len % WORD_BITS;
-    if rem == 0 {
+    if len == 0 {
+        0
+    } else if rem == 0 {
         u64::MAX
     } else {
         (1u64 << rem) - 1
@@ -944,6 +952,46 @@ mod tests {
         let last = x.as_words().len() - 1;
         x.words_mut()[last] = mask;
         assert_eq!(x.count_ones(), 6);
+    }
+
+    /// Regression: a zero-length stream has **no** valid bits, so its tail
+    /// mask is `0` — the `0 % 64 == 0` case used to fall into the full-word
+    /// branch and claim all 64 bits were valid. A caller AND-ing that mask
+    /// into its own word buffer would keep 64 garbage bits alive.
+    #[test]
+    fn empty_stream_tail_mask_is_zero() {
+        assert_eq!(Bitstream::new().tail_mask(), 0);
+        assert_eq!(Bitstream::zeros(0).tail_mask(), 0);
+        assert_eq!(Bitstream::ones(0).tail_mask(), 0);
+        // Positive multiples of 64 still claim the full word; partial words
+        // still mask exactly their valid bits.
+        assert_eq!(Bitstream::zeros(64).tail_mask(), u64::MAX);
+        assert_eq!(Bitstream::zeros(128).tail_mask(), u64::MAX);
+        assert_eq!(Bitstream::zeros(1).tail_mask(), 1);
+        assert_eq!(Bitstream::zeros(65).tail_mask(), 1);
+        // The zero mask composes correctly with caller-side word buffers:
+        // masking an arbitrary word selects nothing for an empty stream.
+        assert_eq!(0xDEAD_BEEF_u64 & Bitstream::new().tail_mask(), 0);
+    }
+
+    /// Regression companion: word iteration over zero-length streams is
+    /// empty and stays consistent through the word-level constructors and
+    /// combinators.
+    #[test]
+    fn empty_stream_word_iteration() {
+        let empty = Bitstream::zeros(0);
+        assert_eq!(empty.len(), 0);
+        assert!(empty.as_words().is_empty());
+        assert_eq!(empty.word_len(0), 0);
+        assert_eq!(empty.count_ones(), 0);
+        assert_eq!(Bitstream::from_word_fn(0, |_| u64::MAX), empty);
+        assert_eq!(Bitstream::from_words(Vec::new(), 0), empty);
+        assert_eq!(empty.not(), empty, "complement of nothing is nothing");
+        assert_eq!(empty.map_words(|w| !w), empty);
+        assert_eq!(empty.zip_words(&empty).count(), 0);
+        let mut pushed = Bitstream::new();
+        pushed.push_word(u64::MAX, 0);
+        assert_eq!(pushed, empty);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The batch executor: runs a [`CompiledGraph`] word-parallel over batches of
-//! independent input sets, optionally sharded across a scoped worker pool.
+//! independent input sets, optionally sharded across a persistent worker pool.
 
 use crate::compile::{CompiledGraph, Step};
 use crate::graph::GraphError;
@@ -10,7 +10,9 @@ use sc_convert::{
 };
 use sc_core::{CorrelationManipulator, ManipulatorChain};
 use sc_rng::{RandomSource, RngKind, SourceSpec};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
 /// One independent input set of a batch: the digital values consumed by
 /// `Generate` nodes and the ready streams consumed by `InputStream` nodes.
@@ -139,18 +141,185 @@ impl RandomSource for BorrowedSource<'_> {
     }
 }
 
+/// A persistent pool of executor worker threads with a shared job queue.
+///
+/// Unlike the `std::thread::scope` sharding the executor used before, the
+/// pool's threads are **long-lived**: they are spawned once (lazily, on the
+/// first parallel dispatch) and stay parked on a condition variable between
+/// calls, so a service processing a continuous stream of jobs pays the
+/// thread-spawn cost once instead of per dispatch. Tasks are boxed
+/// `'static` closures submitted internally by the streaming engine, which
+/// wraps every job in its own `catch_unwind` and routes the payload back to
+/// the submitting call — the pool itself runs tasks bare and relies on that
+/// wrapping, which is why submission is not public API. The pool shuts its
+/// workers down (and joins them) on drop.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A unit of pool work.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    tasks: VecDeque<PoolTask>,
+    shutdown: bool,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` long-lived threads (at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue::default()),
+            ready: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sc-graph-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker threads spawn")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one task for the next free worker.
+    fn submit(&self, task: PoolTask) {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue lock is never poisoned: tasks run outside it")
+            .tasks
+            .push_back(task);
+        self.shared.ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .expect("pool queue lock is never poisoned: tasks run outside it");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break Some(task);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .expect("pool queue lock is never poisoned: tasks run outside it");
+            }
+        };
+        match task {
+            Some(task) => task(),
+            None => return,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Never panic in drop: on the (impossible) poisoned path, take the
+        // inner queue anyway so the workers still observe the shutdown flag.
+        match self.shared.queue.lock() {
+            Ok(mut queue) => queue.shutdown = true,
+            Err(poisoned) => poisoned.into_inner().shutdown = true,
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One owned job of a streaming [`Executor::run_stream`] dispatch: a shared
+/// handle to the compiled plan plus the input set to feed it.
+///
+/// Jobs are owned (unlike the borrowed [`ExecJob`]) because the streaming
+/// engine hands them to long-lived pool threads: the job — and with it the
+/// plan handle — is dropped on the worker *before* its result is reported,
+/// so a bounded submission window really does bound the number of
+/// simultaneously-live plans.
+#[derive(Debug, Clone)]
+pub struct StreamJob {
+    /// The compiled plan to execute.
+    pub plan: Arc<CompiledGraph>,
+    /// The input set to feed it.
+    pub input: BatchInput,
+}
+
+/// What one [`Executor::run_stream_with_stats`] call actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Total jobs pulled from the iterator.
+    pub jobs: usize,
+    /// Peak number of jobs submitted but not yet *reported back* — an
+    /// **upper bound** on simultaneously-live plans (each worker drops its
+    /// job before reporting, so a job whose result has not been received
+    /// may already have freed its plan). Never exceeds the requested
+    /// window, which is what makes the bound useful: live-plan memory is
+    /// provably O(window).
+    pub peak_in_flight: usize,
+}
+
 /// Executes compiled plans over batches of input sets.
 ///
 /// Every batch item is independent: each execution builds fresh source and
 /// FSM instances from the plan's specs, so results are deterministic and
-/// identical whether the batch runs on one thread or many. Sharding uses
-/// `std::thread::scope` — no pool is kept alive between calls and no
-/// external dependencies are involved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// identical whether the batch runs on one thread or many. Parallel dispatch
+/// runs on a lazily-spawned persistent [`WorkerPool`] (no external
+/// dependencies) that lives as long as the executor, so back-to-back calls
+/// reuse warm threads. The core engine is [`Executor::run_stream`]:
+/// [`Executor::run_batch`] and [`Executor::run_group`] are thin wrappers
+/// that stream their materialised job lists with an unbounded window.
+#[derive(Debug, Clone)]
 pub struct Executor {
     stream_length: usize,
     threads: usize,
+    pool: OnceLock<Arc<WorkerPool>>,
 }
+
+impl PartialEq for Executor {
+    fn eq(&self, other: &Self) -> bool {
+        self.stream_length == other.stream_length && self.threads == other.threads
+    }
+}
+
+impl Eq for Executor {}
+
+/// Default streaming-window factor: [`Executor::default_window`] admits
+/// `threads × DEFAULT_WINDOW_FACTOR` planned-but-unfinished jobs, enough to
+/// keep every worker busy across job-size imbalance while holding memory at
+/// O(window) plans.
+pub const DEFAULT_WINDOW_FACTOR: usize = 4;
 
 impl Executor {
     /// An executor generating streams of `stream_length` bits, single-threaded.
@@ -159,14 +328,17 @@ impl Executor {
         Executor {
             stream_length,
             threads: 1,
+            pool: OnceLock::new(),
         }
     }
 
-    /// Sets the number of worker threads used by [`Executor::run_batch`]
-    /// (clamped to at least 1).
+    /// Sets the number of worker threads used by the parallel dispatch paths
+    /// (clamped to at least 1). Resets any already-spawned pool so the next
+    /// dispatch spawns one of the new size.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self.pool = OnceLock::new();
         self
     }
 
@@ -191,193 +363,221 @@ impl Executor {
     /// the plan requires, and [`GraphError::Stream`] if input streams have
     /// mismatched lengths.
     pub fn run(&self, plan: &CompiledGraph, input: &BatchInput) -> Result<ExecOutput, GraphError> {
-        let n = self.stream_length;
-        let mut slots: Vec<Option<Bitstream>> = vec![None; plan.slot_count];
-        let mut sources = SourceCache::default();
-        let mut out = ExecOutput::default();
-        // Borrow, never clone: operand reads finish before the destination
-        // slot is written, so the streams stay in place across the plan.
-        fn slot(slots: &[Option<Bitstream>], idx: usize) -> &Bitstream {
-            slots[idx]
-                .as_ref()
-                .expect("topological order guarantees producers run first")
-        }
-        for step in &plan.steps {
-            match step {
-                Step::Input { slot, dst } => {
-                    let stream =
-                        input
-                            .streams
-                            .get(*slot)
-                            .ok_or(GraphError::StreamSlotOutOfRange {
-                                slot: *slot,
-                                provided: input.streams.len(),
-                            })?;
-                    slots[*dst] = Some(stream.clone());
-                }
-                Step::Generate {
-                    slot,
-                    source,
-                    skip,
-                    dst,
-                } => {
-                    let value =
-                        *input
-                            .values
-                            .get(*slot)
-                            .ok_or(GraphError::ValueSlotOutOfRange {
-                                slot: *slot,
-                                provided: input.values.len(),
-                            })?;
-                    let mut d2s = DigitalToStochastic::new(BorrowedSource(
-                        sources.source(source, *skip, n as u64),
-                    ));
-                    slots[*dst] = Some(d2s.generate(Probability::saturating(value), n));
-                }
-                Step::Constant {
-                    probability,
-                    source,
-                    skip,
-                    dst,
-                } => {
-                    let mut d2s = DigitalToStochastic::new(BorrowedSource(
-                        sources.source(source, *skip, n as u64),
-                    ));
-                    slots[*dst] = Some(d2s.generate(Probability::saturating(*probability), n));
-                }
-                Step::Manipulate {
-                    kinds,
-                    x,
-                    y,
-                    dst_x,
-                    dst_y,
-                } => {
+        execute_plan(self.stream_length, plan, input)
+    }
+}
+
+/// Executes one plan over one input set at stream length `n`. Free-standing
+/// so pool workers can run jobs without capturing an [`Executor`].
+fn execute_plan(
+    n: usize,
+    plan: &CompiledGraph,
+    input: &BatchInput,
+) -> Result<ExecOutput, GraphError> {
+    let mut slots: Vec<Option<Bitstream>> = vec![None; plan.slot_count];
+    let mut sources = SourceCache::default();
+    let mut out = ExecOutput::default();
+    // Borrow, never clone: operand reads finish before the destination
+    // slot is written, so the streams stay in place across the plan.
+    fn slot(slots: &[Option<Bitstream>], idx: usize) -> &Bitstream {
+        slots[idx]
+            .as_ref()
+            .expect("topological order guarantees producers run first")
+    }
+    for step in &plan.steps {
+        match step {
+            Step::Input { slot, dst } => {
+                let stream = input
+                    .streams
+                    .get(*slot)
+                    .ok_or(GraphError::StreamSlotOutOfRange {
+                        slot: *slot,
+                        provided: input.streams.len(),
+                    })?;
+                slots[*dst] = Some(stream.clone());
+            }
+            Step::Generate {
+                slot,
+                source,
+                skip,
+                dst,
+            } => {
+                let value = *input
+                    .values
+                    .get(*slot)
+                    .ok_or(GraphError::ValueSlotOutOfRange {
+                        slot: *slot,
+                        provided: input.values.len(),
+                    })?;
+                let mut d2s = DigitalToStochastic::new(BorrowedSource(
+                    sources.source(source, *skip, n as u64),
+                ));
+                slots[*dst] = Some(d2s.generate(Probability::saturating(value), n));
+            }
+            Step::Constant {
+                probability,
+                source,
+                skip,
+                dst,
+            } => {
+                let mut d2s = DigitalToStochastic::new(BorrowedSource(
+                    sources.source(source, *skip, n as u64),
+                ));
+                slots[*dst] = Some(d2s.generate(Probability::saturating(*probability), n));
+            }
+            Step::Manipulate {
+                kinds,
+                x,
+                y,
+                dst_x,
+                dst_y,
+            } => {
+                let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
+                let (ox, oy) = if kinds.len() == 1 {
+                    // A single circuit keeps its own word-level fast path.
+                    kinds[0].build().process(sx, sy)?
+                } else {
+                    // A fused run makes one register-staged pass per word.
+                    let mut chain = ManipulatorChain::new();
+                    for kind in kinds {
+                        chain.push_boxed(kind.build());
+                    }
+                    chain.process(sx, sy)?
+                };
+                slots[*dst_x] = Some(ox);
+                slots[*dst_y] = Some(oy);
+            }
+            Step::Regenerate {
+                source,
+                skip,
+                src,
+                dst,
+            } => {
+                let mut regen =
+                    Regenerator::new(BorrowedSource(sources.source(source, *skip, n as u64)));
+                let regenerated = regen.regenerate(slot(&slots, *src));
+                slots[*dst] = Some(regenerated);
+            }
+            Step::Not { src, dst } => {
+                let complemented = slot(&slots, *src).not();
+                slots[*dst] = Some(complemented);
+            }
+            Step::Binary { op, x, y, dst } => {
+                let z = apply_binary(*op, slot(&slots, *x), slot(&slots, *y))?;
+                slots[*dst] = Some(z);
+            }
+            Step::UnaryFsm { op, src, dst } => {
+                let z = match op {
+                    crate::node::UnaryFsmOp::Stanh { half_states } => {
+                        sc_arith::fsm_ops::stanh(slot(&slots, *src), *half_states)
+                    }
+                    crate::node::UnaryFsmOp::Slinear { states } => {
+                        sc_arith::fsm_ops::slinear(slot(&slots, *src), *states)
+                    }
+                };
+                slots[*dst] = Some(z);
+            }
+            Step::Divide {
+                source,
+                skip,
+                counter_bits,
+                x,
+                y,
+                dst,
+            } => {
+                let mut divider = sc_arith::divide::Divider::with_counter_bits(
+                    BorrowedSource(sources.source(source, *skip, n as u64)),
+                    *counter_bits,
+                );
+                let z = divider.divide(slot(&slots, *x), slot(&slots, *y))?;
+                slots[*dst] = Some(z);
+            }
+            Step::MuxAdd {
+                select,
+                skip,
+                x,
+                y,
+                dst,
+            } => {
+                let z = {
                     let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
-                    let (ox, oy) = if kinds.len() == 1 {
-                        // A single circuit keeps its own word-level fast path.
-                        kinds[0].build().process(sx, sy)?
-                    } else {
-                        // A fused run makes one register-staged pass per word.
-                        let mut chain = ManipulatorChain::new();
-                        for kind in kinds {
-                            chain.push_boxed(kind.build());
-                        }
-                        chain.process(sx, sy)?
-                    };
-                    slots[*dst_x] = Some(ox);
-                    slots[*dst_y] = Some(oy);
-                }
-                Step::Regenerate {
-                    source,
-                    skip,
-                    src,
-                    dst,
-                } => {
-                    let mut regen =
-                        Regenerator::new(BorrowedSource(sources.source(source, *skip, n as u64)));
-                    let regenerated = regen.regenerate(slot(&slots, *src));
-                    slots[*dst] = Some(regenerated);
-                }
-                Step::Not { src, dst } => {
-                    let complemented = slot(&slots, *src).not();
-                    slots[*dst] = Some(complemented);
-                }
-                Step::Binary { op, x, y, dst } => {
-                    let z = apply_binary(*op, slot(&slots, *x), slot(&slots, *y))?;
-                    slots[*dst] = Some(z);
-                }
-                Step::UnaryFsm { op, src, dst } => {
-                    let z = match op {
-                        crate::node::UnaryFsmOp::Stanh { half_states } => {
-                            sc_arith::fsm_ops::stanh(slot(&slots, *src), *half_states)
-                        }
-                        crate::node::UnaryFsmOp::Slinear { states } => {
-                            sc_arith::fsm_ops::slinear(slot(&slots, *src), *states)
-                        }
-                    };
-                    slots[*dst] = Some(z);
-                }
-                Step::Divide {
-                    source,
-                    skip,
-                    counter_bits,
-                    x,
-                    y,
-                    dst,
-                } => {
-                    let mut divider = sc_arith::divide::Divider::with_counter_bits(
-                        BorrowedSource(sources.source(source, *skip, n as u64)),
-                        *counter_bits,
+                    let sel = half_select_stream(
+                        &mut BorrowedSource(sources.source(select, *skip, sx.len() as u64)),
+                        sx.len(),
                     );
-                    let z = divider.divide(slot(&slots, *x), slot(&slots, *y))?;
-                    slots[*dst] = Some(z);
-                }
-                Step::MuxAdd {
-                    select,
-                    skip,
-                    x,
-                    y,
-                    dst,
-                } => {
-                    let z = {
-                        let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
-                        let sel = half_select_stream(
-                            &mut BorrowedSource(sources.source(select, *skip, sx.len() as u64)),
-                            sx.len(),
-                        );
-                        mux_add(sx, sy, &sel)?
-                    };
-                    slots[*dst] = Some(z);
-                }
-                Step::WeightedMux {
-                    weights,
-                    select,
-                    skip,
-                    srcs,
-                    dst,
-                } => {
-                    let z = {
-                        let refs: Vec<&Bitstream> = srcs.iter().map(|s| slot(&slots, *s)).collect();
-                        let samples = refs.first().map_or(0, |s| s.len()) as u64;
-                        weighted_mux(&refs, weights, sources.source(select, *skip, samples))?
-                    };
-                    slots[*dst] = Some(z);
-                }
-                Step::SinkStream { name, src } => {
-                    out.streams.insert(name.clone(), slot(&slots, *src).clone());
-                }
-                Step::SinkValue { name, src } => {
-                    let value = StochasticToDigital::convert(slot(&slots, *src)).get();
-                    out.values.insert(name.clone(), value);
-                }
-                Step::SinkCount { name, src } => {
-                    let count = StochasticToDigital::convert_to_count(slot(&slots, *src));
-                    out.values.insert(name.clone(), count as f64);
-                }
-                Step::SinkSum { name, srcs } => {
-                    // The APC consumes owned streams; sum sinks are rare
-                    // enough that the copy is irrelevant.
-                    let inputs: Vec<Bitstream> =
-                        srcs.iter().map(|s| slot(&slots, *s).clone()).collect();
-                    let mut apc = AccumulativeParallelCounter::new(inputs.len());
-                    apc.accumulate_streams(&inputs)?;
-                    out.values.insert(name.clone(), apc.sum_of_values());
-                }
-                Step::SccProbe { name, x, y } => {
-                    let value = scc(slot(&slots, *x), slot(&slots, *y));
-                    out.values.insert(name.clone(), value);
-                }
+                    mux_add(sx, sy, &sel)?
+                };
+                slots[*dst] = Some(z);
+            }
+            Step::WeightedMux {
+                weights,
+                select,
+                skip,
+                srcs,
+                dst,
+            } => {
+                let z = {
+                    let refs: Vec<&Bitstream> = srcs.iter().map(|s| slot(&slots, *s)).collect();
+                    let samples = refs.first().map_or(0, |s| s.len()) as u64;
+                    weighted_mux(&refs, weights, sources.source(select, *skip, samples))?
+                };
+                slots[*dst] = Some(z);
+            }
+            Step::SinkStream { name, src } => {
+                out.streams.insert(name.clone(), slot(&slots, *src).clone());
+            }
+            Step::SinkValue { name, src } => {
+                let value = StochasticToDigital::convert(slot(&slots, *src)).get();
+                out.values.insert(name.clone(), value);
+            }
+            Step::SinkCount { name, src } => {
+                let count = StochasticToDigital::convert_to_count(slot(&slots, *src));
+                out.values.insert(name.clone(), count as f64);
+            }
+            Step::SinkSum { name, srcs } => {
+                // The APC consumes owned streams; sum sinks are rare
+                // enough that the copy is irrelevant.
+                let inputs: Vec<Bitstream> =
+                    srcs.iter().map(|s| slot(&slots, *s).clone()).collect();
+                let mut apc = AccumulativeParallelCounter::new(inputs.len());
+                apc.accumulate_streams(&inputs)?;
+                out.values.insert(name.clone(), apc.sum_of_values());
+            }
+            Step::SccProbe { name, x, y } => {
+                let value = scc(slot(&slots, *x), slot(&slots, *y));
+                out.values.insert(name.clone(), value);
             }
         }
-        Ok(out)
+    }
+    Ok(out)
+}
+
+impl Executor {
+    /// The default streaming window for this executor's worker count:
+    /// `threads × `[`DEFAULT_WINDOW_FACTOR`].
+    #[must_use]
+    pub fn default_window(&self) -> usize {
+        (self.threads * DEFAULT_WINDOW_FACTOR).max(1)
     }
 
-    /// Executes the plan over a batch of independent input sets, sharded
-    /// across the configured worker threads, preserving input order.
+    /// The executor's persistent worker pool, spawned on first use.
+    fn pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(
+            self.pool
+                .get_or_init(|| Arc::new(WorkerPool::new(self.threads))),
+        )
+    }
+
+    /// Executes the plan over a batch of independent input sets across the
+    /// persistent worker pool, preserving input order.
+    ///
+    /// A thin wrapper over the [`Executor::run_stream`] engine with an
+    /// unbounded window (the whole batch is already materialised).
     ///
     /// # Errors
     ///
-    /// Propagates the first per-item error (see [`Executor::run`]).
+    /// Propagates the first per-item (in input order) error
+    /// (see [`Executor::run`]).
     ///
     /// # Panics
     ///
@@ -388,68 +588,191 @@ impl Executor {
         plan: &CompiledGraph,
         inputs: &[BatchInput],
     ) -> Result<Vec<ExecOutput>, GraphError> {
-        self.dispatch(inputs.len(), |index| self.run(plan, &inputs[index]))
+        // Single-threaded: run the borrowed slice in place. Only the pool
+        // path needs owned `'static` jobs (one deep plan clone, shared).
+        if self.threads <= 1 {
+            return inputs.iter().map(|input| self.run(plan, input)).collect();
+        }
+        let plan = Arc::new(plan.clone());
+        self.run_stream(
+            inputs.iter().map(|input| StreamJob {
+                plan: Arc::clone(&plan),
+                input: input.clone(),
+            }),
+            inputs.len().max(1),
+        )
     }
 
-    /// Executes a heterogeneous group of `(plan, input)` jobs in one sharded
+    /// Executes a heterogeneous group of `(plan, input)` jobs in one
     /// dispatch, preserving job order.
     ///
     /// This is the cross-plan generalisation of [`Executor::run_batch`]: a
     /// whole image's tiles, each compiled (or retargeted) to its own plan,
     /// can saturate the worker pool in a single call instead of serialising
-    /// per-plan batches — work is divided into `min(threads, jobs)`
-    /// near-equal contiguous shards, so small tail groups cannot strand
-    /// workers idle.
+    /// per-plan batches. Like `run_batch` it is a thin wrapper over the
+    /// [`Executor::run_stream`] engine with an unbounded window — every
+    /// job's plan stays live for the whole call; use `run_stream` with a
+    /// bounded window (and a lazy job iterator) to cap that memory.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-job error (see [`Executor::run`]).
+    /// Propagates the first per-job (in job order) error
+    /// (see [`Executor::run`]).
     ///
     /// # Panics
     ///
     /// If an execution panics on a worker thread, the original panic payload
     /// is resumed on the caller's thread.
     pub fn run_group(&self, jobs: &[ExecJob<'_>]) -> Result<Vec<ExecOutput>, GraphError> {
-        self.dispatch(jobs.len(), |index| {
-            let job = &jobs[index];
-            self.run(job.plan, job.input)
-        })
+        // Single-threaded: run the borrowed jobs in place, no cloning.
+        if self.threads <= 1 {
+            return jobs
+                .iter()
+                .map(|job| self.run(job.plan, job.input))
+                .collect();
+        }
+        // Jobs referencing the same plan (a retargeted class template shared
+        // across tiles, say) share one owned clone, keyed by referent
+        // address: the deep-clone count is O(distinct plans), not O(jobs).
+        let mut shared: HashMap<*const CompiledGraph, Arc<CompiledGraph>> = HashMap::new();
+        self.run_stream(
+            jobs.iter().map(move |job| StreamJob {
+                plan: Arc::clone(
+                    shared
+                        .entry(std::ptr::from_ref(job.plan))
+                        .or_insert_with(|| Arc::new(job.plan.clone())),
+                ),
+                input: job.input.clone(),
+            }),
+            jobs.len().max(1),
+        )
     }
 
-    /// Shared sharded-dispatch engine: runs `execute(0..len)` across the
-    /// worker pool in balanced contiguous spans, collecting results in index
-    /// order and resuming any worker panic on the caller's thread.
-    fn dispatch<F>(&self, len: usize, execute: F) -> Result<Vec<ExecOutput>, GraphError>
+    /// Streaming dispatch: pulls jobs from the iterator lazily, keeping at
+    /// most `window` planned-but-unfinished jobs alive at any moment, and
+    /// returns the results in job order.
+    ///
+    /// See [`Executor::run_stream_with_stats`] for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-job (in job order) error.
+    pub fn run_stream<I>(&self, jobs: I, window: usize) -> Result<Vec<ExecOutput>, GraphError>
     where
-        F: Fn(usize) -> Result<ExecOutput, GraphError> + Sync,
+        I: IntoIterator<Item = StreamJob>,
     {
-        let workers = self.threads.min(len).max(1);
-        if workers <= 1 {
-            return (0..len).map(execute).collect();
-        }
-        let spans = balanced_spans(len, workers);
-        let mut span_results: Vec<Result<Vec<ExecOutput>, GraphError>> =
-            Vec::with_capacity(spans.len());
-        std::thread::scope(|scope| {
-            let execute = &execute;
-            let handles: Vec<_> = spans
-                .into_iter()
-                .map(|span| scope.spawn(move || span.map(execute).collect::<Result<Vec<_>, _>>()))
-                .collect();
-            for handle in handles {
-                span_results.push(match handle.join() {
-                    Ok(result) => result,
-                    // Surface the worker's own panic message to the caller
-                    // instead of a generic join failure.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                });
+        self.run_stream_with_stats(jobs, window)
+            .map(|(outputs, _)| outputs)
+    }
+
+    /// The streaming dispatch engine, also reporting what it did.
+    ///
+    /// The iterator is pulled on the **caller's thread** — so lazy job
+    /// construction (plan compilation, cache retargeting) is naturally
+    /// serialised and needs no synchronisation — but only when fewer than
+    /// `window` jobs are in flight: at most `window` (clamped to ≥ 1)
+    /// planned-but-unfinished jobs exist at any moment, and each worker
+    /// drops a job (and with it the plan handle) *before* reporting its
+    /// result, so the window genuinely bounds live-plan memory at
+    /// O(window), not O(total jobs). Results are collected in job order and
+    /// are bit-identical at any worker count and any window, because every
+    /// job executes with fresh deterministic sources and FSMs.
+    ///
+    /// With one configured thread the jobs run inline on the caller's
+    /// thread — one planned job live at a time — which is also the
+    /// sequential reference the parallel path is tested against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-job (in job order) error. Once a job fails,
+    /// no further jobs are pulled from the iterator; already-submitted jobs
+    /// are drained so the returned error is deterministically the failing
+    /// job with the smallest index.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics on a worker thread, the original panic payload is
+    /// resumed on the caller's thread; the pool's workers survive.
+    pub fn run_stream_with_stats<I>(
+        &self,
+        jobs: I,
+        window: usize,
+    ) -> Result<(Vec<ExecOutput>, StreamStats), GraphError>
+    where
+        I: IntoIterator<Item = StreamJob>,
+    {
+        let window = window.max(1);
+        let mut jobs = jobs.into_iter();
+        let mut stats = StreamStats::default();
+        let n = self.stream_length;
+
+        if self.threads <= 1 {
+            // Inline sequential path: pull, execute, drop — one live job.
+            let mut outputs = Vec::new();
+            for job in jobs {
+                stats.jobs += 1;
+                stats.peak_in_flight = stats.peak_in_flight.max(1);
+                outputs.push(execute_plan(n, &job.plan, &job.input)?);
             }
-        });
-        let mut out = Vec::with_capacity(len);
-        for result in span_results {
-            out.extend(result?);
+            return Ok((outputs, stats));
         }
-        Ok(out)
+
+        let pool = self.pool();
+        type JobOutcome = std::thread::Result<Result<ExecOutput, GraphError>>;
+        let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
+        let mut slots: Vec<Option<Result<ExecOutput, GraphError>>> = Vec::new();
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        let mut exhausted = false;
+        let mut failed = false;
+        loop {
+            while !exhausted && !failed && submitted - completed < window {
+                match jobs.next() {
+                    Some(job) => {
+                        let tx = tx.clone();
+                        let index = submitted;
+                        pool.submit(Box::new(move || {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                execute_plan(n, &job.plan, &job.input)
+                            }));
+                            // Free the job — and its plan handle — *before*
+                            // the result becomes visible, so the caller
+                            // cannot over-fill the window while plans
+                            // linger on workers.
+                            drop(job);
+                            let _ = tx.send((index, outcome));
+                        }));
+                        submitted += 1;
+                        slots.push(None);
+                        stats.peak_in_flight = stats.peak_in_flight.max(submitted - completed);
+                    }
+                    None => exhausted = true,
+                }
+            }
+            if completed == submitted {
+                break;
+            }
+            let (index, outcome) = rx
+                .recv()
+                .expect("in-flight jobs hold a live sender, so recv cannot disconnect");
+            completed += 1;
+            match outcome {
+                Ok(result) => {
+                    failed |= result.is_err();
+                    slots[index] = Some(result);
+                }
+                // Surface the worker's own panic payload to the caller.
+                // Still-queued jobs finish against a dropped receiver and
+                // are discarded; the pool itself stays healthy.
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        stats.jobs = submitted;
+        let mut outputs = Vec::with_capacity(slots.len());
+        for slot in slots {
+            outputs.push(slot.expect("every submitted job was drained")?);
+        }
+        Ok((outputs, stats))
     }
 }
 
@@ -469,8 +792,13 @@ pub struct ExecJob<'a> {
 /// This replaces `chunks(len.div_ceil(workers))` sharding, which could
 /// produce *fewer* chunks than workers and leave the rest idle: 9 inputs on
 /// 8 threads made five 2-item chunks — three idle workers and a ~2× tail
-/// latency — where this division makes eight chunks of 1–2 items.
-fn balanced_spans(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+/// latency — where this division makes eight chunks of 1–2 items. The
+/// per-job streaming engine made it obsolete as the internal dispatch
+/// mechanism, but it remains the canonical work division for callers that
+/// shard contiguous index ranges themselves (benchmark harnesses, external
+/// batch splitters).
+#[must_use]
+pub fn balanced_spans(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
     let chunks = workers.min(len).max(1);
     let base = len / chunks;
     let extra = len % chunks;
@@ -553,6 +881,7 @@ mod tests {
     use super::*;
     use crate::node::{BinaryOp, ManipulatorKind};
     use crate::{Graph, PlannerOptions};
+    use proptest::prelude::*;
     use sc_rng::SourceSpec;
 
     fn sobol(d: u32) -> SourceSpec {
@@ -937,5 +1266,244 @@ mod tests {
         let exec = Executor::new(128).with_threads(0);
         assert_eq!(exec.stream_length(), 128);
         assert_eq!(exec.threads(), 1);
+        assert_eq!(exec.default_window(), DEFAULT_WINDOW_FACTOR);
+        assert_eq!(
+            Executor::new(128).with_threads(3).default_window(),
+            3 * DEFAULT_WINDOW_FACTOR
+        );
+        assert_eq!(Executor::new(128), Executor::new(128).clone());
+        assert_ne!(Executor::new(128), Executor::new(129));
+    }
+
+    /// A small family of distinct plans plus inputs for streaming tests.
+    fn stream_fixture(len: usize) -> (Vec<Arc<CompiledGraph>>, Vec<BatchInput>) {
+        let make_plan = |flip: bool| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let z = if flip {
+                g.binary(BinaryOp::AndMultiply, x, y)
+            } else {
+                g.binary(BinaryOp::CaAdd, x, y)
+            };
+            g.sink_value("z", z);
+            g.sink_stream("s", z);
+            Arc::new(g.compile(&PlannerOptions::default()).unwrap())
+        };
+        let plans: Vec<Arc<CompiledGraph>> = (0..len).map(|i| make_plan(i % 2 == 0)).collect();
+        let inputs: Vec<BatchInput> = (0..len)
+            .map(|i| {
+                BatchInput::with_values(vec![
+                    (i + 1) as f64 / (len + 1) as f64,
+                    1.0 - i as f64 / (len + 2) as f64,
+                ])
+            })
+            .collect();
+        (plans, inputs)
+    }
+
+    /// The acceptance matrix: streaming with windows {1, threads, 4×threads,
+    /// unbounded} is bit-identical to the full `run_group` dispatch and to
+    /// the sequential per-job loop, at 1 and N threads, and the engine never
+    /// reports more in-flight jobs than the window admits.
+    #[test]
+    fn run_stream_matches_group_and_sequential_at_all_windows() {
+        let n = 193usize;
+        let (plans, inputs) = stream_fixture(11);
+        let solo: Vec<ExecOutput> = plans
+            .iter()
+            .zip(&inputs)
+            .map(|(plan, input)| Executor::new(n).run(plan, input).unwrap())
+            .collect();
+        let jobs: Vec<ExecJob<'_>> = plans
+            .iter()
+            .zip(&inputs)
+            .map(|(plan, input)| ExecJob { plan, input })
+            .collect();
+        for threads in [1usize, 3, 8] {
+            let exec = Executor::new(n).with_threads(threads);
+            let grouped = exec.run_group(&jobs).unwrap();
+            assert_eq!(grouped, solo, "run_group, threads={threads}");
+            for window in [1usize, threads, 4 * threads, usize::MAX] {
+                let stream_jobs = plans.iter().zip(&inputs).map(|(plan, input)| StreamJob {
+                    plan: Arc::clone(plan),
+                    input: input.clone(),
+                });
+                let (streamed, stats) = exec.run_stream_with_stats(stream_jobs, window).unwrap();
+                assert_eq!(streamed, solo, "threads={threads}, window={window}");
+                assert_eq!(stats.jobs, plans.len());
+                assert!(
+                    stats.peak_in_flight <= window.max(1),
+                    "threads={threads}, window={window}: peak {} in flight",
+                    stats.peak_in_flight
+                );
+                assert!(stats.peak_in_flight >= 1);
+            }
+        }
+    }
+
+    /// Streaming edge case: an empty job iterator completes immediately with
+    /// no results — on the inline path and on the pool path alike.
+    #[test]
+    fn run_stream_empty_job_list() {
+        for threads in [1usize, 4] {
+            let exec = Executor::new(64).with_threads(threads);
+            let (outputs, stats) = exec.run_stream_with_stats(std::iter::empty(), 7).unwrap();
+            assert!(outputs.is_empty());
+            assert_eq!(stats, StreamStats::default());
+        }
+        assert!(Executor::new(64).run_group(&[]).unwrap().is_empty());
+    }
+
+    /// Streaming edge case: zero-length streams execute (every op yields an
+    /// empty stream; counts are 0) rather than panicking in the word kernels.
+    #[test]
+    fn run_stream_zero_length_streams() {
+        let mut g = Graph::new();
+        let a = g.input_stream(0);
+        let b = g.input_stream(1);
+        let z = g.binary(BinaryOp::CaAdd, a, b);
+        g.sink_stream("s", z);
+        g.sink_count("c", z);
+        let plan = Arc::new(g.compile(&PlannerOptions::default()).unwrap());
+        for threads in [1usize, 3] {
+            let exec = Executor::new(0).with_threads(threads);
+            let jobs = (0..5).map(|_| StreamJob {
+                plan: Arc::clone(&plan),
+                input: BatchInput::with_streams(vec![Bitstream::zeros(0), Bitstream::zeros(0)]),
+            });
+            let (outputs, stats) = exec.run_stream_with_stats(jobs, 2).unwrap();
+            assert_eq!(outputs.len(), 5);
+            assert!(stats.peak_in_flight <= 2);
+            for out in &outputs {
+                assert_eq!(out.stream("s").unwrap().len(), 0);
+                assert_eq!(out.value("c").unwrap(), 0.0);
+            }
+        }
+    }
+
+    /// A window of 1 serialises planning against execution completely and
+    /// still matches the unbounded dispatch bit for bit.
+    #[test]
+    fn run_stream_window_of_one() {
+        let n = 257usize;
+        let (plans, inputs) = stream_fixture(6);
+        let job_iter = || {
+            plans
+                .iter()
+                .zip(&inputs)
+                .map(|(plan, input)| StreamJob {
+                    plan: Arc::clone(plan),
+                    input: input.clone(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let exec = Executor::new(n).with_threads(4);
+        let (narrow, narrow_stats) = exec.run_stream_with_stats(job_iter(), 1).unwrap();
+        let (wide, _) = exec.run_stream_with_stats(job_iter(), usize::MAX).unwrap();
+        assert_eq!(narrow, wide);
+        assert_eq!(narrow_stats.peak_in_flight, 1);
+    }
+
+    /// Once a job fails, the error returned is deterministically the failing
+    /// job with the smallest index, regardless of scheduling.
+    #[test]
+    fn run_stream_reports_first_error_in_job_order() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        g.sink_value("v", x);
+        let plan = Arc::new(g.compile(&PlannerOptions::default()).unwrap());
+        let exec = Executor::new(64).with_threads(4);
+        for _ in 0..16 {
+            let jobs = (0..12).map(|i| StreamJob {
+                plan: Arc::clone(&plan),
+                // Jobs 3 and 7 are missing their value slot.
+                input: if i == 3 || i == 7 {
+                    BatchInput::new()
+                } else {
+                    BatchInput::with_values(vec![0.5])
+                },
+            });
+            let err = exec.run_stream(jobs, 4).unwrap_err();
+            assert!(
+                matches!(err, GraphError::ValueSlotOutOfRange { provided: 0, .. }),
+                "unexpected error {err:?}"
+            );
+        }
+    }
+
+    /// The pool is persistent: repeated dispatches on one executor reuse its
+    /// warm workers and stay bit-identical call after call.
+    #[test]
+    fn worker_pool_persists_across_dispatches() {
+        let n = 129usize;
+        let (plans, inputs) = stream_fixture(9);
+        let exec = Executor::new(n).with_threads(4);
+        let jobs: Vec<ExecJob<'_>> = plans
+            .iter()
+            .zip(&inputs)
+            .map(|(plan, input)| ExecJob { plan, input })
+            .collect();
+        let first = exec.run_group(&jobs).unwrap();
+        for _ in 0..5 {
+            assert_eq!(exec.run_group(&jobs).unwrap(), first);
+        }
+        // A standalone pool drains and joins cleanly on drop.
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        drop(pool);
+    }
+
+    proptest! {
+        /// `balanced_spans` across random shapes up to 1000: exactly
+        /// `min(workers, len)` spans, covering `0..len` contiguously in
+        /// order, with sizes differing by at most one.
+        #[test]
+        fn balanced_spans_properties(len in 0usize..=1000, workers in 1usize..=64) {
+            let spans = balanced_spans(len, workers);
+            prop_assert_eq!(spans.len(), workers.min(len).max(1));
+            let mut next = 0usize;
+            let mut min_size = usize::MAX;
+            let mut max_size = 0usize;
+            for span in &spans {
+                prop_assert_eq!(span.start, next, "contiguous, in order");
+                next = span.end;
+                let size = span.end - span.start;
+                min_size = min_size.min(size);
+                max_size = max_size.max(size);
+            }
+            prop_assert_eq!(next, len, "full coverage");
+            prop_assert!(max_size - min_size <= 1, "near-equal sizes");
+            if len >= workers {
+                prop_assert!(min_size >= 1, "no stranded worker");
+            }
+        }
+
+        /// Random job counts, windows, and thread counts: streaming always
+        /// matches the sequential per-job reference.
+        #[test]
+        fn run_stream_random_shapes_match_sequential(
+            len in 0usize..20,
+            window in 1usize..8,
+            threads in 1usize..6,
+        ) {
+            let n = 97usize;
+            let (plans, inputs) = stream_fixture(len);
+            let solo: Vec<ExecOutput> = plans
+                .iter()
+                .zip(&inputs)
+                .map(|(plan, input)| Executor::new(n).run(plan, input).unwrap())
+                .collect();
+            let jobs = plans.iter().zip(&inputs).map(|(plan, input)| StreamJob {
+                plan: Arc::clone(plan),
+                input: input.clone(),
+            });
+            let (streamed, stats) = Executor::new(n)
+                .with_threads(threads)
+                .run_stream_with_stats(jobs, window)
+                .unwrap();
+            prop_assert_eq!(streamed, solo);
+            prop_assert!(stats.peak_in_flight <= window);
+        }
     }
 }

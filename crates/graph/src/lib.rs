@@ -27,11 +27,16 @@
 //! pass per 64-bit word.
 //!
 //! The [`Executor`] then runs the compiled plan word-parallel over **batches**
-//! of independent input sets, sharded across a `std::thread::scope` worker
-//! pool (no external dependencies). Plans are `Send + Sync` plain data: every
-//! execution builds fresh deterministic sources and FSMs from
-//! [`sc_rng::SourceSpec`]s, so sharded results are bit-identical to
-//! sequential ones.
+//! of independent input sets, dispatched across a persistent [`WorkerPool`]
+//! of long-lived threads (no external dependencies). The core engine is
+//! **bounded-window streaming** ([`Executor::run_stream`]): jobs are pulled
+//! lazily from an iterator with at most `window` planned-but-unfinished jobs
+//! alive at once, so arbitrarily long job streams run in O(window) plan
+//! memory; [`Executor::run_batch`] and [`Executor::run_group`] are thin
+//! wrappers streaming a materialised list with an unbounded window. Plans
+//! are `Send + Sync` plain data: every execution builds fresh deterministic
+//! sources and FSMs from [`sc_rng::SourceSpec`]s, so parallel results are
+//! bit-identical to sequential ones at any worker count and any window.
 //!
 //! A compiled plan also bridges to the gate-level cost model:
 //! [`CompiledGraph::netlist`] sums the `sc_hwcost` netlists of every executed
@@ -77,7 +82,10 @@ pub mod graph;
 pub mod node;
 
 pub use compile::{CompileReport, CompiledGraph, PlannerOptions, Step};
-pub use exec::{BatchInput, ExecJob, ExecOutput, Executor};
+pub use exec::{
+    balanced_spans, BatchInput, ExecJob, ExecOutput, Executor, StreamJob, StreamStats, WorkerPool,
+    DEFAULT_WINDOW_FACTOR,
+};
 pub use graph::{Graph, GraphError};
 pub use node::{
     BinaryOp, CorrRequirement, ManipulatorKind, Node, NodeId, NodeOp, SccClass, UnaryFsmOp, Wire,

@@ -79,6 +79,37 @@ pub fn planner_options(variant: PipelineVariant, config: &PipelineConfig) -> Pla
     }
 }
 
+/// The planner configuration of a tile compiled under **measured-SCC
+/// feedback** ([`PipelineConfig::measure_scc`]): structurally-unknown input
+/// pairs (the edge detector's XOR subtractors fed by Gaussian-blur MUX
+/// outputs) are probed with a short execution whose `Generate` stimulus is
+/// `probe_value` — the tile's mean pixel value, the real batch statistic
+/// the ROADMAP calls for — instead of the maximum-entropy 0.5 default.
+#[must_use]
+pub fn measured_planner_options(
+    variant: PipelineVariant,
+    config: &PipelineConfig,
+    probe_value: f64,
+) -> PlannerOptions {
+    PlannerOptions {
+        measure_unknown: Some(config.measure_scc.unwrap_or(config.stream_length).max(1)),
+        probe_value,
+        ..planner_options(variant, config)
+    }
+}
+
+/// Mean of a tile's input pixel values — the representative batch statistic
+/// fed to the measured-SCC probe as its stimulus. Returns 0.5 (the
+/// maximum-entropy default) for an input with no values.
+#[must_use]
+pub fn tile_mean(input: &BatchInput) -> f64 {
+    if input.values.is_empty() {
+        0.5
+    } else {
+        input.values.iter().sum::<f64>() / input.values.len() as f64
+    }
+}
+
 /// A built tile graph: the graph itself, the batch item carrying the tile's
 /// input pixel values, and the `(x, y, sink name)` triple of every output
 /// pixel.
@@ -379,6 +410,7 @@ mod tests {
             tile_size: 6,      // 8x8 image → 4 tiles, 3 of them truncated
             rng_bank_size: 8,
             synchronizer_depth: 2,
+            measure_scc: None,
         };
         for size in [8usize, 12] {
             let blob = GrayImage::gaussian_blob(size, size);
@@ -411,8 +443,12 @@ mod tests {
                     via_graph, reference_out,
                     "{variant:?} at {size}x{size}: graph pipeline diverged from the reference loop"
                 );
-                // The cross-tile batch dispatcher must match the retained
-                // sequential reference at one worker and at many.
+                // The streaming dispatcher must match the retained
+                // sequential reference at one worker and at many — and at
+                // every window width, from the fully serialised window of 1
+                // through the default (threads × 4) to an effectively
+                // unbounded one — while never holding more retargeted plans
+                // live than the window allows.
                 for threads in [1usize, 4] {
                     let (dispatched, _) = crate::pipeline::run_sc_pipeline_with_threads(
                         &img, variant, &config, threads,
@@ -420,10 +456,121 @@ mod tests {
                     .unwrap();
                     assert_eq!(
                         dispatched, reference_out,
-                        "{variant:?} at {size}x{size}, {threads} threads: cross-tile \
+                        "{variant:?} at {size}x{size}, {threads} threads: streaming \
                          dispatch diverged from the reference loop"
                     );
+                    for window in [1usize, threads, 4 * threads, usize::MAX] {
+                        let (windowed, stats) = crate::pipeline::run_sc_pipeline_with_window(
+                            &img, variant, &config, threads, window,
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            windowed, reference_out,
+                            "{variant:?} at {size}x{size}, {threads} threads, window \
+                             {window}: streaming dispatch diverged from the reference loop"
+                        );
+                        assert!(
+                            stats.peak_live_plans <= window.max(1),
+                            "{variant:?} at {size}x{size}, {threads} threads: \
+                             {} live plans exceeded the window of {window}",
+                            stats.peak_live_plans
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    /// The measured-SCC probe runs on **real batch statistics**: compiling a
+    /// tile under measurement feeds the tile's mean pixel value (here well
+    /// away from 0.5) as the probe stimulus, every structurally-unknown XOR
+    /// input pair is resolved by measurement, and the repair decisions match
+    /// the ones the maximum-entropy 0.5 stimulus reaches — the probe verdict
+    /// is robust to the operating point, which is exactly what makes it safe
+    /// to drive from live data.
+    #[test]
+    fn measured_probe_uses_tile_mean_stimulus() {
+        // A dim image: the tile mean sits near 0.23, far from 0.5.
+        let img = GrayImage::from_fn(8, 8, |x, y| 0.15 + 0.05 * ((x + y) % 4) as f64);
+        let config = PipelineConfig {
+            measure_scc: Some(64),
+            ..PipelineConfig::quick()
+        };
+        let tg = tile_graph(&img, 0, 0, PipelineVariant::Synchronizer, &config, 0);
+        let mean = tile_mean(&tg.input);
+        assert!(
+            (mean - 0.5).abs() > 0.2,
+            "the stimulus must be genuinely non-0.5, got {mean}"
+        );
+        let options = measured_planner_options(PipelineVariant::Synchronizer, &config, mean);
+        assert_eq!(options.measure_unknown, Some(64));
+        assert!((options.probe_value - mean).abs() < f64::EPSILON);
+        let at_mean = tg.graph.compile(&options).unwrap();
+        // Every XOR subtractor pair (2 per tile pixel) was resolved by a
+        // probe execution instead of being treated pessimistically.
+        let t = config.tile_size;
+        assert_eq!(at_mean.report().measured.len(), 2 * t * t);
+        // Decision parity: the default 0.5 stimulus reaches the same repair
+        // decisions as the tile-mean stimulus on this workload.
+        let at_half = tg
+            .graph
+            .compile(&sc_graph::PlannerOptions {
+                probe_value: 0.5,
+                ..measured_planner_options(PipelineVariant::Synchronizer, &config, 0.5)
+            })
+            .unwrap();
+        // The measured SCC magnitudes (and occasionally a borderline class
+        // label) shift with the stimulus, but the *decision* — which
+        // operators get which repair — must not: compare the repair kind
+        // and location, stripping the measured-class rationale suffix.
+        let decisions = |report: &sc_graph::CompileReport| -> Vec<String> {
+            report
+                .inserted
+                .iter()
+                .map(|entry| {
+                    entry
+                        .split(": inputs are")
+                        .next()
+                        .expect("split always yields a first piece")
+                        .to_string()
+                })
+                .collect()
+        };
+        assert_eq!(
+            decisions(at_mean.report()),
+            decisions(at_half.report()),
+            "probe decision at the tile mean diverged from the 0.5 stimulus"
+        );
+        // Identical decisions produce structurally identical plans.
+        assert_eq!(at_mean.ops(), at_half.ops());
+    }
+
+    /// Pipeline-level wiring: with [`PipelineConfig::measure_scc`] set, every
+    /// tile compiles under measurement (the cache is bypassed, since the
+    /// probe stimulus is per-tile) and the pipeline still produces a full
+    /// output image.
+    #[test]
+    fn pipeline_measure_scc_compiles_every_tile() {
+        let img = GrayImage::from_fn(8, 8, |x, y| 0.1 + 0.04 * ((x * y) % 5) as f64);
+        let config = PipelineConfig {
+            measure_scc: Some(32),
+            ..PipelineConfig::quick()
+        };
+        let (out, stats) = crate::pipeline::run_sc_pipeline_with_stats(
+            &img,
+            PipelineVariant::Synchronizer,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(out.width(), 8);
+        assert_eq!(stats.tiles, 4);
+        assert_eq!(
+            stats.compilations, stats.tiles,
+            "measured compiles are per-tile: the class cache must be bypassed"
+        );
+        for y in 0..8 {
+            for x in 0..8 {
+                assert!((0.0..=1.0).contains(&out.get(x, y)));
             }
         }
     }

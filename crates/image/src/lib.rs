@@ -58,9 +58,9 @@ pub mod pipeline;
 pub use accelerator::{AcceleratorCost, CostBreakdown};
 pub use edge::{roberts_cross_float, sc_edge_detector};
 pub use gaussian::{gaussian_blur_float, ScGaussianBlur, GAUSSIAN_WEIGHTS};
-pub use graph::{planner_options, tile_graph, TileGraph};
+pub use graph::{measured_planner_options, planner_options, tile_graph, tile_mean, TileGraph};
 pub use image::{GrayImage, ImageError};
 pub use pipeline::{
     run_float_pipeline, run_sc_pipeline, run_sc_pipeline_with_stats, run_sc_pipeline_with_threads,
-    PipelineConfig, PipelineStats, PipelineVariant,
+    run_sc_pipeline_with_window, PipelineConfig, PipelineStats, PipelineVariant,
 };

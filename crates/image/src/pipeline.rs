@@ -5,22 +5,28 @@
 //! wrapper over the dataflow engine: each tile is built as a graph
 //! ([`crate::graph::tile_graph`]), compiled with the variant's planner
 //! options (the synchronizer variant's correlation repair is *inserted by
-//! the planner*, not by hand), and executed. Execution is **cross-tile
-//! batch dispatched** ([`run_sc_pipeline_with_threads`]): all tiles of the
-//! image are planned first — sharing compiled plans within each tile class
-//! (shape + source-bank phase) via seed retargeting — and then submitted as
-//! one heterogeneous sharded [`Executor::run_group`] call, so every core
-//! runs tiles concurrently while results stay bit-identical to sequential
-//! raster-order processing. The pre-graph per-tile loop is retained in
-//! `crate::graph`'s tests as the bit-identity reference.
+//! the planner*, not by hand), and executed. Execution is **streamed in
+//! bounded windows** ([`run_sc_pipeline_with_window`]): tiles are planned
+//! *lazily*, in raster order, inside the streaming dispatch — sharing
+//! compiled plans within each tile class (shape + source-bank phase) via
+//! seed retargeting — and at most `window` planned-but-unfinished tiles are
+//! alive at any moment on the executor's persistent worker pool, so
+//! arbitrarily large images run in O(window) plan memory while every core
+//! runs tiles concurrently, bit-identical to sequential raster-order
+//! processing. The pre-graph per-tile loop is retained in `crate::graph`'s
+//! tests as the bit-identity reference.
 
 use crate::edge::roberts_cross_float;
 use crate::gaussian::gaussian_blur_float;
-use crate::graph::{blur_select_seed, edge_select_seed, planner_options, tile_graph};
+use crate::graph::{
+    blur_select_seed, edge_select_seed, measured_planner_options, planner_options, tile_graph,
+    tile_mean,
+};
 use crate::image::{GrayImage, ImageError};
-use sc_graph::{BatchInput, CompiledGraph, ExecJob, Executor};
+use sc_graph::{CompiledGraph, Executor, StreamJob};
 use sc_rng::SourceSpec;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the accelerator handles correlation between the Gaussian-blur outputs
 /// and the edge-detector inputs.
@@ -69,6 +75,15 @@ pub struct PipelineConfig {
     pub rng_bank_size: usize,
     /// Save depth of the synchronizers in the synchronizer variant.
     pub synchronizer_depth: u32,
+    /// Measured-SCC planner feedback: when `Some(probe_length)`, every tile
+    /// compiles under measurement ([`sc_graph::PlannerOptions`]'s
+    /// `measure_unknown`) with the **tile's mean pixel value** as the probe
+    /// stimulus (`probe_value`), so repair decisions are driven by the batch
+    /// statistics of the data actually flowing through the tile rather than
+    /// the maximum-entropy 0.5 default. Measured decisions depend on the
+    /// per-tile stimulus, so the cross-tile plan cache is bypassed in this
+    /// mode. `None` (the default) keeps the purely structural planner.
+    pub measure_scc: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -82,6 +97,7 @@ impl Default for PipelineConfig {
             // the minimal 1) is needed for the synchronizer variant to match
             // regeneration accuracy; see the ablation_depth experiment.
             synchronizer_depth: 2,
+            measure_scc: None,
         }
     }
 }
@@ -95,6 +111,7 @@ impl PipelineConfig {
             tile_size: 6,
             rng_bank_size: 8,
             synchronizer_depth: 2,
+            measure_scc: None,
         }
     }
 }
@@ -116,12 +133,22 @@ pub struct PipelineStats {
     /// retargeted onto the cached template, so this counts *distinct tile
     /// classes*, not tiles.
     pub compilations: usize,
+    /// Upper bound on simultaneously-live retargeted tile plans during the
+    /// streaming dispatch ([`sc_graph::StreamStats`]'s `peak_in_flight`:
+    /// jobs submitted but not yet reported back — a worker may already have
+    /// freed a counted job's plan; cached per-class templates are counted
+    /// separately by `compilations`). Never exceeds the dispatch window,
+    /// which is how streaming keeps whole-image memory at O(window) instead
+    /// of O(tiles). Depends on the worker count (1 for the inline
+    /// sequential path), so it is excluded from cross-thread stats
+    /// comparisons.
+    pub peak_live_plans: usize,
 }
 
 /// A cached compiled plan for one tile shape, with the select-LFSR seeds it
 /// was compiled against (needed to retarget it to another tile's seeds).
 struct CachedPlan {
-    plan: CompiledGraph,
+    plan: Arc<CompiledGraph>,
     blur_seed: u64,
     edge_seed: u64,
 }
@@ -142,8 +169,10 @@ pub fn run_sc_pipeline(
 }
 
 /// Like [`run_sc_pipeline`], also reporting how much compilation work the
-/// plan cache saved. Dispatches across all available cores; see
-/// [`run_sc_pipeline_with_threads`] for an explicit worker count.
+/// plan cache saved and how many retargeted plans the streaming window kept
+/// live at its peak. Dispatches across all available cores with the default
+/// window; see [`run_sc_pipeline_with_threads`] for an explicit worker count
+/// and [`run_sc_pipeline_with_window`] for an explicit window.
 ///
 /// # Errors
 ///
@@ -159,17 +188,8 @@ pub fn run_sc_pipeline_with_stats(
     run_sc_pipeline_with_threads(image, variant, config, threads)
 }
 
-/// The cross-tile batch dispatcher: plans every tile of the image — building
-/// its dataflow graph and obtaining a compiled plan from the per-class cache
-/// (tile shape + source-bank phase, with the tile's select-LFSR seeds
-/// retargeted onto the cached template) or by compiling and caching — then
-/// submits all tiles as one heterogeneous [`Executor::run_group`] dispatch
-/// over `threads` workers, and scatters the sink values into the output
-/// image.
-///
-/// Every tile executes with fresh deterministic sources and FSMs, so the
-/// result is bit-identical to processing the tiles one at a time in raster
-/// order, at any worker count.
+/// Like [`run_sc_pipeline_with_window`] with the executor's default window
+/// (`threads × `[`sc_graph::DEFAULT_WINDOW_FACTOR`]).
 ///
 /// # Errors
 ///
@@ -181,6 +201,39 @@ pub fn run_sc_pipeline_with_threads(
     config: &PipelineConfig,
     threads: usize,
 ) -> Result<(GrayImage, PipelineStats), ImageError> {
+    let window = Executor::new(config.stream_length)
+        .with_threads(threads.max(1))
+        .default_window();
+    run_sc_pipeline_with_window(image, variant, config, threads, window)
+}
+
+/// The streaming tile dispatcher: walks the image's tiles in raster order,
+/// planning each tile **lazily inside the stream** — building its dataflow
+/// graph and obtaining a compiled plan from the per-class cache (tile shape
+/// plus source-bank phase, with the tile's select-LFSR seeds retargeted
+/// onto the cached template) or by compiling and caching — while the executor's
+/// persistent worker pool executes planned tiles concurrently. At most
+/// `window` planned-but-unfinished tiles are alive at any moment
+/// ([`Executor::run_stream`]), so peak memory is O(window) retargeted plans
+/// plus the per-class templates, regardless of image size; the per-class
+/// cache is never evicted, so a window never re-plans a class it already
+/// holds. Sink values are scattered into the output image as the final step.
+///
+/// Every tile executes with fresh deterministic sources and FSMs, so the
+/// result is bit-identical to processing the tiles one at a time in raster
+/// order, at any worker count and any window.
+///
+/// # Errors
+///
+/// Returns an [`ImageError`] only for degenerate configurations (zero-sized
+/// tiles or streams are rejected as [`ImageError::EmptyImage`]).
+pub fn run_sc_pipeline_with_window(
+    image: &GrayImage,
+    variant: PipelineVariant,
+    config: &PipelineConfig,
+    threads: usize,
+    window: usize,
+) -> Result<(GrayImage, PipelineStats), ImageError> {
     if config.tile_size == 0 || config.stream_length == 0 || config.rng_bank_size == 0 {
         return Err(ImageError::EmptyImage);
     }
@@ -189,41 +242,52 @@ pub fn run_sc_pipeline_with_threads(
     let mut stats = PipelineStats::default();
     let tile = config.tile_size;
 
-    // Phase 1: plan every tile (cheap graph construction plus cache-hitting
-    // plan retargets; raster order keeps tile_index, and therefore every
-    // select seed, identical to the sequential reference loop).
-    let mut tiles: Vec<PlannedTile> = Vec::new();
-    let mut tile_index = 0u64;
+    // Tile origins in raster order: raster order keeps tile_index, and
+    // therefore every select seed, identical to the sequential reference
+    // loop. The origin list is O(tiles) coordinates — the heavy per-tile
+    // state (graph, plan, input streams) is only built inside the window.
+    let mut origins: Vec<(usize, usize)> = Vec::new();
     let mut y0 = 0;
     while y0 < image.height() {
         let mut x0 = 0;
         while x0 < image.width() {
-            tiles.push(plan_tile(
-                image, x0, y0, variant, config, tile_index, &mut cache, &mut stats,
-            ));
-            tile_index += 1;
+            origins.push((x0, y0));
             x0 += tile;
         }
         y0 += tile;
     }
 
-    // Phase 2: one heterogeneous sharded dispatch — every core runs tiles
-    // concurrently regardless of how the plan-cache classes are sized.
-    let jobs: Vec<ExecJob<'_>> = tiles
-        .iter()
-        .map(|t| ExecJob {
-            plan: &t.plan,
-            input: &t.input,
-        })
-        .collect();
-    let results = Executor::new(config.stream_length)
-        .with_threads(threads.max(1))
-        .run_group(&jobs)
+    // Stream the tiles: the executor pulls this iterator lazily (on the
+    // caller's thread, so the cache and stats need no locking) whenever the
+    // window has room, and the planned tile's sinks are recorded on the way
+    // past for the scatter phase.
+    let mut sinks: Vec<Vec<(usize, usize, String)>> = Vec::with_capacity(origins.len());
+    let executor = Executor::new(config.stream_length).with_threads(threads.max(1));
+    let jobs = origins.iter().enumerate().map(|(tile_index, &(x0, y0))| {
+        let planned = plan_tile(
+            image,
+            x0,
+            y0,
+            variant,
+            config,
+            tile_index as u64,
+            &mut cache,
+            &mut stats,
+        );
+        sinks.push(planned.sinks);
+        StreamJob {
+            plan: planned.plan,
+            input: planned.input,
+        }
+    });
+    let (results, stream_stats) = executor
+        .run_stream_with_stats(jobs, window)
         .expect("tile graphs execute over their own batch input");
+    stats.peak_live_plans = stream_stats.peak_in_flight;
 
-    // Phase 3: scatter the per-tile sink values into the output image.
-    for (tile, result) in tiles.iter().zip(&results) {
-        for (x, y, name) in &tile.sinks {
+    // Scatter the per-tile sink values into the output image.
+    for (tile_sinks, result) in sinks.iter().zip(&results) {
+        for (x, y, name) in tile_sinks {
             let value = result
                 .value(name)
                 .expect("every tile pixel has a value sink");
@@ -236,8 +300,8 @@ pub fn run_sc_pipeline_with_threads(
 /// One tile ready for dispatch: its compiled (possibly cache-retargeted)
 /// plan, its input pixel values, and the output coordinates of its sinks.
 struct PlannedTile {
-    plan: CompiledGraph,
-    input: BatchInput,
+    plan: Arc<CompiledGraph>,
+    input: sc_graph::BatchInput,
     sinks: Vec<(usize, usize, String)>,
 }
 
@@ -257,6 +321,26 @@ fn plan_tile(
 ) -> PlannedTile {
     stats.tiles += 1;
     let tile = tile_graph(image, x0, y0, variant, config, tile_index);
+    // Measured-SCC mode: compile this tile under measurement with the tile's
+    // own mean pixel value as the probe stimulus. The probe decision depends
+    // on that per-tile statistic, so a cached class template compiled for
+    // another tile's mean cannot be retargeted — the cache is bypassed.
+    if config.measure_scc.is_some() {
+        stats.compilations += 1;
+        let plan = tile
+            .graph
+            .compile(&measured_planner_options(
+                variant,
+                config,
+                tile_mean(&tile.input),
+            ))
+            .expect("tile graphs are structurally valid by construction");
+        return PlannedTile {
+            plan: Arc::new(plan),
+            input: tile.input,
+            sinks: tile.sinks,
+        };
+    }
     // Cache key: the tile shape *and* the tile origin's phase in the input
     // source-bank pattern. `pixel_bank_index` assigns each input pixel's
     // Sobol dimension from its absolute coordinates with periods 4 (x) and
@@ -280,7 +364,7 @@ fn plan_tile(
         .get(&key)
         .filter(|c| c.blur_seed != c.edge_seed && blur_seed != edge_seed);
     let plan = match cached {
-        Some(c) => c.plan.retarget_sources(|spec| match spec {
+        Some(c) => Arc::new(c.plan.retarget_sources(|spec| match spec {
             SourceSpec::Lfsr { width: 16, seed } if *seed == c.blur_seed => {
                 Some(SourceSpec::Lfsr {
                     width: 16,
@@ -294,17 +378,18 @@ fn plan_tile(
                 })
             }
             _ => None,
-        }),
+        })),
         None => {
             stats.compilations += 1;
-            let plan = tile
-                .graph
-                .compile(&planner_options(variant, config))
-                .expect("tile graphs are structurally valid by construction");
+            let plan = Arc::new(
+                tile.graph
+                    .compile(&planner_options(variant, config))
+                    .expect("tile graphs are structurally valid by construction"),
+            );
             cache.insert(
                 key,
                 CachedPlan {
-                    plan: plan.clone(),
+                    plan: Arc::clone(&plan),
                     blur_seed,
                     edge_seed,
                 },
@@ -498,6 +583,10 @@ mod tests {
         for variant in PipelineVariant::all() {
             let (sequential, seq_stats) =
                 run_sc_pipeline_with_threads(&img, variant, &config, 1).unwrap();
+            assert_eq!(
+                seq_stats.peak_live_plans, 1,
+                "inline path plans one at a time"
+            );
             for threads in [2usize, 8] {
                 let (sharded, stats) =
                     run_sc_pipeline_with_threads(&img, variant, &config, threads).unwrap();
@@ -505,7 +594,23 @@ mod tests {
                     sharded, sequential,
                     "{variant:?} at {threads} threads diverged from 1 thread"
                 );
-                assert_eq!(stats, seq_stats, "{variant:?} stats are thread-invariant");
+                // Planning work is thread-invariant; the peak of live plans
+                // is a property of the window, not of the results, so it is
+                // compared against its bound rather than across thread
+                // counts.
+                assert_eq!(stats.tiles, seq_stats.tiles, "{variant:?} tile count");
+                assert_eq!(
+                    stats.compilations, seq_stats.compilations,
+                    "{variant:?} compilations are thread-invariant"
+                );
+                let window = Executor::new(config.stream_length)
+                    .with_threads(threads)
+                    .default_window();
+                assert!(
+                    stats.peak_live_plans <= window,
+                    "{variant:?} at {threads} threads: {} live plans exceed window {window}",
+                    stats.peak_live_plans
+                );
             }
         }
     }
