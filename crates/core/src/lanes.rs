@@ -1,0 +1,520 @@
+//! Lane-batched execution: stepping several independent stream pairs through
+//! banks of identical circuits in one pass.
+//!
+//! The word-parallel engine ([`crate::kernel`]) removed per-bit stream
+//! indexing, but a *single* data-dependent FSM still advances through a
+//! serial chain — table chunk by table chunk (synchronizer, desynchronizer)
+//! or bit by bit (decorrelator) — so one stream cannot go faster than that
+//! chain's latency. Lane batching sidesteps the dependence entirely: run the
+//! same circuit configuration over [`LANES`] *independent* streams at once
+//! and interleave their chains, so while one lane's next state is in flight
+//! the core retires work for the other lanes. Nothing about any single
+//! stream's semantics changes — a lane bank is bit-identical to running its
+//! lanes solo, which the equivalence tests in this module pin down.
+//!
+//! * [`LaneBank`] — a bank of boxed manipulators driven through
+//!   [`CorrelationManipulator::step_words_dyn`]; same-configuration
+//!   speculative-table FSMs take the shared-table multi-stream walk
+//!   ([`crate::SpeculativeTable::step_words`]), everything else falls back to
+//!   per-lane word stepping.
+//! * [`LaneChain`] — series composition of lane kernels, fusing a whole
+//!   manipulator chain into one pass per word *per lane group* (the lane
+//!   analogue of [`crate::ManipulatorChain`]).
+//! * [`process_lane_pairs`] — the engine loop: transposes up to [`LANES`]
+//!   stream pairs into per-word lane arrays, drives a [`LaneKernel`], and
+//!   de-transposes the outputs. Streams of unequal length are handled by
+//!   deactivating exhausted lanes (`valid = 0`) instead of splitting the
+//!   group.
+
+use crate::kernel::{LaneKernel, SpeculativeTable, LANES};
+use crate::manipulator::CorrelationManipulator;
+use sc_bitstream::{Bitstream, Error, Result, WORD_BITS};
+use std::sync::Arc;
+
+/// A bank of up to [`LANES`] identical boxed circuits driven as one
+/// [`LaneKernel`].
+///
+/// Lane `l` of every [`LaneKernel::step_words`] call steps instance `l`; the
+/// instances never interact. Dispatch goes through
+/// [`CorrelationManipulator::step_words_dyn`], so banks of equal-depth
+/// synchronizers or desynchronizers step all lanes through their shared
+/// [`crate::SpeculativeTable`] in one interleaved pass without downcasting,
+/// and every other circuit keeps its per-lane word path.
+pub struct LaneBank {
+    lanes: Vec<Box<dyn CorrelationManipulator>>,
+    /// Shared-table resolution, computed once at construction. Re-resolving
+    /// per word (an `Arc` clone and pointer comparison per lane per word)
+    /// costs more than the interleaved table walk itself, so the hot path
+    /// must not touch the `Arc` at all.
+    shared: Option<SharedTable>,
+}
+
+/// A bank-wide speculative table plus the per-lane FSM states, kept encoded
+/// between words so the per-word path is a single interleaved table walk.
+struct SharedTable {
+    table: Arc<SpeculativeTable>,
+    states: [usize; LANES],
+    /// Whether `states` (rather than the instances) holds the live FSM
+    /// states. Set on the first word of a batch, cleared by
+    /// [`LaneKernel::flush`], which scatters the states back. Staging skips
+    /// four virtual `set_table_state` calls per word — a measurable share of
+    /// the walk itself at small depths.
+    staged: bool,
+}
+
+impl LaneBank {
+    /// Wraps pre-built instances as a lane bank. All instances should share
+    /// one configuration (the bank is still correct otherwise — lanes are
+    /// independent — but mixed banks never hit the shared-table fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or holds more than [`LANES`] circuits.
+    #[must_use]
+    pub fn new(instances: Vec<Box<dyn CorrelationManipulator>>) -> Self {
+        assert!(
+            (1..=LANES).contains(&instances.len()),
+            "lane bank size {} outside 1..={LANES}",
+            instances.len()
+        );
+        let shared = Self::resolve_shared(&instances);
+        LaneBank {
+            lanes: instances,
+            shared,
+        }
+    }
+
+    /// Resolves the one table every lane shares, if there is one. Same-depth
+    /// instances share a per-process table cache, so identity of the `Arc`
+    /// identifies identical FSM configurations without downcasting.
+    fn resolve_shared(instances: &[Box<dyn CorrelationManipulator>]) -> Option<SharedTable> {
+        let mut states = [0usize; LANES];
+        let (first_table, first_state) = instances.first()?.table_state()?;
+        states[0] = first_state;
+        for (l, lane) in instances.iter().enumerate().skip(1) {
+            let (table, state) = lane.table_state()?;
+            if !Arc::ptr_eq(&table, &first_table) {
+                return None;
+            }
+            states[l] = state;
+        }
+        Some(SharedTable {
+            table: first_table,
+            states,
+            staged: false,
+        })
+    }
+
+    /// Number of populated lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+impl LaneKernel for LaneBank {
+    fn step_words(
+        &mut self,
+        x: &[u64; LANES],
+        y: &[u64; LANES],
+        valid: &[u32; LANES],
+    ) -> ([u64; LANES], [u64; LANES]) {
+        debug_assert!(
+            valid[self.lanes.len()..].iter().all(|&v| v == 0),
+            "unpopulated lanes must be inactive"
+        );
+        if let Some(shared) = &mut self.shared {
+            if !shared.staged {
+                // First word of a batch: pull the live states out of the
+                // instances once; flush() puts them back.
+                for (l, lane) in self.lanes.iter().enumerate() {
+                    let (_, state) = lane
+                        .table_state()
+                        .expect("shared-table lane lost its table");
+                    shared.states[l] = state;
+                }
+                shared.staged = true;
+            }
+            return shared.table.step_words(&mut shared.states, x, y, valid);
+        }
+        let (first, rest) = self.lanes.split_at_mut(1);
+        first[0].step_words_dyn(rest, x, y, valid)
+    }
+
+    fn flush(&mut self) {
+        if let Some(shared) = &mut self.shared {
+            if shared.staged {
+                for (lane, &state) in self.lanes.iter_mut().zip(&shared.states) {
+                    lane.set_table_state(state);
+                }
+                shared.staged = false;
+            }
+        }
+    }
+}
+
+/// Series composition of lane kernels: lane `l`'s output pair from stage `k`
+/// feeds lane `l`'s input pair of stage `k + 1`, within a single pass per
+/// word group. This is the lane analogue of [`crate::ManipulatorChain`]'s
+/// fused word stepping, and is what compiled plans use to run a fused
+/// manipulator run over a whole lane group at once.
+#[derive(Default)]
+pub struct LaneChain {
+    stages: Vec<Box<dyn LaneKernel>>,
+}
+
+impl LaneChain {
+    /// Creates an empty chain (the identity transformation).
+    #[must_use]
+    pub fn new() -> Self {
+        LaneChain::default()
+    }
+
+    /// Appends an already-boxed stage.
+    pub fn push_boxed(&mut self, stage: Box<dyn LaneKernel>) {
+        self.stages.push(stage);
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain has no stages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+impl LaneKernel for LaneChain {
+    fn step_words(
+        &mut self,
+        x: &[u64; LANES],
+        y: &[u64; LANES],
+        valid: &[u32; LANES],
+    ) -> ([u64; LANES], [u64; LANES]) {
+        let (mut cur_x, mut cur_y) = (*x, *y);
+        for stage in &mut self.stages {
+            let (nx, ny) = stage.step_words(&cur_x, &cur_y, valid);
+            cur_x = nx;
+            cur_y = ny;
+        }
+        (cur_x, cur_y)
+    }
+
+    fn flush(&mut self) {
+        for stage in &mut self.stages {
+            stage.flush();
+        }
+    }
+}
+
+/// Drives a lane kernel over up to [`LANES`] stream pairs at once: the
+/// lane-batched engine loop.
+///
+/// Streams are "transposed" logically, not physically: word `w` of every
+/// pair is gathered into lane arrays, stepped in one [`LaneKernel`] pass,
+/// and the outputs scattered back to per-pair word vectors. Pairs may have
+/// unequal lengths; a lane whose stream is exhausted (or shorter than a full
+/// word) gets `valid < 64` for exactly the cycles it has left, so ragged
+/// groups stay bit-identical to solo runs.
+///
+/// Returns one output pair per input pair, in order.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] if any pair's two streams differ in
+/// length.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or holds more than [`LANES`] entries.
+pub fn process_lane_pairs<K: LaneKernel + ?Sized>(
+    kernel: &mut K,
+    pairs: &[(&Bitstream, &Bitstream)],
+) -> Result<Vec<(Bitstream, Bitstream)>> {
+    assert!(
+        (1..=LANES).contains(&pairs.len()),
+        "lane group size {} outside 1..={LANES}",
+        pairs.len()
+    );
+    for (x, y) in pairs {
+        if x.len() != y.len() {
+            return Err(Error::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
+        }
+    }
+    let mut out: Vec<(Vec<u64>, Vec<u64>)> = pairs
+        .iter()
+        .map(|(x, _)| {
+            let words = x.as_words().len();
+            (vec![0u64; words], vec![0u64; words])
+        })
+        .collect();
+    let max_words = pairs
+        .iter()
+        .map(|(x, _)| x.as_words().len())
+        .max()
+        .unwrap_or(0);
+    // Words where every lane is full: fixed valid mask, straight-line
+    // gather/scatter with no per-lane length bookkeeping. The gather reads
+    // through slices trimmed to exactly `common_full` words so the indexing
+    // inside the loop carries no per-word bounds checks.
+    let common_full = pairs
+        .iter()
+        .map(|(x, _)| x.len() / WORD_BITS)
+        .min()
+        .unwrap_or(0);
+    let mut full_valid = [0u32; LANES];
+    let mut x_words: [&[u64]; LANES] = [&[]; LANES];
+    let mut y_words: [&[u64]; LANES] = [&[]; LANES];
+    for (l, (x, y)) in pairs.iter().enumerate() {
+        full_valid[l] = WORD_BITS as u32;
+        x_words[l] = &x.as_words()[..common_full];
+        y_words[l] = &y.as_words()[..common_full];
+    }
+    for w in 0..common_full {
+        let (mut xw, mut yw) = ([0u64; LANES], [0u64; LANES]);
+        for l in 0..pairs.len() {
+            xw[l] = x_words[l][w];
+            yw[l] = y_words[l][w];
+        }
+        let (ox, oy) = kernel.step_words(&xw, &yw, &full_valid);
+        for (l, lane_out) in out.iter_mut().enumerate().take(pairs.len()) {
+            lane_out.0[w] = ox[l];
+            lane_out.1[w] = oy[l];
+        }
+    }
+    // Ragged tail: lanes drop out (valid = 0) as their streams run dry.
+    for w in common_full..max_words {
+        let (mut xw, mut yw) = ([0u64; LANES], [0u64; LANES]);
+        let mut valid = [0u32; LANES];
+        for (l, (x, y)) in pairs.iter().enumerate() {
+            if w * WORD_BITS < x.len() {
+                valid[l] = (x.len() - w * WORD_BITS).min(WORD_BITS) as u32;
+                xw[l] = x.as_words()[w];
+                yw[l] = y.as_words()[w];
+            }
+        }
+        let (ox, oy) = kernel.step_words(&xw, &yw, &valid);
+        for (l, lane_out) in out.iter_mut().enumerate() {
+            if valid[l] > 0 {
+                lane_out.0[w] = ox[l];
+                lane_out.1[w] = oy[l];
+            }
+        }
+    }
+    // The batch is done: commit any staged lane state back to the instances.
+    kernel.flush();
+    Ok(out
+        .into_iter()
+        .zip(pairs)
+        .map(|((wx, wy), (x, _))| {
+            (
+                Bitstream::from_words(wx, x.len()),
+                Bitstream::from_words(wy, x.len()),
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decorrelator::DecorrelatorLanes;
+    use crate::{Decorrelator, Desynchronizer, Identity, Isolator, Synchronizer};
+    use proptest::prelude::*;
+
+    /// The test-matrix lengths from the word-parallel equivalence suite:
+    /// sub-word, word-boundary-straddling, and multi-word streams.
+    const TEST_LENGTHS: [usize; 5] = [1, 63, 64, 65, 1000];
+
+    fn stream_pair(n: usize, salt: usize) -> (Bitstream, Bitstream) {
+        (
+            Bitstream::from_fn(n, move |i| (i * 7 + salt * 13 + 1).is_multiple_of(3)),
+            Bitstream::from_fn(n, move |i| (i * 5 + salt * 11 + 2) % 4 < 2),
+        )
+    }
+
+    /// Runs `build()`-produced instances solo over each pair and compares
+    /// against the lane bank driven over the whole group at once.
+    fn assert_bank_matches_solo<F>(build: F, lens: &[usize], label: &str)
+    where
+        F: Fn() -> Box<dyn CorrelationManipulator>,
+    {
+        let streams: Vec<(Bitstream, Bitstream)> = lens
+            .iter()
+            .enumerate()
+            .map(|(l, &n)| stream_pair(n, l))
+            .collect();
+        let pairs: Vec<(&Bitstream, &Bitstream)> = streams.iter().map(|(x, y)| (x, y)).collect();
+        let mut bank = LaneBank::new((0..lens.len()).map(|_| build()).collect());
+        let got = process_lane_pairs(&mut bank, &pairs).unwrap();
+        for (l, (x, y)) in pairs.iter().enumerate() {
+            let mut solo = build();
+            let expected = solo.process(x, y).unwrap();
+            assert_eq!(got[l], expected, "{label}: lane {l} of {lens:?}");
+        }
+    }
+
+    #[test]
+    fn lane_banks_match_solo_across_lengths_and_fills() {
+        // Every lane fill 1..=4 with ragged groups: lanes cycle through the
+        // length matrix so unequal lengths (and hence deactivating lanes
+        // mid-run) are exercised at every fill.
+        for fill in 1..=LANES {
+            for rot in 0..TEST_LENGTHS.len() {
+                let lens: Vec<usize> = (0..fill)
+                    .map(|l| TEST_LENGTHS[(rot + l) % TEST_LENGTHS.len()])
+                    .collect();
+                assert_bank_matches_solo(
+                    || Box::new(Synchronizer::new(1)),
+                    &lens,
+                    "synchronizer d1",
+                );
+                assert_bank_matches_solo(
+                    || Box::new(Synchronizer::new(3)),
+                    &lens,
+                    "synchronizer d3",
+                );
+                assert_bank_matches_solo(
+                    || Box::new(Desynchronizer::new(2)),
+                    &lens,
+                    "desynchronizer d2",
+                );
+                assert_bank_matches_solo(|| Box::new(Identity::new()), &lens, "identity");
+                assert_bank_matches_solo(|| Box::new(Isolator::new(3)), &lens, "isolator k3");
+                // Depth 40 synchronizers exceed the table bound: the bank
+                // must fall back to per-lane stepping and still agree.
+                assert_bank_matches_solo(
+                    || Box::new(Synchronizer::new(40)),
+                    &lens,
+                    "synchronizer d40 (no table)",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decorrelator_lanes_match_solo_across_lengths_and_fills() {
+        for fill in 1..=LANES {
+            for rot in 0..TEST_LENGTHS.len() {
+                let lens: Vec<usize> = (0..fill)
+                    .map(|l| TEST_LENGTHS[(rot + l) % TEST_LENGTHS.len()])
+                    .collect();
+                let streams: Vec<(Bitstream, Bitstream)> = lens
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &n)| stream_pair(n, l))
+                    .collect();
+                let pairs: Vec<(&Bitstream, &Bitstream)> =
+                    streams.iter().map(|(x, y)| (x, y)).collect();
+                let mut bank = DecorrelatorLanes::new(4, fill);
+                assert_eq!(bank.lanes(), fill);
+                let got = process_lane_pairs(&mut bank, &pairs).unwrap();
+                for (l, (x, y)) in pairs.iter().enumerate() {
+                    let mut solo = Decorrelator::new(4);
+                    let expected = solo.process(x, y).unwrap();
+                    assert_eq!(got[l], expected, "decorrelator lane {l} of {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_chain_matches_solo_chains() {
+        use crate::compose::ManipulatorChain;
+        for fill in 1..=LANES {
+            let lens: Vec<usize> = (0..fill).map(|l| [1000, 65, 64, 1][l]).collect();
+            let streams: Vec<(Bitstream, Bitstream)> = lens
+                .iter()
+                .enumerate()
+                .map(|(l, &n)| stream_pair(n, l))
+                .collect();
+            let pairs: Vec<(&Bitstream, &Bitstream)> =
+                streams.iter().map(|(x, y)| (x, y)).collect();
+            let mut chain = LaneChain::new();
+            assert!(chain.is_empty());
+            chain.push_boxed(Box::new(LaneBank::new(
+                (0..fill)
+                    .map(|_| Box::new(Synchronizer::new(2)) as Box<dyn CorrelationManipulator>)
+                    .collect(),
+            )));
+            chain.push_boxed(Box::new(DecorrelatorLanes::new(4, fill)));
+            chain.push_boxed(Box::new(LaneBank::new(
+                (0..fill)
+                    .map(|_| Box::new(Desynchronizer::new(1)) as Box<dyn CorrelationManipulator>)
+                    .collect(),
+            )));
+            assert_eq!(chain.len(), 3);
+            let got = process_lane_pairs(&mut chain, &pairs).unwrap();
+            for (l, (x, y)) in pairs.iter().enumerate() {
+                let mut solo = ManipulatorChain::new();
+                solo.push(Synchronizer::new(2));
+                solo.push(Decorrelator::new(4));
+                solo.push(Desynchronizer::new(1));
+                let expected = solo.process(x, y).unwrap();
+                assert_eq!(got[l], expected, "chain lane {l} of {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_engine_rejects_length_mismatch() {
+        let x = Bitstream::zeros(4);
+        let y = Bitstream::zeros(5);
+        let mut bank = LaneBank::new(vec![Box::new(Identity::new())]);
+        assert!(process_lane_pairs(&mut bank, &[(&x, &y)]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn oversized_bank_panics() {
+        let _ = LaneBank::new(
+            (0..LANES + 1)
+                .map(|_| Box::new(Identity::new()) as Box<dyn CorrelationManipulator>)
+                .collect(),
+        );
+    }
+
+    proptest! {
+        /// Random stream contents and ragged lane lengths: the table-backed
+        /// bank and the decorrelator bank must stay bit-identical to solo
+        /// processing.
+        #[test]
+        fn prop_lane_banks_match_solo(
+            seed_lens in proptest::collection::vec(1usize..200, 1..=LANES),
+            salt in 0usize..1000,
+        ) {
+            let streams: Vec<(Bitstream, Bitstream)> = seed_lens
+                .iter()
+                .enumerate()
+                .map(|(l, &n)| stream_pair(n, salt + l))
+                .collect();
+            let pairs: Vec<(&Bitstream, &Bitstream)> =
+                streams.iter().map(|(x, y)| (x, y)).collect();
+
+            let mut bank = LaneBank::new(
+                (0..pairs.len())
+                    .map(|_| Box::new(Synchronizer::new(2)) as Box<dyn CorrelationManipulator>)
+                    .collect(),
+            );
+            let got = process_lane_pairs(&mut bank, &pairs).unwrap();
+            for (l, (x, y)) in pairs.iter().enumerate() {
+                let mut solo = Synchronizer::new(2);
+                prop_assert_eq!(&got[l], &solo.process(x, y).unwrap(), "sync lane {}", l);
+            }
+
+            let mut deco = DecorrelatorLanes::new(3, pairs.len());
+            let got = process_lane_pairs(&mut deco, &pairs).unwrap();
+            for (l, (x, y)) in pairs.iter().enumerate() {
+                let mut solo = Decorrelator::new(3);
+                prop_assert_eq!(&got[l], &solo.process(x, y).unwrap(), "deco lane {}", l);
+            }
+        }
+    }
+}

@@ -29,6 +29,12 @@ use crate::node::{BinaryOp, ManipulatorKind, Node, NodeOp, SccClass, UnaryFsmOp,
 use sc_bitstream::Bitstream;
 use sc_rng::SourceSpec;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide monotonic counter behind [`CompiledGraph::plan_class`]: every
+/// `compile` call mints a fresh class, and clones / retargeted copies keep
+/// their template's class.
+static PLAN_CLASS: AtomicU64 = AtomicU64::new(0);
 
 /// Knobs of the correlation-planning pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -297,6 +303,12 @@ pub struct CompiledGraph {
     /// Every operation the plan executes (graph nodes plus planner-inserted
     /// repairs), for introspection and the `sc_hwcost` bridge.
     ops: Vec<NodeOp>,
+    /// Template-class id: fresh per `compile` call, preserved by `Clone` and
+    /// [`CompiledGraph::retarget_sources`]. Two plans of one class are
+    /// structurally identical step for step (only their [`SourceSpec`]s may
+    /// differ), which is what lets the executor run same-class jobs in
+    /// lockstep lanes.
+    class: u64,
 }
 
 impl CompiledGraph {
@@ -330,6 +342,38 @@ impl CompiledGraph {
     #[must_use]
     pub fn slot_count(&self) -> usize {
         self.slot_count
+    }
+
+    /// The plan's template class: a process-unique id minted per
+    /// [`Graph::compile`] call and *shared* by every clone and
+    /// [`CompiledGraph::retarget_sources`] copy of that plan. Plans of one
+    /// class are structurally identical (same steps, slots, and scheduling;
+    /// only source seeding may differ), so the executor can transpose a
+    /// group of same-class jobs into lanes and step them in lockstep.
+    #[must_use]
+    pub fn plan_class(&self) -> u64 {
+        self.class
+    }
+
+    /// Whether the plan contains at least one step with a lane-batched
+    /// kernel — a manipulator (solo or fused run), a saturating-counter FSM
+    /// activation, or a counter-based max/min — so grouping same-class jobs
+    /// into lanes can actually amortise an FSM dependency chain. Plans of
+    /// pure bitwise ops gain nothing from lane transposition (they are
+    /// already word-parallel) and are executed solo.
+    #[must_use]
+    pub fn lane_batchable(&self) -> bool {
+        self.steps.iter().any(|step| {
+            matches!(
+                step,
+                Step::Manipulate { .. }
+                    | Step::UnaryFsm { .. }
+                    | Step::Binary {
+                        op: BinaryOp::CaMax | BinaryOp::CaMin,
+                        ..
+                    }
+            )
+        })
     }
 
     /// Returns a copy of the plan with every stored [`SourceSpec`] rewritten
@@ -929,6 +973,7 @@ fn emit_steps(
         stream_slots,
         report,
         ops,
+        class: PLAN_CLASS.fetch_add(1, Ordering::Relaxed),
     })
 }
 
@@ -949,6 +994,52 @@ mod tests {
             g.compile(&PlannerOptions::default()),
             Err(GraphError::EmptyGraph)
         ));
+    }
+
+    #[test]
+    fn plan_class_marks_templates_and_lane_batchable_plans() {
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let (sx, sy) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+            g.sink_stream("x", sx);
+            g.sink_stream("y", sy);
+            g
+        };
+        let a = build().compile(&PlannerOptions::default()).unwrap();
+        let b = build().compile(&PlannerOptions::default()).unwrap();
+        // Every compile mints a fresh class; clones and retargeted copies
+        // keep their template's class (that sharing is what the executor's
+        // lane grouping keys on).
+        assert_ne!(a.plan_class(), b.plan_class());
+        assert_eq!(a.clone().plan_class(), a.plan_class());
+        let retargeted = a.retarget_sources(|_| {
+            Some(SourceSpec::Lfsr {
+                width: 16,
+                seed: 0x1234,
+            })
+        });
+        assert_eq!(retargeted.plan_class(), a.plan_class());
+        // Manipulator steps make a plan lane batchable; a pure bitwise plan
+        // (CaAdd is correlation-agnostic, so no repair is inserted) is not.
+        assert!(a.lane_batchable());
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let z = g.binary(BinaryOp::CaAdd, x, y);
+        g.sink_value("z", z);
+        let plain = g.compile(&PlannerOptions::default()).unwrap();
+        assert!(!plain.lane_batchable());
+        // Counter-based max and activation FSMs are lane batchable too.
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let t = g.stanh(3, x);
+        g.sink_value("t", t);
+        assert!(g
+            .compile(&PlannerOptions::default())
+            .unwrap()
+            .lane_batchable());
     }
 
     #[test]

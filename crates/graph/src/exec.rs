@@ -3,12 +3,13 @@
 
 use crate::compile::{CompiledGraph, Step};
 use crate::graph::GraphError;
+use crate::node::BinaryOp;
 use sc_arith::add::{half_select_stream, mux_add};
 use sc_bitstream::{scc, Bitstream, Probability};
 use sc_convert::{
     AccumulativeParallelCounter, DigitalToStochastic, Regenerator, StochasticToDigital,
 };
-use sc_core::{CorrelationManipulator, ManipulatorChain};
+use sc_core::{process_lane_pairs, CorrelationManipulator, LaneChain, ManipulatorChain, LANES};
 use sc_rng::{RandomSource, RngKind, SourceSpec};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -288,6 +289,13 @@ pub struct StreamStats {
     /// window, which is what makes the bound useful: live-plan memory is
     /// provably O(window).
     pub peak_in_flight: usize,
+    /// Jobs executed through the lane-batched lockstep path: groups of ≥ 2
+    /// jobs sharing a [`CompiledGraph::plan_class`] whose streams were
+    /// transposed into lanes at every FSM-bearing step.
+    pub lane_batched_jobs: usize,
+    /// Jobs executed solo through the scalar per-job path (plans without
+    /// lane-batchable steps, windows of 1, or leftover groups of 1).
+    pub scalar_jobs: usize,
 }
 
 /// Executes compiled plans over batches of input sets.
@@ -367,6 +375,33 @@ impl Executor {
     }
 }
 
+/// Per-job execution state threaded through [`execute_step`]: the dense
+/// stream-slot environment, the shared-source cache, and the sink results
+/// accumulated so far.
+struct ExecEnv {
+    slots: Vec<Option<Bitstream>>,
+    sources: SourceCache,
+    out: ExecOutput,
+}
+
+impl ExecEnv {
+    fn new(slot_count: usize) -> Self {
+        ExecEnv {
+            slots: vec![None; slot_count],
+            sources: SourceCache::default(),
+            out: ExecOutput::default(),
+        }
+    }
+}
+
+/// Borrow, never clone: operand reads finish before the destination
+/// slot is written, so the streams stay in place across the plan.
+fn slot(slots: &[Option<Bitstream>], idx: usize) -> &Bitstream {
+    slots[idx]
+        .as_ref()
+        .expect("topological order guarantees producers run first")
+}
+
 /// Executes one plan over one input set at stream length `n`. Free-standing
 /// so pool workers can run jobs without capturing an [`Executor`].
 fn execute_plan(
@@ -374,17 +409,28 @@ fn execute_plan(
     plan: &CompiledGraph,
     input: &BatchInput,
 ) -> Result<ExecOutput, GraphError> {
-    let mut slots: Vec<Option<Bitstream>> = vec![None; plan.slot_count];
-    let mut sources = SourceCache::default();
-    let mut out = ExecOutput::default();
-    // Borrow, never clone: operand reads finish before the destination
-    // slot is written, so the streams stay in place across the plan.
-    fn slot(slots: &[Option<Bitstream>], idx: usize) -> &Bitstream {
-        slots[idx]
-            .as_ref()
-            .expect("topological order guarantees producers run first")
-    }
+    let mut env = ExecEnv::new(plan.slot_count);
     for step in &plan.steps {
+        execute_step(n, step, input, &mut env)?;
+    }
+    Ok(env.out)
+}
+
+/// Executes one plan step against one job's environment — the scalar
+/// single-lane unit both [`execute_plan`] and the lockstep group engine
+/// ([`execute_plan_group`]) are built from.
+fn execute_step(
+    n: usize,
+    step: &Step,
+    input: &BatchInput,
+    env: &mut ExecEnv,
+) -> Result<(), GraphError> {
+    let ExecEnv {
+        slots,
+        sources,
+        out,
+    } = env;
+    {
         match step {
             Step::Input { slot, dst } => {
                 let stream = input
@@ -432,7 +478,7 @@ fn execute_plan(
                 dst_x,
                 dst_y,
             } => {
-                let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
+                let (sx, sy) = (slot(slots, *x), slot(slots, *y));
                 let (ox, oy) = if kinds.len() == 1 {
                     // A single circuit keeps its own word-level fast path.
                     kinds[0].build().process(sx, sy)?
@@ -455,24 +501,24 @@ fn execute_plan(
             } => {
                 let mut regen =
                     Regenerator::new(BorrowedSource(sources.source(source, *skip, n as u64)));
-                let regenerated = regen.regenerate(slot(&slots, *src));
+                let regenerated = regen.regenerate(slot(slots, *src));
                 slots[*dst] = Some(regenerated);
             }
             Step::Not { src, dst } => {
-                let complemented = slot(&slots, *src).not();
+                let complemented = slot(slots, *src).not();
                 slots[*dst] = Some(complemented);
             }
             Step::Binary { op, x, y, dst } => {
-                let z = apply_binary(*op, slot(&slots, *x), slot(&slots, *y))?;
+                let z = apply_binary(*op, slot(slots, *x), slot(slots, *y))?;
                 slots[*dst] = Some(z);
             }
             Step::UnaryFsm { op, src, dst } => {
                 let z = match op {
                     crate::node::UnaryFsmOp::Stanh { half_states } => {
-                        sc_arith::fsm_ops::stanh(slot(&slots, *src), *half_states)
+                        sc_arith::fsm_ops::stanh(slot(slots, *src), *half_states)
                     }
                     crate::node::UnaryFsmOp::Slinear { states } => {
-                        sc_arith::fsm_ops::slinear(slot(&slots, *src), *states)
+                        sc_arith::fsm_ops::slinear(slot(slots, *src), *states)
                     }
                 };
                 slots[*dst] = Some(z);
@@ -489,7 +535,7 @@ fn execute_plan(
                     BorrowedSource(sources.source(source, *skip, n as u64)),
                     *counter_bits,
                 );
-                let z = divider.divide(slot(&slots, *x), slot(&slots, *y))?;
+                let z = divider.divide(slot(slots, *x), slot(slots, *y))?;
                 slots[*dst] = Some(z);
             }
             Step::MuxAdd {
@@ -500,7 +546,7 @@ fn execute_plan(
                 dst,
             } => {
                 let z = {
-                    let (sx, sy) = (slot(&slots, *x), slot(&slots, *y));
+                    let (sx, sy) = (slot(slots, *x), slot(slots, *y));
                     let sel = half_select_stream(
                         &mut BorrowedSource(sources.source(select, *skip, sx.len() as u64)),
                         sx.len(),
@@ -517,39 +563,192 @@ fn execute_plan(
                 dst,
             } => {
                 let z = {
-                    let refs: Vec<&Bitstream> = srcs.iter().map(|s| slot(&slots, *s)).collect();
+                    let refs: Vec<&Bitstream> = srcs.iter().map(|s| slot(slots, *s)).collect();
                     let samples = refs.first().map_or(0, |s| s.len()) as u64;
                     weighted_mux(&refs, weights, sources.source(select, *skip, samples))?
                 };
                 slots[*dst] = Some(z);
             }
             Step::SinkStream { name, src } => {
-                out.streams.insert(name.clone(), slot(&slots, *src).clone());
+                out.streams.insert(name.clone(), slot(slots, *src).clone());
             }
             Step::SinkValue { name, src } => {
-                let value = StochasticToDigital::convert(slot(&slots, *src)).get();
+                let value = StochasticToDigital::convert(slot(slots, *src)).get();
                 out.values.insert(name.clone(), value);
             }
             Step::SinkCount { name, src } => {
-                let count = StochasticToDigital::convert_to_count(slot(&slots, *src));
+                let count = StochasticToDigital::convert_to_count(slot(slots, *src));
                 out.values.insert(name.clone(), count as f64);
             }
             Step::SinkSum { name, srcs } => {
                 // The APC consumes owned streams; sum sinks are rare
                 // enough that the copy is irrelevant.
-                let inputs: Vec<Bitstream> =
-                    srcs.iter().map(|s| slot(&slots, *s).clone()).collect();
+                let inputs: Vec<Bitstream> = srcs.iter().map(|s| slot(slots, *s).clone()).collect();
                 let mut apc = AccumulativeParallelCounter::new(inputs.len());
                 apc.accumulate_streams(&inputs)?;
                 out.values.insert(name.clone(), apc.sum_of_values());
             }
             Step::SccProbe { name, x, y } => {
-                let value = scc(slot(&slots, *x), slot(&slots, *y));
+                let value = scc(slot(slots, *x), slot(slots, *y));
                 out.values.insert(name.clone(), value);
             }
         }
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Marks lanes whose step operands differ in length as failed — exactly the
+/// error the scalar path would report for that job — and returns the
+/// still-live subset, which is safe to feed to a lane kernel.
+fn check_pair_lengths(
+    envs: &[ExecEnv],
+    errs: &mut [Option<GraphError>],
+    alive: &[usize],
+    x: usize,
+    y: usize,
+) -> Vec<usize> {
+    let mut live = Vec::with_capacity(alive.len());
+    for &l in alive {
+        let (sx, sy) = (slot(&envs[l].slots, x), slot(&envs[l].slots, y));
+        if sx.len() == sy.len() {
+            live.push(l);
+        } else {
+            errs[l] = Some(GraphError::Stream(sc_bitstream::Error::LengthMismatch {
+                left: sx.len(),
+                right: sy.len(),
+            }));
+        }
+    }
+    live
+}
+
+/// Executes a group of 2..=[`LANES`] jobs sharing one
+/// [`CompiledGraph::plan_class`] in lockstep: all jobs advance through the
+/// step list together, and at every FSM-bearing step — manipulator runs,
+/// saturating-counter activations, counter-based max/min — the group's
+/// streams are transposed into lanes and stepped through one lane-batched
+/// kernel pass, so the lanes' serial FSM chains interleave instead of
+/// running back to back. Every other step runs scalar per lane against that
+/// lane's *own* plan, which is what keeps retargeted same-class templates
+/// (identical structure, per-tile sources) correct.
+///
+/// Per-job results are bit-identical to [`execute_plan`] on each job alone:
+/// the lane kernels are pinned bit-identical to their solo circuits, and a
+/// lane that fails mid-plan simply drops out (`valid = 0`-style) with the
+/// same first error the scalar path reports, without disturbing its peers.
+fn execute_plan_group(n: usize, group: &[StreamJob]) -> Vec<Result<ExecOutput, GraphError>> {
+    debug_assert!(
+        (2..=LANES).contains(&group.len()),
+        "lane group size {} outside 2..={LANES}",
+        group.len()
+    );
+    debug_assert!(
+        group
+            .iter()
+            .all(|job| job.plan.plan_class() == group[0].plan.plan_class()),
+        "lane groups must share one plan class"
+    );
+    let mut envs: Vec<ExecEnv> = group
+        .iter()
+        .map(|job| ExecEnv::new(job.plan.slot_count))
+        .collect();
+    let mut errs: Vec<Option<GraphError>> = (0..group.len()).map(|_| None).collect();
+    for i in 0..group[0].plan.steps.len() {
+        let alive: Vec<usize> = (0..group.len()).filter(|&l| errs[l].is_none()).collect();
+        if alive.is_empty() {
+            break;
+        }
+        // Same-class plans are structurally identical, so the lane-batched
+        // arms read the shared structure (slot indices, manipulator kinds,
+        // operators) from lane 0's step; the scalar arm runs each lane's own
+        // step so per-lane `SourceSpec`s are honoured.
+        match &group[0].plan.steps[i] {
+            Step::Manipulate {
+                kinds,
+                x,
+                y,
+                dst_x,
+                dst_y,
+            } => {
+                let live = check_pair_lengths(&envs, &mut errs, &alive, *x, *y);
+                if live.is_empty() {
+                    continue;
+                }
+                let mut chain = LaneChain::new();
+                for kind in kinds {
+                    chain.push_boxed(kind.build_lanes(live.len()));
+                }
+                let processed = {
+                    let pairs: Vec<(&Bitstream, &Bitstream)> = live
+                        .iter()
+                        .map(|&l| (slot(&envs[l].slots, *x), slot(&envs[l].slots, *y)))
+                        .collect();
+                    process_lane_pairs(&mut chain, &pairs).expect("pair lengths pre-checked")
+                };
+                for (&l, (ox, oy)) in live.iter().zip(processed) {
+                    envs[l].slots[*dst_x] = Some(ox);
+                    envs[l].slots[*dst_y] = Some(oy);
+                }
+            }
+            Step::Binary {
+                op: op @ (BinaryOp::CaMax | BinaryOp::CaMin),
+                x,
+                y,
+                dst,
+            } => {
+                let live = check_pair_lengths(&envs, &mut errs, &alive, *x, *y);
+                if live.is_empty() {
+                    continue;
+                }
+                let results = {
+                    let pairs: Vec<(&Bitstream, &Bitstream)> = live
+                        .iter()
+                        .map(|&l| (slot(&envs[l].slots, *x), slot(&envs[l].slots, *y)))
+                        .collect();
+                    match op {
+                        BinaryOp::CaMax => sc_arith::maxmin::ca_max_lanes(&pairs),
+                        _ => sc_arith::maxmin::ca_min_lanes(&pairs),
+                    }
+                    .expect("pair lengths pre-checked")
+                };
+                for (&l, z) in live.iter().zip(results) {
+                    envs[l].slots[*dst] = Some(z);
+                }
+            }
+            Step::UnaryFsm { op, src, dst } => {
+                let results = {
+                    let inputs: Vec<&Bitstream> =
+                        alive.iter().map(|&l| slot(&envs[l].slots, *src)).collect();
+                    match op {
+                        crate::node::UnaryFsmOp::Stanh { half_states } => {
+                            sc_arith::fsm_ops::stanh_lanes(&inputs, *half_states)
+                        }
+                        crate::node::UnaryFsmOp::Slinear { states } => {
+                            sc_arith::fsm_ops::slinear_lanes(&inputs, *states)
+                        }
+                    }
+                };
+                for (&l, z) in alive.iter().zip(results) {
+                    envs[l].slots[*dst] = Some(z);
+                }
+            }
+            _ => {
+                for &l in &alive {
+                    let job = &group[l];
+                    if let Err(e) = execute_step(n, &job.plan.steps[i], &job.input, &mut envs[l]) {
+                        errs[l] = Some(e);
+                    }
+                }
+            }
+        }
+    }
+    errs.into_iter()
+        .zip(envs)
+        .map(|(err, env)| match err {
+            Some(e) => Err(e),
+            None => Ok(env.out),
+        })
+        .collect()
 }
 
 impl Executor {
@@ -588,11 +787,9 @@ impl Executor {
         plan: &CompiledGraph,
         inputs: &[BatchInput],
     ) -> Result<Vec<ExecOutput>, GraphError> {
-        // Single-threaded: run the borrowed slice in place. Only the pool
-        // path needs owned `'static` jobs (one deep plan clone, shared).
-        if self.threads <= 1 {
-            return inputs.iter().map(|input| self.run(plan, input)).collect();
-        }
+        // Always route through the streaming engine — even single-threaded —
+        // so a lane-batchable plan's jobs group into lockstep lanes (one
+        // deep plan clone, shared by every job).
         let plan = Arc::new(plan.clone());
         self.run_stream(
             inputs.iter().map(|input| StreamJob {
@@ -624,12 +821,8 @@ impl Executor {
     /// If an execution panics on a worker thread, the original panic payload
     /// is resumed on the caller's thread.
     pub fn run_group(&self, jobs: &[ExecJob<'_>]) -> Result<Vec<ExecOutput>, GraphError> {
-        // Single-threaded: run the borrowed jobs in place, no cloning.
-        if self.threads <= 1 {
-            return jobs
-                .iter()
-                .map(|job| self.run(job.plan, job.input))
-                .collect();
+        if jobs.is_empty() {
+            return Ok(Vec::new());
         }
         // Jobs referencing the same plan (a retargeted class template shared
         // across tiles, say) share one owned clone, keyed by referent
@@ -679,8 +872,19 @@ impl Executor {
     /// job executes with fresh deterministic sources and FSMs.
     ///
     /// With one configured thread the jobs run inline on the caller's
-    /// thread — one planned job live at a time — which is also the
-    /// sequential reference the parallel path is tested against.
+    /// thread (at most `window` planned jobs live at a time), which is also
+    /// the sequential reference the parallel path is tested against.
+    ///
+    /// **Lane batching.** On both paths, jobs whose plans are
+    /// [`CompiledGraph::lane_batchable`] buffer into per-class buckets
+    /// (windows of ≥ 2 only): when [`sc_core::LANES`] jobs of one
+    /// [`CompiledGraph::plan_class`] are in flight — the tiled-pipeline
+    /// common case, where one compiled template is retargeted across
+    /// tiles — the group executes in lockstep, transposing its streams into
+    /// lanes at every FSM-bearing step so the lanes' serial dependency
+    /// chains interleave. Results stay bit-identical to solo execution at
+    /// any thread count, window, and grouping; [`StreamStats`] reports how
+    /// many jobs took each path.
     ///
     /// # Errors
     ///
@@ -707,49 +911,118 @@ impl Executor {
         let n = self.stream_length;
 
         if self.threads <= 1 {
-            // Inline sequential path: pull, execute, drop — one live job.
-            let mut outputs = Vec::new();
-            for job in jobs {
-                stats.jobs += 1;
-                stats.peak_in_flight = stats.peak_in_flight.max(1);
-                outputs.push(execute_plan(n, &job.plan, &job.input)?);
+            // Inline sequential path with a bounded look-ahead: lane-batchable
+            // jobs buffer into per-class buckets (at most `window` of them
+            // pending) and execute as lockstep lane groups when a bucket
+            // fills; everything else runs solo on the spot.
+            let mut slots: Vec<Option<Result<ExecOutput, GraphError>>> = Vec::new();
+            let mut buckets: HashMap<u64, Vec<(usize, StreamJob)>> = HashMap::new();
+            let mut buffered = 0usize;
+            let mut exhausted = false;
+            let mut failed = false;
+            loop {
+                while !exhausted && !failed && buffered < window {
+                    match jobs.next() {
+                        Some(job) => {
+                            let index = slots.len();
+                            slots.push(None);
+                            if window >= 2 && job.plan.lane_batchable() {
+                                let class = job.plan.plan_class();
+                                buffered += 1;
+                                stats.peak_in_flight = stats.peak_in_flight.max(buffered);
+                                let bucket = buckets.entry(class).or_default();
+                                bucket.push((index, job));
+                                if bucket.len() == LANES {
+                                    let group = buckets.remove(&class).expect("bucket just filled");
+                                    buffered -= group.len();
+                                    failed |= run_group_inline(n, group, &mut slots, &mut stats);
+                                }
+                            } else {
+                                stats.peak_in_flight = stats.peak_in_flight.max(buffered + 1);
+                                stats.scalar_jobs += 1;
+                                let result = execute_plan(n, &job.plan, &job.input);
+                                failed |= result.is_err();
+                                slots[index] = Some(result);
+                            }
+                        }
+                        None => exhausted = true,
+                    }
+                }
+                // No more jobs can be pulled (look-ahead full, iterator done,
+                // or a job failed): flush the bucket holding the oldest
+                // pending job so the engine always makes progress.
+                let Some(class) = oldest_bucket(&buckets) else {
+                    break;
+                };
+                let group = buckets.remove(&class).expect("oldest bucket exists");
+                buffered -= group.len();
+                failed |= run_group_inline(n, group, &mut slots, &mut stats);
+            }
+            stats.jobs = slots.len();
+            let mut outputs = Vec::with_capacity(slots.len());
+            for slot in slots {
+                outputs.push(slot.expect("every pulled job was executed")?);
             }
             return Ok((outputs, stats));
         }
 
         let pool = self.pool();
-        type JobOutcome = std::thread::Result<Result<ExecOutput, GraphError>>;
         let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
         let mut slots: Vec<Option<Result<ExecOutput, GraphError>>> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<(usize, StreamJob)>> = HashMap::new();
+        let mut pulled = 0usize;
         let mut submitted = 0usize;
         let mut completed = 0usize;
         let mut exhausted = false;
         let mut failed = false;
+        // Counts the submission so the flush logic can tell buffered jobs
+        // from ones already on the pool; the pool-side task itself lives in
+        // [`submit_group_to_pool`].
+        let submit_group =
+            |group: Vec<(usize, StreamJob)>, stats: &mut StreamStats, submitted: &mut usize| {
+                *submitted += group.len();
+                if group.len() >= 2 {
+                    stats.lane_batched_jobs += group.len();
+                } else {
+                    stats.scalar_jobs += group.len();
+                }
+                submit_group_to_pool(&pool, &tx, n, group);
+            };
         loop {
-            while !exhausted && !failed && submitted - completed < window {
+            while !exhausted && !failed && pulled - completed < window {
                 match jobs.next() {
                     Some(job) => {
-                        let tx = tx.clone();
-                        let index = submitted;
-                        pool.submit(Box::new(move || {
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                execute_plan(n, &job.plan, &job.input)
-                            }));
-                            // Free the job — and its plan handle — *before*
-                            // the result becomes visible, so the caller
-                            // cannot over-fill the window while plans
-                            // linger on workers.
-                            drop(job);
-                            let _ = tx.send((index, outcome));
-                        }));
-                        submitted += 1;
+                        let index = pulled;
+                        pulled += 1;
                         slots.push(None);
-                        stats.peak_in_flight = stats.peak_in_flight.max(submitted - completed);
+                        stats.peak_in_flight = stats.peak_in_flight.max(pulled - completed);
+                        if window >= 2 && job.plan.lane_batchable() {
+                            let class = job.plan.plan_class();
+                            let bucket = buckets.entry(class).or_default();
+                            bucket.push((index, job));
+                            if bucket.len() == LANES {
+                                let group = buckets.remove(&class).expect("bucket just filled");
+                                submit_group(group, &mut stats, &mut submitted);
+                            }
+                        } else {
+                            submit_group(vec![(index, job)], &mut stats, &mut submitted);
+                        }
                     }
                     None => exhausted = true,
                 }
             }
-            if completed == submitted {
+            // Nothing more can be pulled. Once no further pulls will come
+            // (iterator done / a job failed) — or every submitted job has
+            // already reported, so waiting would deadlock on the buffered
+            // jobs — flush the partial buckets to the pool.
+            if exhausted || failed || submitted == completed {
+                let classes: Vec<u64> = buckets.keys().copied().collect();
+                for class in classes {
+                    let group = buckets.remove(&class).expect("listed bucket exists");
+                    submit_group(group, &mut stats, &mut submitted);
+                }
+            }
+            if completed == pulled {
                 break;
             }
             let (index, outcome) = rx
@@ -767,13 +1040,95 @@ impl Executor {
                 Err(payload) => resume_unwind(payload),
             }
         }
-        stats.jobs = submitted;
+        stats.jobs = pulled;
         let mut outputs = Vec::with_capacity(slots.len());
         for slot in slots {
             outputs.push(slot.expect("every submitted job was drained")?);
         }
         Ok((outputs, stats))
     }
+}
+
+/// Outcome of one pool-executed job: the worker's `catch_unwind` result
+/// around the job's execution result.
+type JobOutcome = std::thread::Result<Result<ExecOutput, GraphError>>;
+
+/// Submits one group of `(index, job)` pairs to the pool as a single task:
+/// the task wraps the whole group in one `catch_unwind` (lane-batched when
+/// the group holds ≥ 2 jobs, scalar otherwise) and reports each job's
+/// outcome individually. On a panic the group's first index carries the
+/// payload — the caller resumes it immediately, so the remaining slots never
+/// matter.
+fn submit_group_to_pool(
+    pool: &WorkerPool,
+    tx: &mpsc::Sender<(usize, JobOutcome)>,
+    n: usize,
+    group: Vec<(usize, StreamJob)>,
+) {
+    let tx = tx.clone();
+    pool.submit(Box::new(move || {
+        let (indices, jobs): (Vec<usize>, Vec<StreamJob>) = group.into_iter().unzip();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if jobs.len() >= 2 {
+                execute_plan_group(n, &jobs)
+            } else {
+                jobs.iter()
+                    .map(|job| execute_plan(n, &job.plan, &job.input))
+                    .collect()
+            }
+        }));
+        // Free the jobs — and their plan handles — *before* the results
+        // become visible, so the caller cannot over-fill the window while
+        // plans linger on workers.
+        drop(jobs);
+        match outcome {
+            Ok(results) => {
+                for (index, result) in indices.into_iter().zip(results) {
+                    let _ = tx.send((index, Ok(result)));
+                }
+            }
+            Err(payload) => {
+                let _ = tx.send((indices[0], Err(payload)));
+            }
+        }
+    }));
+}
+
+/// The bucket class holding the smallest pending job index, if any bucket is
+/// non-empty — the flush order that keeps inline lane grouping fair to the
+/// oldest jobs.
+fn oldest_bucket(buckets: &HashMap<u64, Vec<(usize, StreamJob)>>) -> Option<u64> {
+    buckets
+        .iter()
+        .min_by_key(|(_, group)| group.first().map_or(usize::MAX, |(index, _)| *index))
+        .map(|(&class, _)| class)
+}
+
+/// Executes one buffered group on the caller's thread — lane-batched when it
+/// holds ≥ 2 jobs, scalar otherwise — filling each job's result slot.
+/// Returns whether any job in the group failed.
+fn run_group_inline(
+    n: usize,
+    group: Vec<(usize, StreamJob)>,
+    slots: &mut [Option<Result<ExecOutput, GraphError>>],
+    stats: &mut StreamStats,
+) -> bool {
+    let (indices, jobs): (Vec<usize>, Vec<StreamJob>) = group.into_iter().unzip();
+    let results = if jobs.len() >= 2 {
+        stats.lane_batched_jobs += jobs.len();
+        execute_plan_group(n, &jobs)
+    } else {
+        stats.scalar_jobs += jobs.len();
+        jobs.iter()
+            .map(|job| execute_plan(n, &job.plan, &job.input))
+            .collect()
+    };
+    let mut failed = false;
+    for (index, result) in indices.into_iter().zip(results) {
+        failed |= result.is_err();
+        slots[index] = Some(result);
+    }
+    failed
 }
 
 /// One `(plan, input)` pairing of a heterogeneous [`Executor::run_group`]
@@ -1403,6 +1758,94 @@ mod tests {
         let (wide, _) = exec.run_stream_with_stats(job_iter(), usize::MAX).unwrap();
         assert_eq!(narrow, wide);
         assert_eq!(narrow_stats.peak_in_flight, 1);
+    }
+
+    /// The lane-batched path: a family of same-class jobs (one shared plan
+    /// with manipulator, counter-max, and activation steps) groups into
+    /// lockstep lanes at 1 and N threads and stays bit-identical to solo
+    /// execution, leftover partial groups included.
+    #[test]
+    fn lane_batched_stream_matches_solo() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, SourceSpec::Halton { base: 3, offset: 0 });
+        let (sx, sy) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+        let (dx, dy) = g.manipulate(ManipulatorKind::Decorrelator { depth: 4 }, sx, sy);
+        let z = g.binary(BinaryOp::CaMax, dx, dy);
+        let t = g.stanh(2, z);
+        g.sink_stream("z", z);
+        g.sink_stream("t", t);
+        let plan = Arc::new(g.compile(&PlannerOptions::default()).unwrap());
+        assert!(plan.lane_batchable());
+        let n = 257usize;
+        let inputs: Vec<BatchInput> = (0..11)
+            .map(|i| BatchInput::with_values(vec![i as f64 / 11.0, 1.0 - i as f64 / 13.0]))
+            .collect();
+        let solo: Vec<ExecOutput> = inputs
+            .iter()
+            .map(|input| Executor::new(n).run(&plan, input).unwrap())
+            .collect();
+        for threads in [1usize, 4] {
+            let exec = Executor::new(n).with_threads(threads);
+            let jobs = inputs.iter().map(|input| StreamJob {
+                plan: Arc::clone(&plan),
+                input: input.clone(),
+            });
+            let (streamed, stats) = exec.run_stream_with_stats(jobs, 8).unwrap();
+            assert_eq!(streamed, solo, "threads={threads}");
+            assert_eq!(stats.lane_batched_jobs + stats.scalar_jobs, inputs.len());
+            // 11 same-class jobs at window 8: two full lane groups plus a
+            // leftover group of 3, all lane-batched.
+            assert_eq!(stats.lane_batched_jobs, inputs.len(), "threads={threads}");
+            // run_batch routes through the same engine, lanes included.
+            assert_eq!(exec.run_batch(&plan, &inputs).unwrap(), solo);
+        }
+        // A window of 1 disables grouping entirely.
+        let jobs = inputs.iter().map(|input| StreamJob {
+            plan: Arc::clone(&plan),
+            input: input.clone(),
+        });
+        let (narrow, stats) = Executor::new(n).run_stream_with_stats(jobs, 1).unwrap();
+        assert_eq!(narrow, solo);
+        assert_eq!(stats.lane_batched_jobs, 0);
+        assert_eq!(stats.scalar_jobs, inputs.len());
+    }
+
+    /// A failing lane (missing value slot) drops out of its group with the
+    /// same error the scalar path reports, without disturbing its peers.
+    #[test]
+    fn lane_batched_group_isolates_failing_lane() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let (sx, sy) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+        g.sink_stream("x", sx);
+        g.sink_stream("y", sy);
+        let plan = Arc::new(g.compile(&PlannerOptions::default()).unwrap());
+        let good = BatchInput::with_values(vec![0.4, 0.7]);
+        let jobs = vec![
+            StreamJob {
+                plan: Arc::clone(&plan),
+                input: good.clone(),
+            },
+            StreamJob {
+                plan: Arc::clone(&plan),
+                input: BatchInput::new(), // missing both value slots
+            },
+            StreamJob {
+                plan: Arc::clone(&plan),
+                input: good.clone(),
+            },
+        ];
+        let results = execute_plan_group(64, &jobs);
+        assert_eq!(results.len(), 3);
+        let expected = Executor::new(64).run(&plan, &good).unwrap();
+        assert_eq!(results[0].as_ref().unwrap(), &expected);
+        assert!(matches!(
+            results[1],
+            Err(GraphError::ValueSlotOutOfRange { .. })
+        ));
+        assert_eq!(results[2].as_ref().unwrap(), &expected);
     }
 
     /// Once a job fails, the error returned is deterministically the failing

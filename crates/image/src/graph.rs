@@ -545,34 +545,61 @@ mod tests {
         assert_eq!(at_mean.ops(), at_half.ops());
     }
 
-    /// Pipeline-level wiring: with [`PipelineConfig::measure_scc`] set, every
-    /// tile compiles under measurement (the cache is bypassed, since the
-    /// probe stimulus is per-tile) and the pipeline still produces a full
-    /// output image.
+    /// Pipeline-level wiring of measured-SCC mode: the probe stimulus is
+    /// quantised into brightness buckets that join the plan-cache key, so
+    /// tiles of equal shape, bank phase, *and* bucket share one measured
+    /// compile (probed at the bucket midpoint) — the cache hits instead of
+    /// recompiling per tile — while tiles whose means land in different
+    /// buckets still get their own measured compiles.
     #[test]
-    fn pipeline_measure_scc_compiles_every_tile() {
-        let img = GrayImage::from_fn(8, 8, |x, y| 0.1 + 0.04 * ((x * y) % 5) as f64);
+    fn pipeline_measure_scc_hits_quantised_plan_cache() {
         let config = PipelineConfig {
             measure_scc: Some(32),
             ..PipelineConfig::quick()
         };
+        // Uniform brightness: a 12×18 image has 6 full-size tiles in 2 bank
+        // phases (x0 ∈ {0, 6} ⇒ x0 % 4 ∈ {0, 2}), and every tile mean is
+        // exactly 0.3 ⇒ one shared bucket. The cache collapses 6 tiles to
+        // 2 measured compilations — strictly fewer than the tile count.
+        let img = GrayImage::filled(12, 18, 0.3);
         let (out, stats) = crate::pipeline::run_sc_pipeline_with_stats(
             &img,
             PipelineVariant::Synchronizer,
             &config,
         )
         .unwrap();
-        assert_eq!(out.width(), 8);
-        assert_eq!(stats.tiles, 4);
+        assert_eq!((out.width(), out.height()), (12, 18));
+        assert_eq!(stats.tiles, 6);
         assert_eq!(
-            stats.compilations, stats.tiles,
-            "measured compiles are per-tile: the class cache must be bypassed"
+            stats.compilations, 2,
+            "measured compiles are per (shape, phase, brightness bucket) \
+             class: equal-bucket tiles must hit the plan cache"
         );
-        for y in 0..8 {
-            for x in 0..8 {
+        assert!(
+            stats.compilations < stats.tiles,
+            "the quantised probe key must let measured mode reuse plans"
+        );
+        for y in 0..18 {
+            for x in 0..12 {
                 assert!((0.0..=1.0).contains(&out.get(x, y)));
             }
         }
+        // Split brightness: the top half is dim, the bottom half bright, so
+        // the two tile rows of a 12×12 image land in different buckets and
+        // the bucket dimension of the key keeps them apart — 2 phases × 2
+        // buckets = 4 compilations (the structural planner would need 2).
+        let img = GrayImage::from_fn(12, 12, |_, y| if y < 6 { 0.1 } else { 0.9 });
+        let (_, stats) = crate::pipeline::run_sc_pipeline_with_stats(
+            &img,
+            PipelineVariant::Synchronizer,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(stats.tiles, 4);
+        assert_eq!(
+            stats.compilations, 4,
+            "tiles in different brightness buckets must not share a measured plan"
+        );
     }
 
     #[test]

@@ -136,6 +136,29 @@ impl Lfsr {
         self.taps
     }
 
+    /// The feedback structure of this register.
+    #[must_use]
+    pub fn structure(&self) -> LfsrStructure {
+        self.structure
+    }
+
+    /// Overwrites the register state, e.g. to restore state that a batched
+    /// execution path staged in registers outside the `Lfsr` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is zero (the all-zeros dead state) or wider than the
+    /// register.
+    pub fn set_state(&mut self, state: u64) {
+        let mask = (1u64 << self.width) - 1;
+        assert!(
+            state != 0 && state <= mask,
+            "LFSR state {state:#x} invalid for width {}",
+            self.width
+        );
+        self.state = state;
+    }
+
     /// Advances the register one step and returns the new state.
     pub fn step(&mut self) -> u64 {
         self.state = self.transition(self.state);
