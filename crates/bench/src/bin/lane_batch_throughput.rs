@@ -33,6 +33,7 @@ use sc_graph::{
     StreamJob,
 };
 use sc_rng::{Halton, VanDerCorput};
+use sc_telemetry::{Json, TelemetrySink};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -223,27 +224,54 @@ fn main() {
         rows.push(row);
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"stream_bits\": {STREAM_BITS},\n"));
-    json.push_str(&format!("  \"lanes\": {LANES},\n"));
-    json.push_str("  \"unit\": \"ns per stream, median of 9 samples; executor columns run 4 same-class StreamJobs\",\n");
-    json.push_str("  \"results\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"op\": \"{}\", \"scalar_ns\": {:.1}, \"lane_ns\": {:.1}, \"lane_speedup\": {:.2}, \"executor_scalar_ns\": {:.1}, \"executor_lane_ns\": {:.1}, \"executor_speedup\": {:.2}}}{}\n",
-            row.op,
-            row.scalar_ns,
-            row.lane_ns,
-            row.lane_speedup(),
-            row.executor_scalar_ns,
-            row.executor_lane_ns,
-            row.executor_speedup(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    // One instrumented lane-batched dispatch per op for the machine-readable
+    // summary: the same TelemetryReport JSON every instrumented consumer
+    // gets, instead of a hand-rolled writer.
+    let sink = TelemetrySink::new();
+    let instrumented = Executor::new(STREAM_BITS).with_telemetry(sink.clone());
+    for op in ["ca_max", "synchronizer_d1", "decorrelator_d4"] {
+        let plan = plan_for(op);
+        let jobs = (0..LANES).map(|_| StreamJob {
+            plan: Arc::clone(&plan),
+            input: BatchInput::with_streams(vec![x.clone(), y.clone()]),
+        });
+        instrumented
+            .run_stream(jobs, LANES)
+            .expect("bench jobs execute");
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_lane_batch.json");
+    let telemetry = sink.drain().to_json();
+
+    let doc = Json::obj(vec![
+        ("stream_bits", Json::u64(STREAM_BITS as u64)),
+        ("lanes", Json::u64(LANES as u64)),
+        (
+            "unit",
+            Json::str(
+                "ns per stream, median of 9 samples; executor columns run 4 \
+                 same-class StreamJobs",
+            ),
+        ),
+        (
+            "results",
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Json::obj(vec![
+                            ("op", Json::str(row.op)),
+                            ("scalar_ns", Json::fixed(row.scalar_ns, 1)),
+                            ("lane_ns", Json::fixed(row.lane_ns, 1)),
+                            ("lane_speedup", Json::fixed(row.lane_speedup(), 2)),
+                            ("executor_scalar_ns", Json::fixed(row.executor_scalar_ns, 1)),
+                            ("executor_lane_ns", Json::fixed(row.executor_lane_ns, 1)),
+                            ("executor_speedup", Json::fixed(row.executor_speedup(), 2)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("telemetry", telemetry),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_lane_batch.json");
     println!("\nwrote {out_path}");
 
     // Acceptance bars, conservative halves of the measured gains so a noisy

@@ -21,6 +21,7 @@
 
 use sc_bench::measure_rate as measure;
 use sc_image::{run_sc_pipeline_with_window, GrayImage, PipelineConfig, PipelineVariant};
+use sc_telemetry::{Json, TelemetrySink};
 
 fn bench_image() -> GrayImage {
     let blob = GrayImage::gaussian_blob(40, 40);
@@ -100,31 +101,46 @@ fn main() {
         .images_per_sec;
     let ratio = streaming / full;
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"cpus\": {cpus},\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!("  \"default_window\": {default_window},\n"));
-    json.push_str(
-        "  \"image\": \"40x40, 10px tiles (16 tiles), N=256, synchronizer variant\",\n  \
-         \"unit\": \"whole images per second, best of 7 samples\",\n",
-    );
-    json.push_str(&format!(
-        "  \"streaming_vs_full_dispatch\": {ratio:.3},\n  \"results\": [\n"
-    ));
-    for (i, row) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"window\": \"{}\", \"images_per_sec\": {:.2}, \"peak_live_plans\": {}, \
-             \"tiles\": {}}}{}\n",
-            row.label,
-            row.images_per_sec,
-            row.peak_live_plans,
-            row.tiles,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_stream_window.json");
+    // One instrumented run at the default window for the machine-readable
+    // per-stage summary: the same TelemetryReport JSON every instrumented
+    // consumer gets, instead of a hand-rolled writer.
+    let sink = TelemetrySink::new();
+    let instrumented = config.clone().with_telemetry(sink.clone());
+    run_sc_pipeline_with_window(&img, variant, &instrumented, threads, default_window)
+        .expect("instrumented pipeline executes");
+    let telemetry = sink.drain().to_json();
+
+    let doc = Json::obj(vec![
+        ("cpus", Json::u64(cpus as u64)),
+        ("threads", Json::u64(threads as u64)),
+        ("default_window", Json::u64(default_window as u64)),
+        (
+            "image",
+            Json::str("40x40, 10px tiles (16 tiles), N=256, synchronizer variant"),
+        ),
+        (
+            "unit",
+            Json::str("whole images per second, best of 7 samples"),
+        ),
+        ("streaming_vs_full_dispatch", Json::fixed(ratio, 3)),
+        (
+            "results",
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Json::obj(vec![
+                            ("window", Json::str(&row.label)),
+                            ("images_per_sec", Json::fixed(row.images_per_sec, 2)),
+                            ("peak_live_plans", Json::u64(row.peak_live_plans as u64)),
+                            ("tiles", Json::u64(row.tiles as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("telemetry", telemetry),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_stream_window.json");
     println!("\nwrote {out_path}");
 
     // Gate 1: the window bounds the number of simultaneously-live plans

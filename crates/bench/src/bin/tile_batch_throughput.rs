@@ -104,7 +104,7 @@ fn main() {
         tile_size: 10,
         rng_bank_size: 8,
         synchronizer_depth: 2,
-        measure_scc: None,
+        ..PipelineConfig::default()
     };
     let mut tile_rows: Vec<TileRow> = Vec::new();
     for threads in [1usize, sharded_threads] {

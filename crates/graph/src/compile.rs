@@ -28,6 +28,7 @@ use crate::graph::{Graph, GraphError};
 use crate::node::{BinaryOp, ManipulatorKind, Node, NodeOp, SccClass, UnaryFsmOp, Wire};
 use sc_bitstream::Bitstream;
 use sc_rng::SourceSpec;
+use sc_telemetry::{Counter, Stage, TelemetrySink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -446,12 +447,34 @@ impl Graph {
     /// from its input count via [`Graph::rewire`] misuse cannot occur, but
     /// the check is kept for defence), or [`GraphError::DuplicateSink`].
     pub fn compile(&self, options: &PlannerOptions) -> Result<CompiledGraph, GraphError> {
+        self.compile_with_telemetry(options, &TelemetrySink::default())
+    }
+
+    /// [`Graph::compile`] with per-pass profiling: records one
+    /// [`Stage::Compile`] span over the whole call with nested
+    /// [`Stage::CompileValidate`] / [`Stage::CompilePlan`] /
+    /// [`Stage::CompileEmit`] spans (plus one [`Stage::MeasuredProbe`] span
+    /// per planner probe execution), and on success bumps the sink's
+    /// compilation, repair-insertion, measured-probe, and fused-run
+    /// counters straight from the plan's [`CompileReport`] — the counters
+    /// are derived from the report, so the two cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Graph::compile`].
+    pub fn compile_with_telemetry(
+        &self,
+        options: &PlannerOptions,
+        telemetry: &TelemetrySink,
+    ) -> Result<CompiledGraph, GraphError> {
+        let _compile = telemetry.span(Stage::Compile);
         if self.nodes.is_empty() {
             return Err(GraphError::EmptyGraph);
         }
         // Pass 1: structural validation (wires are builder-validated; arity
         // and sink uniqueness are re-checked here to cover future mutation
         // APIs).
+        let validate = telemetry.span(Stage::CompileValidate);
         let mut sink_names: Vec<&str> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
             if let Some(expected) = node.op.input_arity() {
@@ -476,19 +499,32 @@ impl Graph {
         // Cycle check up front: the correlation planner's class derivation
         // recurses through identity manipulators and must only ever see a DAG.
         topo_order(&self.nodes)?;
+        drop(validate);
 
         // Pass 2: correlation planning over a mutable copy of the node list.
+        let plan_span = telemetry.span(Stage::CompilePlan);
         let mut nodes: Vec<Node> = self.nodes.to_vec();
         let mut report = CompileReport::default();
-        plan_correlation(&mut nodes, options, &mut report);
+        plan_correlation(&mut nodes, options, &mut report, telemetry);
+        drop(plan_span);
 
+        let emit_span = telemetry.span(Stage::CompileEmit);
         // Topological order recomputed after planning so inserted repair
         // nodes participate in scheduling (insertion cannot create cycles:
         // a repair only splices into existing edges).
         let order = topo_order(&nodes)?;
 
         // Pass 3 + 4: fusion and step emission.
-        emit_steps(&nodes, &order, options, report)
+        let result = emit_steps(&nodes, &order, options, report);
+        drop(emit_span);
+        if telemetry.is_enabled() {
+            if let Ok(plan) = &result {
+                telemetry.add(Counter::Compilations, 1);
+                telemetry.add(Counter::RepairsInserted, plan.report.inserted.len() as u64);
+                telemetry.add(Counter::FusedRuns, plan.report.fused_runs as u64);
+            }
+        }
+        result
     }
 }
 
@@ -589,7 +625,12 @@ fn pair_class(nodes: &[Node], a: Wire, b: Wire) -> SccClass {
 
 /// The correlation-planning pass: checks every tracked operator's SCC
 /// precondition and (optionally) inserts the establishing manipulator.
-fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mut CompileReport) {
+fn plan_correlation(
+    nodes: &mut Vec<Node>,
+    options: &PlannerOptions,
+    report: &mut CompileReport,
+    telemetry: &TelemetrySink,
+) {
     for i in 0..nodes.len() {
         let Some((label, requirement)) = nodes[i].op.correlation_requirement() else {
             continue;
@@ -602,9 +643,11 @@ fn plan_correlation(nodes: &mut Vec<Node>, options: &PlannerOptions, report: &mu
         // class — the SccTracker-in-the-loop design the ROADMAP calls for.
         if class == SccClass::Unknown {
             if let Some(probe_length) = options.measure_unknown {
-                if let Some((scc, measured)) =
-                    measured_class(nodes, a, b, probe_length, options.probe_value)
-                {
+                let probe_span = telemetry.span(Stage::MeasuredProbe);
+                telemetry.add(Counter::MeasuredProbes, 1);
+                let outcome = measured_class(nodes, a, b, probe_length, options.probe_value);
+                drop(probe_span);
+                if let Some((scc, measured)) = outcome {
                     report.measured.push(format!(
                         "inputs of {label} (node n{i}) measured SCC {scc:.3} over {probe_length} \
                          cycles: treating pair as {measured:?}"

@@ -11,6 +11,7 @@ use sc_convert::{
 };
 use sc_core::{process_lane_pairs, CorrelationManipulator, LaneChain, ManipulatorChain, LANES};
 use sc_rng::{RandomSource, RngKind, SourceSpec};
+use sc_telemetry::{Counter, Gauge, Hist, Stage, TelemetrySink};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
@@ -165,6 +166,7 @@ type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     ready: Condvar,
+    telemetry: TelemetrySink,
 }
 
 #[derive(Default)]
@@ -177,9 +179,18 @@ impl WorkerPool {
     /// Spawns a pool of `workers` long-lived threads (at least one).
     #[must_use]
     pub fn new(workers: usize) -> Self {
+        WorkerPool::with_telemetry(workers, TelemetrySink::default())
+    }
+
+    /// Spawns a pool whose workers record [`Stage::WorkerRun`] /
+    /// [`Stage::WorkerPark`] spans (with matching busy/idle histograms) and
+    /// queue-depth gauges into `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(workers: usize, telemetry: TelemetrySink) -> Self {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue::default()),
             ready: Condvar::new(),
+            telemetry,
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -201,17 +212,27 @@ impl WorkerPool {
 
     /// Enqueues one task for the next free worker.
     fn submit(&self, task: PoolTask) {
+        let depth = {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .expect("pool queue lock is never poisoned: tasks run outside it");
+            queue.tasks.push_back(task);
+            queue.tasks.len()
+        };
         self.shared
-            .queue
-            .lock()
-            .expect("pool queue lock is never poisoned: tasks run outside it")
-            .tasks
-            .push_back(task);
+            .telemetry
+            .gauge_set(Gauge::QueueDepth, depth as u64);
+        self.shared
+            .telemetry
+            .observe(Hist::QueueDepth, depth as u64);
         self.shared.ready.notify_one();
     }
 }
 
 fn worker_loop(shared: &PoolShared) {
+    let telemetry = &shared.telemetry;
     loop {
         let task = {
             let mut queue = shared
@@ -220,19 +241,29 @@ fn worker_loop(shared: &PoolShared) {
                 .expect("pool queue lock is never poisoned: tasks run outside it");
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
+                    telemetry.gauge_set(Gauge::QueueDepth, queue.tasks.len() as u64);
                     break Some(task);
                 }
                 if queue.shutdown {
                     break None;
                 }
+                // One park span per condvar sleep (spurious wakeups included);
+                // `wait` releases the queue lock, so parked time is genuinely
+                // idle time, not lock-held time.
+                let park = telemetry.span(Stage::WorkerPark);
                 queue = shared
                     .ready
                     .wait(queue)
                     .expect("pool queue lock is never poisoned: tasks run outside it");
+                telemetry.observe(Hist::WorkerIdleNs, park.finish());
             }
         };
         match task {
-            Some(task) => task(),
+            Some(task) => {
+                let run = telemetry.span(Stage::WorkerRun);
+                task();
+                telemetry.observe(Hist::WorkerBusyNs, run.finish());
+            }
             None => return,
         }
     }
@@ -278,15 +309,24 @@ pub struct StreamJob {
 }
 
 /// What one [`Executor::run_stream_with_stats`] call actually did.
+///
+/// When the executor carries an enabled [`TelemetrySink`]
+/// ([`Executor::with_telemetry`]), these same tallies are also added to the
+/// sink's counters (`jobs` → [`Counter::JobsPulled`], the path split →
+/// [`Counter::LaneBatchedJobs`] / [`Counter::ScalarJobs`], the fill array →
+/// the sink's lane-fill distribution) in one batch at the end of the call —
+/// `StreamStats` is the per-call view and the sink is the cumulative view of
+/// **one** set of tallies, so the two reporting paths cannot drift.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Total jobs pulled from the iterator.
     pub jobs: usize,
-    /// Peak number of jobs submitted but not yet *reported back* — an
-    /// **upper bound** on simultaneously-live plans (each worker drops its
-    /// job before reporting, so a job whose result has not been received
-    /// may already have freed its plan). Never exceeds the requested
-    /// window, which is what makes the bound useful: live-plan memory is
+    /// Peak number of jobs *in flight* — pulled from the iterator but not
+    /// yet completed (executed inline, or reported back by a worker). This
+    /// is **exact** on both dispatch paths, jobs buffered for lane grouping
+    /// included, and it never exceeds `window.max(1)` — on the error path
+    /// too — which is what makes the bound useful: each worker drops its
+    /// job (and plan handle) before reporting, so live-plan memory is
     /// provably O(window).
     pub peak_in_flight: usize,
     /// Jobs executed through the lane-batched lockstep path: groups of ≥ 2
@@ -296,6 +336,13 @@ pub struct StreamStats {
     /// Jobs executed solo through the scalar per-job path (plans without
     /// lane-batchable steps, windows of 1, or leftover groups of 1).
     pub scalar_jobs: usize,
+    /// How full the executed lane groups were: `lane_group_fill[k]` counts
+    /// bucket-origin groups of `k + 1` jobs (so `lane_group_fill[0]` counts
+    /// leftover singleton flushes, which execute scalar). Only jobs that
+    /// entered a per-class bucket are counted; non-batchable jobs never
+    /// appear here. Invariant: `lane_batched_jobs` = Σ over `k ≥ 1` of
+    /// `(k + 1) · lane_group_fill[k]`.
+    pub lane_group_fill: [usize; LANES],
 }
 
 /// Executes compiled plans over batches of input sets.
@@ -312,12 +359,15 @@ pub struct StreamStats {
 pub struct Executor {
     stream_length: usize,
     threads: usize,
+    telemetry: TelemetrySink,
     pool: OnceLock<Arc<WorkerPool>>,
 }
 
 impl PartialEq for Executor {
     fn eq(&self, other: &Self) -> bool {
-        self.stream_length == other.stream_length && self.threads == other.threads
+        self.stream_length == other.stream_length
+            && self.threads == other.threads
+            && self.telemetry == other.telemetry
     }
 }
 
@@ -336,6 +386,7 @@ impl Executor {
         Executor {
             stream_length,
             threads: 1,
+            telemetry: TelemetrySink::default(),
             pool: OnceLock::new(),
         }
     }
@@ -348,6 +399,27 @@ impl Executor {
         self.threads = threads.max(1);
         self.pool = OnceLock::new();
         self
+    }
+
+    /// Attaches a [`TelemetrySink`]: subsequent dispatches record per-stage
+    /// spans (dispatch, lane-group/scalar execute, worker park/run,
+    /// de-transpose), counters, window-occupancy and queue-depth gauges, and
+    /// job-latency histograms into it. The default sink is a no-op;
+    /// instrumentation sits at step/job granularity, never inside the word
+    /// kernels. Resets any already-spawned pool so its workers record into
+    /// the new sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self.pool = OnceLock::new();
+        self
+    }
+
+    /// The attached telemetry sink (the no-op default unless
+    /// [`Executor::with_telemetry`] replaced it).
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The configured stream length `N`.
@@ -636,7 +708,18 @@ fn check_pair_lengths(
 /// the lane kernels are pinned bit-identical to their solo circuits, and a
 /// lane that fails mid-plan simply drops out (`valid = 0`-style) with the
 /// same first error the scalar path reports, without disturbing its peers.
-fn execute_plan_group(n: usize, group: &[StreamJob]) -> Vec<Result<ExecOutput, GraphError>> {
+///
+/// Records one [`Stage::LaneGroupExecute`] span (argument = group fill) with
+/// a nested [`Stage::DeTranspose`] span around the per-lane result
+/// re-assembly, and observes the group's duration once per member job in
+/// [`Hist::JobLatencyNs`] — the group *is* each member's latency, since the
+/// lanes finish together.
+fn execute_plan_group(
+    n: usize,
+    group: &[StreamJob],
+    telemetry: &TelemetrySink,
+) -> Vec<Result<ExecOutput, GraphError>> {
+    let span = telemetry.span_with(Stage::LaneGroupExecute, group.len() as u64);
     debug_assert!(
         (2..=LANES).contains(&group.len()),
         "lane group size {} outside 2..={LANES}",
@@ -742,13 +825,39 @@ fn execute_plan_group(n: usize, group: &[StreamJob]) -> Vec<Result<ExecOutput, G
             }
         }
     }
-    errs.into_iter()
-        .zip(envs)
-        .map(|(err, env)| match err {
-            Some(e) => Err(e),
-            None => Ok(env.out),
-        })
-        .collect()
+    let results = {
+        let _detranspose = telemetry.span(Stage::DeTranspose);
+        errs.into_iter()
+            .zip(envs)
+            .map(|(err, env)| match err {
+                Some(e) => Err(e),
+                None => Ok(env.out),
+            })
+            .collect()
+    };
+    let dur_ns = span.finish();
+    if telemetry.is_enabled() {
+        for _ in 0..group.len() {
+            telemetry.observe(Hist::JobLatencyNs, dur_ns);
+        }
+    }
+    results
+}
+
+/// Executes one job solo under a [`Stage::ScalarExecute`] span, observing
+/// its duration in [`Hist::JobLatencyNs`].
+fn execute_job_scalar(
+    n: usize,
+    job: &StreamJob,
+    telemetry: &TelemetrySink,
+) -> Result<ExecOutput, GraphError> {
+    let span = telemetry.span(Stage::ScalarExecute);
+    let result = execute_plan(n, &job.plan, &job.input);
+    let dur_ns = span.finish();
+    if telemetry.is_enabled() {
+        telemetry.observe(Hist::JobLatencyNs, dur_ns);
+    }
+    result
 }
 
 impl Executor {
@@ -759,12 +868,15 @@ impl Executor {
         (self.threads * DEFAULT_WINDOW_FACTOR).max(1)
     }
 
-    /// The executor's persistent worker pool, spawned on first use.
+    /// The executor's persistent worker pool, spawned on first use with the
+    /// executor's telemetry sink.
     fn pool(&self) -> Arc<WorkerPool> {
-        Arc::clone(
-            self.pool
-                .get_or_init(|| Arc::new(WorkerPool::new(self.threads))),
-        )
+        Arc::clone(self.pool.get_or_init(|| {
+            Arc::new(WorkerPool::with_telemetry(
+                self.threads,
+                self.telemetry.clone(),
+            ))
+        }))
     }
 
     /// Executes the plan over a batch of independent input sets across the
@@ -909,40 +1021,52 @@ impl Executor {
         let mut jobs = jobs.into_iter();
         let mut stats = StreamStats::default();
         let n = self.stream_length;
+        let telemetry = &self.telemetry;
+        let _dispatch = telemetry.span(Stage::Dispatch);
 
         if self.threads <= 1 {
             // Inline sequential path with a bounded look-ahead: lane-batchable
             // jobs buffer into per-class buckets (at most `window` of them
             // pending) and execute as lockstep lane groups when a bucket
-            // fills; everything else runs solo on the spot.
+            // fills; everything else runs solo on the spot. In-flight is
+            // counted like the pool path — `pulled - completed`, sampled
+            // after every pull — so `peak_in_flight` is exact: a scalar job
+            // is in flight (on top of the buffered jobs) while it executes,
+            // and a buffered job counts from its pull to its group's flush.
             let mut slots: Vec<Option<Result<ExecOutput, GraphError>>> = Vec::new();
             let mut buckets: HashMap<u64, Vec<(usize, StreamJob)>> = HashMap::new();
-            let mut buffered = 0usize;
+            let mut pulled = 0usize;
+            let mut completed = 0usize;
             let mut exhausted = false;
             let mut failed = false;
             loop {
-                while !exhausted && !failed && buffered < window {
+                while !exhausted && !failed && pulled - completed < window {
                     match jobs.next() {
                         Some(job) => {
-                            let index = slots.len();
+                            let index = pulled;
+                            pulled += 1;
                             slots.push(None);
+                            let in_flight = pulled - completed;
+                            stats.peak_in_flight = stats.peak_in_flight.max(in_flight);
+                            telemetry.gauge_set(Gauge::WindowOccupancy, in_flight as u64);
+                            telemetry.observe(Hist::WindowOccupancy, in_flight as u64);
                             if window >= 2 && job.plan.lane_batchable() {
                                 let class = job.plan.plan_class();
-                                buffered += 1;
-                                stats.peak_in_flight = stats.peak_in_flight.max(buffered);
                                 let bucket = buckets.entry(class).or_default();
                                 bucket.push((index, job));
                                 if bucket.len() == LANES {
                                     let group = buckets.remove(&class).expect("bucket just filled");
-                                    buffered -= group.len();
-                                    failed |= run_group_inline(n, group, &mut slots, &mut stats);
+                                    completed += group.len();
+                                    failed |= run_group_inline(
+                                        n, group, &mut slots, &mut stats, telemetry,
+                                    );
                                 }
                             } else {
-                                stats.peak_in_flight = stats.peak_in_flight.max(buffered + 1);
                                 stats.scalar_jobs += 1;
-                                let result = execute_plan(n, &job.plan, &job.input);
+                                let result = execute_job_scalar(n, &job, telemetry);
                                 failed |= result.is_err();
                                 slots[index] = Some(result);
+                                completed += 1;
                             }
                         }
                         None => exhausted = true,
@@ -955,10 +1079,11 @@ impl Executor {
                     break;
                 };
                 let group = buckets.remove(&class).expect("oldest bucket exists");
-                buffered -= group.len();
-                failed |= run_group_inline(n, group, &mut slots, &mut stats);
+                completed += group.len();
+                failed |= run_group_inline(n, group, &mut slots, &mut stats, telemetry);
             }
-            stats.jobs = slots.len();
+            stats.jobs = pulled;
+            record_stream_totals(telemetry, &stats, &slots);
             let mut outputs = Vec::with_capacity(slots.len());
             for slot in slots {
                 outputs.push(slot.expect("every pulled job was executed")?);
@@ -977,17 +1102,24 @@ impl Executor {
         let mut failed = false;
         // Counts the submission so the flush logic can tell buffered jobs
         // from ones already on the pool; the pool-side task itself lives in
-        // [`submit_group_to_pool`].
-        let submit_group =
-            |group: Vec<(usize, StreamJob)>, stats: &mut StreamStats, submitted: &mut usize| {
-                *submitted += group.len();
-                if group.len() >= 2 {
-                    stats.lane_batched_jobs += group.len();
-                } else {
-                    stats.scalar_jobs += group.len();
-                }
-                submit_group_to_pool(&pool, &tx, n, group);
-            };
+        // [`submit_group_to_pool`]. `grouped` marks bucket-origin groups
+        // (lane fill is a grouping metric, so direct scalar submissions stay
+        // out of the fill distribution).
+        let submit_group = |group: Vec<(usize, StreamJob)>,
+                            stats: &mut StreamStats,
+                            submitted: &mut usize,
+                            grouped: bool| {
+            *submitted += group.len();
+            if grouped {
+                stats.lane_group_fill[(group.len() - 1).min(LANES - 1)] += 1;
+            }
+            if group.len() >= 2 {
+                stats.lane_batched_jobs += group.len();
+            } else {
+                stats.scalar_jobs += group.len();
+            }
+            submit_group_to_pool(&pool, &tx, n, group, telemetry);
+        };
         loop {
             while !exhausted && !failed && pulled - completed < window {
                 match jobs.next() {
@@ -995,17 +1127,20 @@ impl Executor {
                         let index = pulled;
                         pulled += 1;
                         slots.push(None);
-                        stats.peak_in_flight = stats.peak_in_flight.max(pulled - completed);
+                        let in_flight = pulled - completed;
+                        stats.peak_in_flight = stats.peak_in_flight.max(in_flight);
+                        telemetry.gauge_set(Gauge::WindowOccupancy, in_flight as u64);
+                        telemetry.observe(Hist::WindowOccupancy, in_flight as u64);
                         if window >= 2 && job.plan.lane_batchable() {
                             let class = job.plan.plan_class();
                             let bucket = buckets.entry(class).or_default();
                             bucket.push((index, job));
                             if bucket.len() == LANES {
                                 let group = buckets.remove(&class).expect("bucket just filled");
-                                submit_group(group, &mut stats, &mut submitted);
+                                submit_group(group, &mut stats, &mut submitted, true);
                             }
                         } else {
-                            submit_group(vec![(index, job)], &mut stats, &mut submitted);
+                            submit_group(vec![(index, job)], &mut stats, &mut submitted, false);
                         }
                     }
                     None => exhausted = true,
@@ -1019,7 +1154,7 @@ impl Executor {
                 let classes: Vec<u64> = buckets.keys().copied().collect();
                 for class in classes {
                     let group = buckets.remove(&class).expect("listed bucket exists");
-                    submit_group(group, &mut stats, &mut submitted);
+                    submit_group(group, &mut stats, &mut submitted, true);
                 }
             }
             if completed == pulled {
@@ -1029,6 +1164,7 @@ impl Executor {
                 .recv()
                 .expect("in-flight jobs hold a live sender, so recv cannot disconnect");
             completed += 1;
+            telemetry.gauge_set(Gauge::WindowOccupancy, (pulled - completed) as u64);
             match outcome {
                 Ok(result) => {
                     failed |= result.is_err();
@@ -1041,11 +1177,38 @@ impl Executor {
             }
         }
         stats.jobs = pulled;
+        record_stream_totals(telemetry, &stats, &slots);
         let mut outputs = Vec::with_capacity(slots.len());
         for slot in slots {
             outputs.push(slot.expect("every submitted job was drained")?);
         }
         Ok((outputs, stats))
+    }
+}
+
+/// Adds one finished dispatch's [`StreamStats`] tallies to the sink's
+/// cumulative counters in a single batch — the sink's view is *derived from*
+/// the per-call stats (never counted separately), so the two cannot drift.
+/// Runs on the error path too: a dispatch whose k-th job failed still
+/// reports every job it pulled.
+fn record_stream_totals(
+    telemetry: &TelemetrySink,
+    stats: &StreamStats,
+    slots: &[Option<Result<ExecOutput, GraphError>>],
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.add(Counter::JobsPulled, stats.jobs as u64);
+    telemetry.add(Counter::LaneBatchedJobs, stats.lane_batched_jobs as u64);
+    telemetry.add(Counter::ScalarJobs, stats.scalar_jobs as u64);
+    let failures = slots
+        .iter()
+        .filter(|slot| matches!(slot, Some(Err(_))))
+        .count();
+    telemetry.add(Counter::JobsFailed, failures as u64);
+    for (i, &count) in stats.lane_group_fill.iter().enumerate() {
+        telemetry.lane_fill_n(i + 1, count as u64);
     }
 }
 
@@ -1064,16 +1227,18 @@ fn submit_group_to_pool(
     tx: &mpsc::Sender<(usize, JobOutcome)>,
     n: usize,
     group: Vec<(usize, StreamJob)>,
+    telemetry: &TelemetrySink,
 ) {
     let tx = tx.clone();
+    let telemetry = telemetry.clone();
     pool.submit(Box::new(move || {
         let (indices, jobs): (Vec<usize>, Vec<StreamJob>) = group.into_iter().unzip();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if jobs.len() >= 2 {
-                execute_plan_group(n, &jobs)
+                execute_plan_group(n, &jobs, &telemetry)
             } else {
                 jobs.iter()
-                    .map(|job| execute_plan(n, &job.plan, &job.input))
+                    .map(|job| execute_job_scalar(n, job, &telemetry))
                     .collect()
             }
         }));
@@ -1112,15 +1277,17 @@ fn run_group_inline(
     group: Vec<(usize, StreamJob)>,
     slots: &mut [Option<Result<ExecOutput, GraphError>>],
     stats: &mut StreamStats,
+    telemetry: &TelemetrySink,
 ) -> bool {
     let (indices, jobs): (Vec<usize>, Vec<StreamJob>) = group.into_iter().unzip();
+    stats.lane_group_fill[(jobs.len() - 1).min(LANES - 1)] += 1;
     let results = if jobs.len() >= 2 {
         stats.lane_batched_jobs += jobs.len();
-        execute_plan_group(n, &jobs)
+        execute_plan_group(n, &jobs, telemetry)
     } else {
         stats.scalar_jobs += jobs.len();
         jobs.iter()
-            .map(|job| execute_plan(n, &job.plan, &job.input))
+            .map(|job| execute_job_scalar(n, job, telemetry))
             .collect()
     };
     let mut failed = false;
@@ -1837,7 +2004,7 @@ mod tests {
                 input: good.clone(),
             },
         ];
-        let results = execute_plan_group(64, &jobs);
+        let results = execute_plan_group(64, &jobs, &TelemetrySink::default());
         assert_eq!(results.len(), 3);
         let expected = Executor::new(64).run(&plan, &good).unwrap();
         assert_eq!(results[0].as_ref().unwrap(), &expected);
@@ -1873,6 +2040,194 @@ mod tests {
                 "unexpected error {err:?}"
             );
         }
+    }
+
+    /// A lane-batchable plan (synchronizer step) for the streaming tests.
+    fn batchable_plan() -> Arc<CompiledGraph> {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let (sx, sy) = g.manipulate(ManipulatorKind::Synchronizer { depth: 1 }, x, y);
+        g.sink_stream("x", sx);
+        g.sink_stream("y", sy);
+        Arc::new(g.compile(&PlannerOptions::default()).unwrap())
+    }
+
+    /// Jobs a report says were executed: one [`Stage::ScalarExecute`] span
+    /// per scalar job plus each [`Stage::LaneGroupExecute`] span's group size
+    /// carried in its arg.
+    fn executed_jobs(report: &sc_telemetry::TelemetryReport) -> u64 {
+        report.stage_totals(Stage::ScalarExecute).0
+            + report.stage_args_total(Stage::LaneGroupExecute)
+    }
+
+    /// `peak_in_flight` is exact on the inline path: a buffered
+    /// lane-grouping job counts from its pull to its group's flush, so the
+    /// peak equals the window while grouping is active (not 1, as a
+    /// count-at-execute would report), and caps at [`LANES`] under an
+    /// unbounded window.
+    #[test]
+    fn inline_peak_in_flight_is_exact() {
+        let plan = batchable_plan();
+        let exec = Executor::new(64);
+        let jobs = |count: usize| {
+            let plan = Arc::clone(&plan);
+            (0..count).map(move |_| StreamJob {
+                plan: Arc::clone(&plan),
+                input: BatchInput::with_values(vec![0.4, 0.7]),
+            })
+        };
+
+        // Window 3 never fills a LANES-sized bucket: every group flushes at
+        // the window boundary with 3 members, and the peak is the window.
+        let (_, stats) = exec.run_stream_with_stats(jobs(9), 3).unwrap();
+        assert_eq!(stats.peak_in_flight, 3);
+        assert_eq!(stats.lane_group_fill, [0, 0, 3, 0]);
+        assert_eq!(stats.lane_batched_jobs, 9);
+        assert_eq!(stats.scalar_jobs, 0);
+
+        // Unbounded window: buckets flush at LANES, so the peak is LANES and
+        // 9 jobs split into two full groups plus a singleton flush (which
+        // executes scalar).
+        let (_, stats) = exec.run_stream_with_stats(jobs(9), usize::MAX).unwrap();
+        assert_eq!(stats.peak_in_flight, LANES);
+        assert_eq!(stats.lane_group_fill, [1, 0, 0, 2]);
+        assert_eq!(stats.lane_batched_jobs, 2 * LANES);
+        assert_eq!(stats.scalar_jobs, 1);
+
+        // A window of 1 disables grouping entirely: scalar, peak 1.
+        let (_, stats) = exec.run_stream_with_stats(jobs(9), 1).unwrap();
+        assert_eq!(stats.peak_in_flight, 1);
+        assert_eq!(stats.lane_group_fill, [0; LANES]);
+        assert_eq!(stats.scalar_jobs, 9);
+    }
+
+    /// The documented window bound `peak_in_flight ≤ window.max(1)` holds on
+    /// both dispatch paths, for successful runs and for runs whose k-th job
+    /// fails. On the error path the stats struct never comes back, so the
+    /// bound is read from the sink's window-occupancy gauge peak — the same
+    /// tally, sampled at the same points.
+    #[test]
+    fn peak_in_flight_bounded_by_window_on_both_paths() {
+        let plan = batchable_plan();
+        for threads in [1usize, 4] {
+            for window in [1usize, 3, usize::MAX] {
+                for fail_at in [None, Some(5usize)] {
+                    let sink = TelemetrySink::new();
+                    let exec = Executor::new(64)
+                        .with_threads(threads)
+                        .with_telemetry(sink.clone());
+                    let jobs = (0..10).map(|i| StreamJob {
+                        plan: Arc::clone(&plan),
+                        input: if fail_at == Some(i) {
+                            BatchInput::new() // missing both value slots
+                        } else {
+                            BatchInput::with_values(vec![0.4, 0.7])
+                        },
+                    });
+                    let result = exec.run_stream_with_stats(jobs, window);
+                    let peak = match (&result, fail_at) {
+                        (Ok((_, stats)), None) => stats.peak_in_flight as u64,
+                        (Err(GraphError::ValueSlotOutOfRange { .. }), Some(_)) => {
+                            sink.drain().gauge(Gauge::WindowOccupancy).1
+                        }
+                        other => panic!(
+                            "unexpected outcome at {threads} threads, \
+                             window {window}: {other:?}"
+                        ),
+                    };
+                    assert!(
+                        peak as usize <= window.clamp(1, 10),
+                        "{threads} threads, window {window}, fail {fail_at:?}: \
+                         peak {peak} exceeds the window"
+                    );
+                    assert!(peak >= 1);
+                }
+            }
+        }
+    }
+
+    /// A stream whose k-th job fails still yields a drainable, *consistent*
+    /// report: every pulled job was executed under a closed span
+    /// (scalar-span count plus lane-group span args == `JobsPulled` == the
+    /// job-latency histogram count), exactly one failure is counted, and the
+    /// path-split counters partition the pulled jobs — at 1 and 4 threads,
+    /// window 1 and unbounded.
+    #[test]
+    fn failing_stream_telemetry_is_consistent() {
+        let plan = batchable_plan();
+        for threads in [1usize, 4] {
+            for window in [1usize, usize::MAX] {
+                let sink = TelemetrySink::new();
+                let exec = Executor::new(64)
+                    .with_threads(threads)
+                    .with_telemetry(sink.clone());
+                let jobs = (0..10).map(|i| StreamJob {
+                    plan: Arc::clone(&plan),
+                    input: if i == 5 {
+                        BatchInput::new()
+                    } else {
+                        BatchInput::with_values(vec![0.4, 0.7])
+                    },
+                });
+                let err = exec.run_stream(jobs, window).unwrap_err();
+                assert!(matches!(err, GraphError::ValueSlotOutOfRange { .. }));
+
+                let report = sink.drain();
+                let pulled = report.counter(Counter::JobsPulled);
+                assert!(
+                    pulled >= 6,
+                    "the failing job itself must have been pulled, got {pulled}"
+                );
+                assert_eq!(
+                    executed_jobs(&report),
+                    pulled,
+                    "{threads} threads, window {window}: every pulled job \
+                     closes a span even when the stream errors"
+                );
+                assert_eq!(report.histogram(Hist::JobLatencyNs).count, pulled);
+                assert_eq!(report.counter(Counter::JobsFailed), 1);
+                assert_eq!(
+                    report.counter(Counter::LaneBatchedJobs) + report.counter(Counter::ScalarJobs),
+                    pulled,
+                    "the lane/scalar split partitions the pulled jobs"
+                );
+            }
+        }
+    }
+
+    /// The sink's counters are *derived from* [`StreamStats`] — one flush per
+    /// dispatch — so after any number of dispatches the cumulative counters
+    /// equal the sum of the per-call stats, field for field.
+    #[test]
+    fn sink_counters_are_derived_from_stream_stats() {
+        let plan = batchable_plan();
+        let sink = TelemetrySink::new();
+        let exec = Executor::new(64).with_telemetry(sink.clone());
+        let mut total_jobs = 0u64;
+        let mut total_batched = 0u64;
+        let mut total_scalar = 0u64;
+        let mut total_fill = [0u64; LANES];
+        for count in [9usize, 5] {
+            let jobs = (0..count).map(|_| StreamJob {
+                plan: Arc::clone(&plan),
+                input: BatchInput::with_values(vec![0.4, 0.7]),
+            });
+            let (_, stats) = exec.run_stream_with_stats(jobs, usize::MAX).unwrap();
+            total_jobs += stats.jobs as u64;
+            total_batched += stats.lane_batched_jobs as u64;
+            total_scalar += stats.scalar_jobs as u64;
+            for (t, s) in total_fill.iter_mut().zip(stats.lane_group_fill) {
+                *t += s as u64;
+            }
+        }
+        let report = sink.drain();
+        assert_eq!(report.counter(Counter::JobsPulled), total_jobs);
+        assert_eq!(report.counter(Counter::LaneBatchedJobs), total_batched);
+        assert_eq!(report.counter(Counter::ScalarJobs), total_scalar);
+        assert_eq!(report.counter(Counter::JobsFailed), 0);
+        assert_eq!(&report.lane_group_fill()[..LANES], &total_fill);
+        assert_eq!(executed_jobs(&report), total_jobs);
     }
 
     /// The pool is persistent: repeated dispatches on one executor reuse its

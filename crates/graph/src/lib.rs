@@ -42,6 +42,15 @@
 //! [`CompiledGraph::netlist`] sums the `sc_hwcost` netlists of every executed
 //! operation, auto-inserted repairs included.
 //!
+//! **Observability.** Both the compiler and the executor accept an
+//! [`sc_telemetry::TelemetrySink`] ([`Graph::compile_with_telemetry`],
+//! [`Executor::with_telemetry`]): compile passes, dispatches, lane-group and
+//! scalar executions, and worker park/run cycles record named spans,
+//! counters, gauges, and histograms into it, drainable as one
+//! [`sc_telemetry::TelemetryReport`]. The default sink is a no-op and the
+//! instrumentation sits at step/job granularity — never inside the word
+//! kernels — so uninstrumented runs pay (gated) near-zero overhead.
+//!
 //! # Example
 //!
 //! ```
@@ -90,3 +99,4 @@ pub use graph::{Graph, GraphError};
 pub use node::{
     BinaryOp, CorrRequirement, ManipulatorKind, Node, NodeId, NodeOp, SccClass, UnaryFsmOp, Wire,
 };
+pub use sc_telemetry::{TelemetryReport, TelemetrySink};

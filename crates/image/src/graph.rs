@@ -410,7 +410,7 @@ mod tests {
             tile_size: 6,      // 8x8 image → 4 tiles, 3 of them truncated
             rng_bank_size: 8,
             synchronizer_depth: 2,
-            measure_scc: None,
+            ..PipelineConfig::quick()
         };
         for size in [8usize, 12] {
             let blob = GrayImage::gaussian_blob(size, size);

@@ -25,6 +25,16 @@
 //! build → compile → execute; the pre-graph per-tile loop is retained in
 //! `graph`'s tests as the bit-identity reference.
 //!
+//! **Observability.** [`PipelineConfig::with_telemetry`] attaches an
+//! [`sc_telemetry::TelemetrySink`] that the whole run records into: per-tile
+//! plan-cache hits (with nested retarget spans) and misses (with per-pass
+//! compile spans), the executor's dispatch / lane-group / scalar / worker
+//! activity, and the final sink scatter. Draining the sink yields one
+//! [`sc_telemetry::TelemetryReport`] with the per-stage time breakdown,
+//! counters, and the lane-group fill histogram; [`PipelineStats`] is a
+//! plain-struct view over the same run (tiles, compilations,
+//! lane-batched vs scalar jobs, fill distribution).
+//!
 //! The paper's input images are not published, so workloads are synthetic
 //! ([`GrayImage::gradient`], [`GrayImage::checkerboard`],
 //! [`GrayImage::gaussian_blob`], [`GrayImage::noise`]); accuracy is always
@@ -64,3 +74,4 @@ pub use pipeline::{
     run_float_pipeline, run_sc_pipeline, run_sc_pipeline_with_stats, run_sc_pipeline_with_threads,
     run_sc_pipeline_with_window, PipelineConfig, PipelineStats, PipelineVariant,
 };
+pub use sc_telemetry::{TelemetryReport, TelemetrySink};

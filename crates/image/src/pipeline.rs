@@ -23,9 +23,12 @@ use crate::graph::{
     tile_mean,
 };
 use crate::image::{GrayImage, ImageError};
+use sc_core::LANES;
 use sc_graph::{CompiledGraph, Executor, StreamJob};
 use sc_rng::SourceSpec;
+use sc_telemetry::{Counter, Stage, TelemetrySink};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// How the accelerator handles correlation between the Gaussian-blur outputs
@@ -65,7 +68,13 @@ impl PipelineVariant {
 }
 
 /// Configuration of the stochastic accelerator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Equality and hashing cover only the *configuration* fields: the attached
+/// [`telemetry`](PipelineConfig::telemetry) sink is an observer, not part of
+/// the accelerator's identity, so two configs that differ only in their sink
+/// compare equal (and plan caching, which keys on configuration, is
+/// unaffected by instrumentation).
+#[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Stochastic stream length `N` (the paper uses 256).
     pub stream_length: usize,
@@ -89,6 +98,36 @@ pub struct PipelineConfig {
     /// same-class tiles) instead of recompiling per tile. `None` (the
     /// default) keeps the purely structural planner.
     pub measure_scc: Option<usize>,
+    /// Telemetry sink the whole pipeline records into: plan-cache hits and
+    /// misses (with nested retarget / per-pass compile spans), the executor's
+    /// dispatch, lane-group and scalar execution, worker activity, and the
+    /// final sink scatter. The default sink is disabled and records nothing;
+    /// attach an enabled [`TelemetrySink`] (see
+    /// [`PipelineConfig::with_telemetry`]) and drain it after the run for a
+    /// per-stage breakdown. Ignored by `PartialEq`/`Hash`.
+    pub telemetry: TelemetrySink,
+}
+
+impl PartialEq for PipelineConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.stream_length == other.stream_length
+            && self.tile_size == other.tile_size
+            && self.rng_bank_size == other.rng_bank_size
+            && self.synchronizer_depth == other.synchronizer_depth
+            && self.measure_scc == other.measure_scc
+    }
+}
+
+impl Eq for PipelineConfig {}
+
+impl Hash for PipelineConfig {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.stream_length.hash(state);
+        self.tile_size.hash(state);
+        self.rng_bank_size.hash(state);
+        self.synchronizer_depth.hash(state);
+        self.measure_scc.hash(state);
+    }
 }
 
 /// Number of brightness buckets the measured-SCC probe stimulus is quantised
@@ -112,6 +151,7 @@ impl Default for PipelineConfig {
             // regeneration accuracy; see the ablation_depth experiment.
             synchronizer_depth: 2,
             measure_scc: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -126,7 +166,16 @@ impl PipelineConfig {
             rng_bank_size: 8,
             synchronizer_depth: 2,
             measure_scc: None,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; every pipeline run with this config records
+    /// its per-stage spans, counters, and histograms into it.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 }
 
@@ -158,6 +207,22 @@ pub struct PipelineStats {
     /// buffers up to the window too, so same-class tiles can be lane-batched),
     /// so it is excluded from cross-thread stats comparisons.
     pub peak_live_plans: usize,
+    /// Tiles executed as members of a `u64×LANES` lane-batched group
+    /// ([`sc_graph::StreamStats`]'s `lane_batched_jobs`): same-class
+    /// retargeted tiles transposed into lanes and stepped together. Depends
+    /// on how tiles happened to group inside the window, so — like
+    /// `peak_live_plans` — it is excluded from cross-thread comparisons.
+    pub lane_batched_jobs: usize,
+    /// Tiles executed solo on the scalar path (window-flush singletons and
+    /// non-batchable plans). `lane_batched_jobs + scalar_jobs == tiles`.
+    pub scalar_jobs: usize,
+    /// Lane-group fill distribution ([`sc_graph::StreamStats`]'s
+    /// `lane_group_fill`): `lane_group_fill[k]` counts the same-class tile
+    /// groups flushed with `k + 1` members, so `lane_group_fill[LANES - 1]`
+    /// is the fully-filled count, lower indices are early window flushes, and
+    /// `lane_group_fill[0]` counts singleton flushes (which execute on the
+    /// scalar path). `lane_batched_jobs == Σ_{k≥1} (k+1)·lane_group_fill[k]`.
+    pub lane_group_fill: [usize; LANES],
 }
 
 /// A cached compiled plan for one tile class, with the select-LFSR seeds it
@@ -287,7 +352,9 @@ pub fn run_sc_pipeline_with_window(
     // window has room, and the planned tile's sinks are recorded on the way
     // past for the scatter phase.
     let mut sinks: Vec<Vec<(usize, usize, String)>> = Vec::with_capacity(origins.len());
-    let executor = Executor::new(config.stream_length).with_threads(threads.max(1));
+    let executor = Executor::new(config.stream_length)
+        .with_threads(threads.max(1))
+        .with_telemetry(config.telemetry.clone());
     let jobs = origins.iter().enumerate().map(|(tile_index, &(x0, y0))| {
         let planned = plan_tile(
             image,
@@ -309,8 +376,12 @@ pub fn run_sc_pipeline_with_window(
         .run_stream_with_stats(jobs, window)
         .expect("tile graphs execute over their own batch input");
     stats.peak_live_plans = stream_stats.peak_in_flight;
+    stats.lane_batched_jobs = stream_stats.lane_batched_jobs;
+    stats.scalar_jobs = stream_stats.scalar_jobs;
+    stats.lane_group_fill = stream_stats.lane_group_fill;
 
     // Scatter the per-tile sink values into the output image.
+    let collect = config.telemetry.span(Stage::SinkCollect);
     for (tile_sinks, result) in sinks.iter().zip(&results) {
         for (x, y, name) in tile_sinks {
             let value = result
@@ -319,6 +390,7 @@ pub fn run_sc_pipeline_with_window(
             output.set(*x, *y, value);
         }
     }
+    drop(collect);
     Ok((output, stats))
 }
 
@@ -344,7 +416,9 @@ fn plan_tile(
     cache: &mut HashMap<PlanKey, CachedPlan>,
     stats: &mut PipelineStats,
 ) -> PlannedTile {
+    let telemetry = &config.telemetry;
     stats.tiles += 1;
+    telemetry.add(Counter::Tiles, 1);
     let tile = tile_graph(image, x0, y0, variant, config, tile_index);
     // Cache key: the tile shape *and* the tile origin's phase in the input
     // source-bank pattern. `pixel_bank_index` assigns each input pixel's
@@ -376,22 +450,31 @@ fn plan_tile(
         .get(&key)
         .filter(|c| c.blur_seed != c.edge_seed && blur_seed != edge_seed);
     let plan = match cached {
-        Some(c) => Arc::new(c.plan.retarget_sources(|spec| match spec {
-            SourceSpec::Lfsr { width: 16, seed } if *seed == c.blur_seed => {
-                Some(SourceSpec::Lfsr {
-                    width: 16,
-                    seed: blur_seed,
-                })
-            }
-            SourceSpec::Lfsr { width: 16, seed } if *seed == c.edge_seed => {
-                Some(SourceSpec::Lfsr {
-                    width: 16,
-                    seed: edge_seed,
-                })
-            }
-            _ => None,
-        })),
+        Some(c) => {
+            telemetry.add(Counter::PlanCacheHits, 1);
+            let _hit = telemetry.span(Stage::PlanCacheHit);
+            let retarget = telemetry.span(Stage::Retarget);
+            let plan = Arc::new(c.plan.retarget_sources(|spec| match spec {
+                SourceSpec::Lfsr { width: 16, seed } if *seed == c.blur_seed => {
+                    Some(SourceSpec::Lfsr {
+                        width: 16,
+                        seed: blur_seed,
+                    })
+                }
+                SourceSpec::Lfsr { width: 16, seed } if *seed == c.edge_seed => {
+                    Some(SourceSpec::Lfsr {
+                        width: 16,
+                        seed: edge_seed,
+                    })
+                }
+                _ => None,
+            }));
+            drop(retarget);
+            plan
+        }
         None => {
+            telemetry.add(Counter::PlanCacheMisses, 1);
+            let _miss = telemetry.span(Stage::PlanCacheMiss);
             stats.compilations += 1;
             // Measured mode probes at the bucket's midpoint, so every tile
             // the bucket covers sees the same planner decisions and the
@@ -406,7 +489,7 @@ fn plan_tile(
             };
             let plan = Arc::new(
                 tile.graph
-                    .compile(&options)
+                    .compile_with_telemetry(&options, telemetry)
                     .expect("tile graphs are structurally valid by construction"),
             );
             cache.insert(

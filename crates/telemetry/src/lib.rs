@@ -1,0 +1,1199 @@
+//! # sc-telemetry
+//!
+//! Zero-cost tracing, metrics, and per-stage profiling for the SC execution
+//! stack — vendored and dependency-free, like the rest of the workspace (the
+//! build environment is offline).
+//!
+//! The recorder has three parts:
+//!
+//! * **Spans** — monotonic-clock scoped timers ([`TelemetrySink::span`])
+//!   against a static registry of stage names ([`Stage`]): compile passes,
+//!   plan-cache hits/misses, seed retargeting, stream dispatch, lane-group
+//!   and scalar execution, worker park/run, stream de-transposition, and
+//!   image sink collection. Each thread records into its own fixed-capacity
+//!   ring buffer (owner-thread locks are uncontended), merged and
+//!   time-sorted on [`TelemetrySink::drain`].
+//! * **Metrics** — atomic [`Counter`]s, [`Gauge`]s (current value + peak),
+//!   fixed-bucket log2 [`Hist`]ograms (job latency, queue depth, window
+//!   occupancy, per-worker busy/idle time), and an exact lane-group fill
+//!   distribution ([`TelemetrySink::lane_fill`]).
+//! * **Export** — a drained [`TelemetryReport`] renders as pretty text
+//!   ([`TelemetryReport::to_pretty_string`]), JSON lines
+//!   ([`TelemetryReport::to_json_lines`]), and chrome://tracing trace-event
+//!   JSON ([`TelemetryReport::to_chrome_trace`]) for flamegraph-style
+//!   inspection; [`TelemetryReport::to_json`] is the machine-readable
+//!   summary the bench binaries embed in their `BENCH_*.json` evidence.
+//!
+//! The handle is designed for **always-on plumbing with a no-op default**:
+//! [`TelemetrySink::default`] holds no allocation at all, every record method
+//! early-returns on one branch, and `span` does not even read the clock — so
+//! instrumented code paths (at step/job granularity, never inside word
+//! kernels) cost a predictable near-zero when disabled. The
+//! `telemetry_overhead` bench bin gates that claim in CI.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_telemetry::{Counter, Stage, TelemetrySink};
+//!
+//! let sink = TelemetrySink::new();
+//! {
+//!     let _span = sink.span(Stage::Compile);
+//!     sink.add(Counter::Compilations, 1);
+//! }
+//! let report = sink.drain();
+//! assert_eq!(report.counter(Counter::Compilations), 1);
+//! let (count, total_ns) = report.stage_totals(Stage::Compile);
+//! assert_eq!(count, 1);
+//! assert!(total_ns > 0);
+//! assert!(report.to_chrome_trace().contains("traceEvents"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+pub use json::Json;
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The static registry of instrumented stages. Every span names one of
+/// these, so reports aggregate by stage without string interning and the
+/// export formats share one vocabulary ([`Stage::name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// A whole `Graph::compile` call (all passes).
+    Compile,
+    /// Compile pass 1: structural validation + cycle check.
+    CompileValidate,
+    /// Compile pass 2: correlation planning (repair insertion).
+    CompilePlan,
+    /// Compile passes 3+4: fusion, scheduling, and step emission.
+    CompileEmit,
+    /// One measured-SCC probe execution inside the planner.
+    MeasuredProbe,
+    /// Tile planning served from the per-class plan cache.
+    PlanCacheHit,
+    /// Tile planning that compiled (and cached) a fresh class template.
+    PlanCacheMiss,
+    /// Rewriting a cached template's source seeds onto a new tile.
+    Retarget,
+    /// A whole streaming dispatch (`Executor::run_stream`), job pulls
+    /// included.
+    Dispatch,
+    /// Lockstep execution of one same-class lane group (`arg` = group fill).
+    LaneGroupExecute,
+    /// Solo execution of one scalar job.
+    ScalarExecute,
+    /// One task executed by a worker-pool thread.
+    WorkerRun,
+    /// A worker-pool thread parked waiting for work.
+    WorkerPark,
+    /// Re-assembling per-lane results after a lane-group execution.
+    DeTranspose,
+    /// Scattering per-tile sink values into the output image.
+    SinkCollect,
+}
+
+impl Stage {
+    /// Every stage, in declaration order.
+    pub const ALL: [Stage; 15] = [
+        Stage::Compile,
+        Stage::CompileValidate,
+        Stage::CompilePlan,
+        Stage::CompileEmit,
+        Stage::MeasuredProbe,
+        Stage::PlanCacheHit,
+        Stage::PlanCacheMiss,
+        Stage::Retarget,
+        Stage::Dispatch,
+        Stage::LaneGroupExecute,
+        Stage::ScalarExecute,
+        Stage::WorkerRun,
+        Stage::WorkerPark,
+        Stage::DeTranspose,
+        Stage::SinkCollect,
+    ];
+
+    /// The stage's stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Compile => "compile",
+            Stage::CompileValidate => "compile.validate",
+            Stage::CompilePlan => "compile.plan",
+            Stage::CompileEmit => "compile.emit",
+            Stage::MeasuredProbe => "compile.measured_probe",
+            Stage::PlanCacheHit => "plan_cache.hit",
+            Stage::PlanCacheMiss => "plan_cache.miss",
+            Stage::Retarget => "retarget",
+            Stage::Dispatch => "dispatch",
+            Stage::LaneGroupExecute => "execute.lane_group",
+            Stage::ScalarExecute => "execute.scalar",
+            Stage::WorkerRun => "worker.run",
+            Stage::WorkerPark => "worker.park",
+            Stage::DeTranspose => "de_transpose",
+            Stage::SinkCollect => "sink.collect",
+        }
+    }
+}
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Jobs pulled from a streaming dispatch's iterator.
+    JobsPulled,
+    /// Jobs whose execution returned an error.
+    JobsFailed,
+    /// Jobs executed through the lane-batched lockstep path.
+    LaneBatchedJobs,
+    /// Jobs executed solo through the scalar path.
+    ScalarJobs,
+    /// `Graph::compile` calls completed.
+    Compilations,
+    /// Repair manipulators auto-inserted by the correlation planner.
+    RepairsInserted,
+    /// Measured-SCC probe executions run by the planner.
+    MeasuredProbes,
+    /// Manipulator runs of length ≥ 2 fused into chain steps.
+    FusedRuns,
+    /// Tile plans served from the image pipeline's per-class cache.
+    PlanCacheHits,
+    /// Tile plans compiled fresh (and cached) by the image pipeline.
+    PlanCacheMisses,
+    /// Image tiles planned.
+    Tiles,
+}
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; 11] = [
+        Counter::JobsPulled,
+        Counter::JobsFailed,
+        Counter::LaneBatchedJobs,
+        Counter::ScalarJobs,
+        Counter::Compilations,
+        Counter::RepairsInserted,
+        Counter::MeasuredProbes,
+        Counter::FusedRuns,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
+        Counter::Tiles,
+    ];
+
+    /// The counter's stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::JobsPulled => "jobs_pulled",
+            Counter::JobsFailed => "jobs_failed",
+            Counter::LaneBatchedJobs => "lane_batched_jobs",
+            Counter::ScalarJobs => "scalar_jobs",
+            Counter::Compilations => "compilations",
+            Counter::RepairsInserted => "repairs_inserted",
+            Counter::MeasuredProbes => "measured_probes",
+            Counter::FusedRuns => "fused_runs",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::Tiles => "tiles",
+        }
+    }
+}
+
+/// Instantaneous-value gauges; the sink tracks the last set value and the
+/// peak ever set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Planned-but-unfinished jobs inside a streaming dispatch window.
+    WindowOccupancy,
+    /// Tasks queued on the worker pool.
+    QueueDepth,
+}
+
+impl Gauge {
+    /// Every gauge, in declaration order.
+    pub const ALL: [Gauge; 2] = [Gauge::WindowOccupancy, Gauge::QueueDepth];
+
+    /// The gauge's stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::WindowOccupancy => "window_occupancy",
+            Gauge::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+/// Fixed-bucket log2 histograms: a value `v` lands in bucket
+/// `bit_length(v)` (so bucket `b` covers `[2^(b-1), 2^b)`; zero lands in
+/// bucket 0), which makes recording one `fetch_add` with no configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Wall-clock nanoseconds one job spent executing.
+    JobLatencyNs,
+    /// Window occupancy sampled at every job pull.
+    WindowOccupancy,
+    /// Pool queue depth sampled at every submission.
+    QueueDepth,
+    /// Nanoseconds a pool worker spent running one task.
+    WorkerBusyNs,
+    /// Nanoseconds a pool worker spent parked between tasks.
+    WorkerIdleNs,
+}
+
+impl Hist {
+    /// Every histogram, in declaration order.
+    pub const ALL: [Hist; 5] = [
+        Hist::JobLatencyNs,
+        Hist::WindowOccupancy,
+        Hist::QueueDepth,
+        Hist::WorkerBusyNs,
+        Hist::WorkerIdleNs,
+    ];
+
+    /// The histogram's stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::JobLatencyNs => "job_latency_ns",
+            Hist::WindowOccupancy => "window_occupancy",
+            Hist::QueueDepth => "queue_depth",
+            Hist::WorkerBusyNs => "worker_busy_ns",
+            Hist::WorkerIdleNs => "worker_idle_ns",
+        }
+    }
+}
+
+/// Number of log2 histogram buckets (bit lengths of a `u64`, 0 through 63+).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Widest lane-group fill tracked exactly by the fill distribution. The
+/// executor's lane width is 4 today; the extra headroom means a wider future
+/// kernel cannot silently truncate (wider groups clamp into the last slot).
+pub const MAX_LANE_FILL: usize = 8;
+
+/// Default per-thread span ring capacity (events). At ~40 bytes per event
+/// this bounds each recording thread at ~0.6 MiB; older events are
+/// overwritten once the ring is full and counted as dropped.
+pub const DEFAULT_SPAN_CAPACITY: usize = 16 * 1024;
+
+/// One closed span: a stage, the recording thread, when it started (relative
+/// to the sink's epoch), how long it ran, and a stage-specific argument
+/// (lane-group fill for [`Stage::LaneGroupExecute`], zero elsewhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The stage this span timed.
+    pub stage: Stage,
+    /// Dense id of the recording thread (process-wide, starting at 1).
+    pub thread: u32,
+    /// Start time in nanoseconds since the sink's creation.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Stage-specific argument.
+    pub arg: u64,
+}
+
+/// One thread's fixed-capacity span ring.
+struct SpanBuf {
+    events: Vec<SpanEvent>,
+    /// Overwrite cursor once `events` reaches capacity.
+    next: usize,
+    dropped: u64,
+}
+
+impl SpanBuf {
+    fn record(&mut self, event: SpanEvent, capacity: usize) {
+        if self.events.len() < capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.next] = event;
+            self.next = (self.next + 1) % capacity.max(1);
+            self.dropped += 1;
+        }
+    }
+}
+
+/// One histogram's atomic cells.
+struct HistCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCells {
+    fn new() -> Self {
+        HistCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[log2_bucket(value)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index of a value: its bit length, clamped to the last bucket.
+fn log2_bucket(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Shared state of an enabled sink.
+struct Inner {
+    /// Process-unique sink id, keying the thread-local buffer cache.
+    id: u64,
+    /// The sink's time zero; span `start_ns` values are relative to it.
+    epoch: Instant,
+    span_capacity: usize,
+    counters: [AtomicU64; Counter::ALL.len()],
+    gauge_current: [AtomicU64; Gauge::ALL.len()],
+    gauge_peak: [AtomicU64; Gauge::ALL.len()],
+    hists: [HistCells; Hist::ALL.len()],
+    lane_fill: [AtomicU64; MAX_LANE_FILL],
+    /// Every thread's span ring, registered on that thread's first record.
+    buffers: Mutex<Vec<Arc<Mutex<SpanBuf>>>>,
+}
+
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    /// Dense process-wide id of this thread (0 = unassigned).
+    static THREAD_ID: Cell<u32> = const { Cell::new(0) };
+    /// This thread's span buffers, keyed by sink id.
+    static THREAD_BUFFERS: RefCell<Vec<(u64, Arc<Mutex<SpanBuf>>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn current_thread_id() -> u32 {
+    THREAD_ID.with(|cell| {
+        let id = cell.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        cell.set(id);
+        id
+    })
+}
+
+impl Inner {
+    /// This thread's span buffer for this sink, creating and registering it
+    /// on first use. The buffer is cached thread-locally so the steady state
+    /// is one vector scan plus one uncontended lock.
+    fn thread_buffer(self: &Arc<Self>) -> Arc<Mutex<SpanBuf>> {
+        THREAD_BUFFERS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, buf)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(buf);
+            }
+            // Drop cache entries whose sink is gone (only this cache still
+            // holds the buffer) so long-lived worker threads stay bounded.
+            cache.retain(|(_, buf)| Arc::strong_count(buf) > 1);
+            let buf = Arc::new(Mutex::new(SpanBuf {
+                events: Vec::new(),
+                next: 0,
+                dropped: 0,
+            }));
+            self.buffers
+                .lock()
+                .expect("telemetry buffer registry lock is never poisoned")
+                .push(Arc::clone(&buf));
+            cache.push((self.id, Arc::clone(&buf)));
+            buf
+        })
+    }
+}
+
+/// A cheaply clonable handle to one telemetry recorder — or to nothing.
+///
+/// The default sink is **disabled**: it holds no allocation, and every
+/// record method returns after a single branch ([`TelemetrySink::span`]
+/// does not even read the clock). An enabled sink ([`TelemetrySink::new`])
+/// shares one recorder across all its clones, so a sink threaded through an
+/// executor and its worker pool aggregates into one report.
+#[derive(Clone, Default)]
+pub struct TelemetrySink {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl PartialEq for TelemetrySink {
+    /// Two sinks are equal when they record to the same recorder (or both
+    /// record to none).
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for TelemetrySink {}
+
+impl TelemetrySink {
+    /// An enabled sink with the default per-thread span capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        TelemetrySink::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An enabled sink whose per-thread span rings hold `capacity` events
+    /// (clamped to ≥ 1); once full, the oldest events are overwritten and
+    /// counted in [`TelemetryReport::dropped_spans`].
+    #[must_use]
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        TelemetrySink {
+            inner: Some(Arc::new(Inner {
+                id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                span_capacity: capacity.max(1),
+                counters: std::array::from_fn(|_| AtomicU64::new(0)),
+                gauge_current: std::array::from_fn(|_| AtomicU64::new(0)),
+                gauge_peak: std::array::from_fn(|_| AtomicU64::new(0)),
+                hists: std::array::from_fn(|_| HistCells::new()),
+                lane_fill: std::array::from_fn(|_| AtomicU64::new(0)),
+                buffers: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op sink (same as [`TelemetrySink::default`]).
+    #[must_use]
+    pub fn disabled() -> Self {
+        TelemetrySink::default()
+    }
+
+    /// Whether this sink records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a scoped timer for `stage`; the span is recorded when the
+    /// returned guard drops (or [`SpanGuard::finish`] is called). Disabled
+    /// sinks return an inert guard without reading the clock.
+    pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        self.span_with(stage, 0)
+    }
+
+    /// Like [`TelemetrySink::span`] with a stage-specific argument (e.g. the
+    /// lane-group fill for [`Stage::LaneGroupExecute`]).
+    pub fn span_with(&self, stage: Stage, arg: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            state: self.inner.as_ref().map(|inner| GuardState {
+                inner,
+                stage,
+                arg,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets a gauge's current value, raising its peak if exceeded.
+    pub fn gauge_set(&self, gauge: Gauge, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.gauge_current[gauge as usize].store(value, Ordering::Relaxed);
+            inner.gauge_peak[gauge as usize].fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&self, hist: Hist, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.hists[hist as usize].observe(value);
+        }
+    }
+
+    /// Records one executed lane group of the given fill (number of jobs,
+    /// clamped to [`MAX_LANE_FILL`]; zero-fill groups are ignored).
+    pub fn lane_fill(&self, fill: usize) {
+        self.lane_fill_n(fill, 1);
+    }
+
+    /// Records `n` executed lane groups of the given fill in one operation —
+    /// for callers that tally fills locally and flush once per dispatch.
+    pub fn lane_fill_n(&self, fill: usize, n: u64) {
+        if let Some(inner) = &self.inner {
+            if fill > 0 && n > 0 {
+                inner.lane_fill[fill.min(MAX_LANE_FILL) - 1].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains every thread's recorded spans into a time-sorted report,
+    /// together with a snapshot of the (cumulative) counters, gauges,
+    /// histograms, and lane-fill distribution. Spans are consumed; metrics
+    /// are not reset, so back-to-back drains see monotonic counters.
+    #[must_use]
+    pub fn drain(&self) -> TelemetryReport {
+        let Some(inner) = &self.inner else {
+            return TelemetryReport::default();
+        };
+        let mut spans = Vec::new();
+        let mut dropped = 0u64;
+        {
+            let buffers = inner
+                .buffers
+                .lock()
+                .expect("telemetry buffer registry lock is never poisoned");
+            for buf in buffers.iter() {
+                let mut buf = buf
+                    .lock()
+                    .expect("telemetry span buffer lock is never poisoned");
+                spans.append(&mut buf.events);
+                buf.next = 0;
+                dropped += std::mem::take(&mut buf.dropped);
+            }
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.thread));
+        TelemetryReport {
+            spans,
+            dropped_spans: dropped,
+            elapsed_ns: inner.epoch.elapsed().as_nanos() as u64,
+            counters: std::array::from_fn(|i| inner.counters[i].load(Ordering::Relaxed)),
+            gauges: std::array::from_fn(|i| {
+                (
+                    inner.gauge_current[i].load(Ordering::Relaxed),
+                    inner.gauge_peak[i].load(Ordering::Relaxed),
+                )
+            }),
+            hists: std::array::from_fn(|i| HistSnapshot {
+                count: inner.hists[i].count.load(Ordering::Relaxed),
+                sum: inner.hists[i].sum.load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|b| inner.hists[i].buckets[b].load(Ordering::Relaxed)),
+            }),
+            lane_fill: std::array::from_fn(|i| inner.lane_fill[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Live state of an open span on an enabled sink.
+struct GuardState<'a> {
+    inner: &'a Arc<Inner>,
+    stage: Stage,
+    arg: u64,
+    start: Instant,
+}
+
+/// A scoped span timer: records its stage's duration into the owning
+/// thread's ring buffer when dropped. Inert (no clock reads, no recording)
+/// when the sink is disabled.
+#[must_use = "a span guard records on drop; binding it to _ closes it immediately"]
+pub struct SpanGuard<'a> {
+    state: Option<GuardState<'a>>,
+}
+
+impl SpanGuard<'_> {
+    /// Updates the stage-specific argument recorded with the span.
+    pub fn set_arg(&mut self, arg: u64) {
+        if let Some(state) = &mut self.state {
+            state.arg = arg;
+        }
+    }
+
+    /// Closes the span now and returns its duration in nanoseconds (zero on
+    /// a disabled sink) — for callers that also feed the duration into a
+    /// histogram.
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        let Some(state) = self.state.take() else {
+            return 0;
+        };
+        let dur_ns = state.start.elapsed().as_nanos() as u64;
+        let start_ns = state
+            .start
+            .saturating_duration_since(state.inner.epoch)
+            .as_nanos() as u64;
+        let event = SpanEvent {
+            stage: state.stage,
+            thread: current_thread_id(),
+            start_ns,
+            dur_ns,
+            arg: state.arg,
+        };
+        let buf = state.inner.thread_buffer();
+        buf.lock()
+            .expect("telemetry span buffer lock is never poisoned")
+            .record(event, state.inner.span_capacity);
+        dur_ns
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// An immutable snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Mean observed value (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs, in value
+    /// order: bucket `b > 0` covers values in `[2^(b-1), 2^b)` and reports
+    /// lower bound `2^(b-1)`; the zero bucket reports lower bound 0.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(b, &count)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, count))
+    }
+}
+
+/// A drained telemetry snapshot: time-sorted spans plus cumulative metrics.
+///
+/// Produced by [`TelemetrySink::drain`]; renders as pretty text, JSON, JSON
+/// lines, or a chrome://tracing trace-event document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Every drained span, sorted by start time.
+    pub spans: Vec<SpanEvent>,
+    /// Spans lost to ring-buffer overwrites since the last drain.
+    pub dropped_spans: u64,
+    /// Nanoseconds between the sink's creation and this drain.
+    pub elapsed_ns: u64,
+    counters: [u64; Counter::ALL.len()],
+    gauges: [(u64, u64); Gauge::ALL.len()],
+    hists: [HistSnapshot; Hist::ALL.len()],
+    lane_fill: [u64; MAX_LANE_FILL],
+}
+
+impl TelemetryReport {
+    /// A counter's cumulative value.
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// A gauge's `(current, peak)` values.
+    #[must_use]
+    pub fn gauge(&self, gauge: Gauge) -> (u64, u64) {
+        self.gauges[gauge as usize]
+    }
+
+    /// A histogram's snapshot.
+    #[must_use]
+    pub fn histogram(&self, hist: Hist) -> &HistSnapshot {
+        &self.hists[hist as usize]
+    }
+
+    /// Exact lane-group fill distribution: `lane_group_fill()[k]` counts
+    /// executed groups of `k + 1` jobs (fills wider than [`MAX_LANE_FILL`]
+    /// clamp into the last slot).
+    #[must_use]
+    pub fn lane_group_fill(&self) -> &[u64; MAX_LANE_FILL] {
+        &self.lane_fill
+    }
+
+    /// `(span count, total nanoseconds)` across this report's spans of one
+    /// stage.
+    #[must_use]
+    pub fn stage_totals(&self, stage: Stage) -> (u64, u64) {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .fold((0, 0), |(count, total), s| (count + 1, total + s.dur_ns))
+    }
+
+    /// Sum of the stage-specific span arguments across one stage — e.g. the
+    /// total jobs covered by [`Stage::LaneGroupExecute`] spans, whose `arg`
+    /// is the group fill.
+    #[must_use]
+    pub fn stage_args_total(&self, stage: Stage) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.arg)
+            .sum()
+    }
+
+    /// A human-readable multi-section summary: per-stage span totals, then
+    /// the non-zero counters, gauges, histograms, and lane-fill slots.
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry report: {} spans over {:.3} ms wall-clock ({} dropped)\n",
+            self.spans.len(),
+            self.elapsed_ns as f64 / 1e6,
+            self.dropped_spans,
+        ));
+        out.push_str("\n  spans by stage:\n");
+        for stage in Stage::ALL {
+            let (count, total_ns) = self.stage_totals(stage);
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "    {:<24} {:>7} × {:>12.1} µs mean = {:>12.3} ms total\n",
+                stage.name(),
+                count,
+                total_ns as f64 / count as f64 / 1e3,
+                total_ns as f64 / 1e6,
+            ));
+        }
+        out.push_str("\n  counters:\n");
+        for counter in Counter::ALL {
+            let value = self.counter(counter);
+            if value > 0 {
+                out.push_str(&format!("    {:<24} {value}\n", counter.name()));
+            }
+        }
+        out.push_str("\n  gauges (current / peak):\n");
+        for gauge in Gauge::ALL {
+            let (current, peak) = self.gauge(gauge);
+            if peak > 0 {
+                out.push_str(&format!("    {:<24} {current} / {peak}\n", gauge.name()));
+            }
+        }
+        out.push_str("\n  histograms:\n");
+        for hist in Hist::ALL {
+            let snap = self.histogram(hist);
+            if snap.count == 0 {
+                continue;
+            }
+            let buckets: Vec<String> = snap
+                .nonzero_buckets()
+                .map(|(lo, count)| format!("≥{lo}:{count}"))
+                .collect();
+            out.push_str(&format!(
+                "    {:<24} n={} mean={:.1} [{}]\n",
+                hist.name(),
+                snap.count,
+                snap.mean(),
+                buckets.join(" "),
+            ));
+        }
+        let fills: Vec<String> = self
+            .lane_fill
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, &count)| format!("fill {}: {count}", i + 1))
+            .collect();
+        if !fills.is_empty() {
+            out.push_str(&format!("\n  lane-group fill: {}\n", fills.join(", ")));
+        }
+        out
+    }
+
+    /// The machine-readable summary as a [`Json`] value: per-stage totals,
+    /// counters, gauges, histograms, and the lane-fill distribution (spans
+    /// are summarised, not listed — use [`TelemetryReport::to_json_lines`]
+    /// or [`TelemetryReport::to_chrome_trace`] for the full event stream).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let stages = Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let (count, total_ns) = self.stage_totals(stage);
+                (count > 0).then(|| {
+                    (
+                        stage.name().to_string(),
+                        Json::obj(vec![
+                            ("count", Json::u64(count)),
+                            ("total_ns", Json::u64(total_ns)),
+                        ]),
+                    )
+                })
+            })
+            .collect();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), Json::u64(self.counter(c))))
+            .collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|&g| {
+                let (current, peak) = self.gauge(g);
+                (
+                    g.name().to_string(),
+                    Json::obj(vec![
+                        ("current", Json::u64(current)),
+                        ("peak", Json::u64(peak)),
+                    ]),
+                )
+            })
+            .collect();
+        let hists = Hist::ALL
+            .iter()
+            .map(|&h| {
+                let snap = self.histogram(h);
+                let buckets = snap
+                    .nonzero_buckets()
+                    .map(|(lo, count)| Json::Arr(vec![Json::u64(lo), Json::u64(count)]))
+                    .collect();
+                (
+                    h.name().to_string(),
+                    Json::obj(vec![
+                        ("count", Json::u64(snap.count)),
+                        ("sum", Json::u64(snap.sum)),
+                        ("buckets", Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("elapsed_ns", Json::u64(self.elapsed_ns)),
+            ("span_count", Json::u64(self.spans.len() as u64)),
+            ("dropped_spans", Json::u64(self.dropped_spans)),
+            ("stages", Json::Obj(stages)),
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(hists)),
+            (
+                "lane_group_fill",
+                Json::Arr(self.lane_fill.iter().map(|&c| Json::u64(c)).collect()),
+            ),
+        ])
+    }
+
+    /// One JSON object per line: first a `summary` line (the
+    /// [`TelemetryReport::to_json`] document minus the spans), then one
+    /// `span` line per event in time order.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        let summary = Json::obj(vec![
+            ("type", Json::str("summary")),
+            ("report", self.to_json()),
+        ]);
+        out.push_str(&summary.to_string_compact());
+        out.push('\n');
+        for span in &self.spans {
+            let line = Json::obj(vec![
+                ("type", Json::str("span")),
+                ("stage", Json::str(span.stage.name())),
+                ("thread", Json::u64(u64::from(span.thread))),
+                ("start_ns", Json::u64(span.start_ns)),
+                ("dur_ns", Json::u64(span.dur_ns)),
+                ("arg", Json::u64(span.arg)),
+            ]);
+            out.push_str(&line.to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A chrome://tracing / Perfetto compatible trace-event document: every
+    /// span becomes one complete (`"ph": "X"`) event with microsecond
+    /// timestamps, the recording thread as `tid`, and the stage argument
+    /// under `args`.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let events = self
+            .spans
+            .iter()
+            .map(|span| {
+                Json::obj(vec![
+                    ("name", Json::str(span.stage.name())),
+                    ("cat", Json::str("sc")),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::fixed(span.start_ns as f64 / 1e3, 3)),
+                    ("dur", Json::fixed(span.dur_ns as f64 / 1e3, 3)),
+                    ("pid", Json::u64(1)),
+                    ("tid", Json::u64(u64::from(span.thread))),
+                    ("args", Json::obj(vec![("arg", Json::u64(span.arg))])),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+        .to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TelemetrySink::default();
+        assert!(!sink.is_enabled());
+        assert_eq!(sink, TelemetrySink::disabled());
+        {
+            let mut guard = sink.span(Stage::Dispatch);
+            guard.set_arg(7);
+            assert_eq!(guard.finish(), 0);
+        }
+        sink.add(Counter::JobsPulled, 3);
+        sink.gauge_set(Gauge::QueueDepth, 9);
+        sink.observe(Hist::JobLatencyNs, 1000);
+        sink.lane_fill(4);
+        let report = sink.drain();
+        assert_eq!(report, TelemetryReport::default());
+        assert!(report.spans.is_empty());
+        assert_eq!(report.counter(Counter::JobsPulled), 0);
+    }
+
+    #[test]
+    fn spans_record_and_aggregate_by_stage() {
+        let sink = TelemetrySink::new();
+        for i in 0..3 {
+            let _span = sink.span_with(Stage::LaneGroupExecute, i + 2);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _span = sink.span(Stage::ScalarExecute);
+        }
+        let report = sink.drain();
+        let (count, total_ns) = report.stage_totals(Stage::LaneGroupExecute);
+        assert_eq!(count, 3);
+        assert!(total_ns >= 3_000_000, "three ≥1ms spans, got {total_ns} ns");
+        assert_eq!(report.stage_args_total(Stage::LaneGroupExecute), 2 + 3 + 4);
+        assert_eq!(report.stage_totals(Stage::ScalarExecute).0, 1);
+        assert_eq!(report.stage_totals(Stage::Compile), (0, 0));
+        // Spans are time-sorted and were consumed by the drain.
+        assert!(report
+            .spans
+            .windows(2)
+            .all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(sink.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn sink_clones_share_one_recorder() {
+        let sink = TelemetrySink::new();
+        let clone = sink.clone();
+        assert_eq!(sink, clone);
+        assert_ne!(sink, TelemetrySink::new());
+        clone.add(Counter::Tiles, 5);
+        sink.add(Counter::Tiles, 2);
+        assert_eq!(sink.drain().counter(Counter::Tiles), 7);
+    }
+
+    #[test]
+    fn counters_persist_across_drains_spans_do_not() {
+        let sink = TelemetrySink::new();
+        sink.add(Counter::Compilations, 1);
+        {
+            let _span = sink.span(Stage::Compile);
+        }
+        let first = sink.drain();
+        assert_eq!(first.spans.len(), 1);
+        let second = sink.drain();
+        assert_eq!(second.counter(Counter::Compilations), 1, "cumulative");
+        assert!(second.spans.is_empty(), "spans were consumed");
+        assert!(second.elapsed_ns >= first.elapsed_ns);
+    }
+
+    #[test]
+    fn gauges_track_current_and_peak() {
+        let sink = TelemetrySink::new();
+        sink.gauge_set(Gauge::WindowOccupancy, 3);
+        sink.gauge_set(Gauge::WindowOccupancy, 8);
+        sink.gauge_set(Gauge::WindowOccupancy, 2);
+        assert_eq!(sink.drain().gauge(Gauge::WindowOccupancy), (2, 8));
+    }
+
+    #[test]
+    fn histograms_bucket_by_log2() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), HIST_BUCKETS - 1);
+        let sink = TelemetrySink::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            sink.observe(Hist::QueueDepth, v);
+        }
+        let report = sink.drain();
+        let snap = report.histogram(Hist::QueueDepth);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1006);
+        assert!((snap.mean() - 201.2).abs() < 1e-9);
+        let buckets: Vec<(u64, u64)> = snap.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
+    }
+
+    #[test]
+    fn lane_fill_distribution_is_exact() {
+        let sink = TelemetrySink::new();
+        sink.lane_fill(1);
+        sink.lane_fill(4);
+        sink.lane_fill(4);
+        sink.lane_fill(0); // ignored
+        sink.lane_fill(100); // clamps into the last slot
+        let report = sink.drain();
+        let fill = report.lane_group_fill();
+        assert_eq!(fill[0], 1);
+        assert_eq!(fill[3], 2);
+        assert_eq!(fill[MAX_LANE_FILL - 1], 1);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_beyond_capacity() {
+        let sink = TelemetrySink::with_span_capacity(4);
+        for _ in 0..10 {
+            let _span = sink.span(Stage::ScalarExecute);
+        }
+        let report = sink.drain();
+        assert_eq!(report.spans.len(), 4);
+        assert_eq!(report.dropped_spans, 6);
+        // The drain reset the ring: new spans record from a clean slate.
+        {
+            let _span = sink.span(Stage::ScalarExecute);
+        }
+        let next = sink.drain();
+        assert_eq!(next.spans.len(), 1);
+        assert_eq!(next.dropped_spans, 0);
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_with_distinct_thread_ids() {
+        let sink = TelemetrySink::new();
+        {
+            let _span = sink.span(Stage::Dispatch);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    let _span = sink.span(Stage::WorkerRun);
+                });
+            }
+        });
+        let report = sink.drain();
+        assert_eq!(report.spans.len(), 3);
+        assert_eq!(report.stage_totals(Stage::WorkerRun).0, 2);
+        let worker_threads: std::collections::HashSet<u32> = report
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::WorkerRun)
+            .map(|s| s.thread)
+            .collect();
+        assert_eq!(worker_threads.len(), 2, "two workers, two thread ids");
+    }
+
+    #[test]
+    fn report_exports_are_structurally_valid() {
+        let sink = TelemetrySink::new();
+        sink.add(Counter::JobsPulled, 2);
+        sink.gauge_set(Gauge::QueueDepth, 1);
+        sink.observe(Hist::JobLatencyNs, 1500);
+        sink.lane_fill(3);
+        {
+            let _span = sink.span_with(Stage::LaneGroupExecute, 3);
+        }
+        {
+            let _span = sink.span(Stage::Dispatch);
+        }
+        let report = sink.drain();
+
+        let pretty = report.to_pretty_string();
+        assert!(pretty.contains("execute.lane_group"));
+        assert!(pretty.contains("jobs_pulled"));
+        assert!(pretty.contains("fill 3: 1"));
+
+        let doc = json::parse(&report.to_json().to_string_pretty()).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("jobs_pulled"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(doc.get("span_count").and_then(Json::as_u64), Some(2));
+
+        let jsonl = report.to_json_lines();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3, "summary + 2 spans");
+        for line in &lines {
+            json::parse(line).unwrap();
+        }
+        assert!(lines[0].contains("\"type\":\"summary\""));
+
+        let trace = json::parse(&report.to_chrome_trace()).unwrap();
+        let events = trace.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(event.get("ts").and_then(Json::as_f64).is_some());
+            assert!(event.get("dur").and_then(Json::as_f64).is_some());
+            assert!(event.get("tid").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn stage_registry_is_consistent() {
+        let mut names = std::collections::HashSet::new();
+        for stage in Stage::ALL {
+            assert!(
+                names.insert(stage.name()),
+                "duplicate name {}",
+                stage.name()
+            );
+        }
+        let mut counter_names = std::collections::HashSet::new();
+        for counter in Counter::ALL {
+            assert!(counter_names.insert(counter.name()));
+        }
+        for (i, gauge) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*gauge as usize, i);
+        }
+        for (i, hist) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*hist as usize, i);
+        }
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*counter as usize, i);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end observability acceptance tests: an image-pipeline run under an
+//! attached [`TelemetrySink`] yields a report whose per-stage span totals
+//! cover the run's wall-clock, whose counters agree with the returned
+//! [`sc_image::PipelineStats`] view, whose lane-group fill distribution is
+//! populated, and whose chrome://tracing export is structurally valid JSON.
+
+use sc_image::{
+    run_sc_pipeline_with_threads, GrayImage, PipelineConfig, PipelineVariant, TelemetrySink,
+};
+use sc_telemetry::{json, Counter, Hist, Stage};
+use std::time::Instant;
+
+/// A 24×24 blob-plus-gradient image: 16 full-size 6-pixel tiles in 2 bank
+/// phases, so the plan cache hits 14 times and same-class tiles lane-batch.
+fn test_image() -> GrayImage {
+    let blob = GrayImage::gaussian_blob(24, 24);
+    GrayImage::from_fn(24, 24, |x, y| {
+        0.6 * blob.get(x, y) + 0.4 * (x as f64 / 24.0)
+    })
+}
+
+fn instrumented_config(sink: &TelemetrySink) -> PipelineConfig {
+    PipelineConfig {
+        stream_length: 256,
+        ..PipelineConfig::quick()
+    }
+    .with_telemetry(sink.clone())
+}
+
+/// Jobs a report says were executed: one `execute.scalar` span per scalar
+/// job plus each `execute.lane_group` span's group size carried in its arg.
+fn executed_jobs(report: &sc_telemetry::TelemetryReport) -> u64 {
+    report.stage_totals(Stage::ScalarExecute).0 + report.stage_args_total(Stage::LaneGroupExecute)
+}
+
+/// At one thread the whole run is sequential on the caller's thread, so the
+/// two top-level stages — the streaming dispatch (which nests planning,
+/// compilation, and execution) and the sink scatter — tile the pipeline
+/// call: their span totals must sum to within 10% of the measured
+/// wall-clock, and the nested execution stages must fit inside the dispatch.
+#[test]
+fn pipeline_span_totals_cover_wall_clock() {
+    let sink = TelemetrySink::new();
+    let config = instrumented_config(&sink);
+    let img = test_image();
+
+    let started = Instant::now();
+    let (_, _) =
+        run_sc_pipeline_with_threads(&img, PipelineVariant::Synchronizer, &config, 1).unwrap();
+    let wall = started.elapsed().as_nanos() as u64;
+
+    let report = sink.drain();
+    let (dispatch_count, dispatch_ns) = report.stage_totals(Stage::Dispatch);
+    let (collect_count, collect_ns) = report.stage_totals(Stage::SinkCollect);
+    assert_eq!(dispatch_count, 1);
+    assert_eq!(collect_count, 1);
+    let covered = dispatch_ns + collect_ns;
+    assert!(
+        covered <= wall,
+        "spans nest inside the measured call: covered {covered}ns > wall {wall}ns"
+    );
+    assert!(
+        10 * covered >= 9 * wall,
+        "per-stage totals should cover ≥ 90% of the wall-clock, \
+         got {covered}ns of {wall}ns"
+    );
+
+    // The execution/planning leaves nest inside the dispatch span.
+    let nested: u64 = [
+        Stage::PlanCacheHit,
+        Stage::PlanCacheMiss,
+        Stage::LaneGroupExecute,
+        Stage::ScalarExecute,
+    ]
+    .into_iter()
+    .map(|stage| report.stage_totals(stage).1)
+    .sum();
+    assert!(nested > 0, "the run records execution and planning spans");
+    assert!(
+        nested <= dispatch_ns,
+        "nested stage totals ({nested}ns) exceed their parent dispatch ({dispatch_ns}ns)"
+    );
+}
+
+/// The report's counters, the fill distribution, and the returned
+/// [`sc_image::PipelineStats`] are views over the same tallies: tiles,
+/// cache hits/misses, the lane/scalar split, and the per-fill group counts
+/// all agree, and every pulled job closed exactly one span.
+#[test]
+fn pipeline_report_agrees_with_stats_view() {
+    let sink = TelemetrySink::new();
+    let config = instrumented_config(&sink);
+    let (_, stats) =
+        run_sc_pipeline_with_threads(&test_image(), PipelineVariant::Synchronizer, &config, 1)
+            .unwrap();
+    let report = sink.drain();
+
+    assert_eq!(stats.tiles, 16);
+    assert_eq!(report.counter(Counter::Tiles), 16);
+    assert_eq!(
+        report.counter(Counter::PlanCacheMisses),
+        stats.compilations as u64
+    );
+    assert_eq!(
+        report.counter(Counter::PlanCacheHits),
+        (stats.tiles - stats.compilations) as u64
+    );
+    assert_eq!(
+        report.counter(Counter::Compilations),
+        stats.compilations as u64
+    );
+    assert!(
+        report.counter(Counter::RepairsInserted) >= 1,
+        "the synchronizer variant's repairs are planner-inserted"
+    );
+
+    // Satellite: the lane-batched/scalar split and the fill distribution
+    // surface through PipelineStats and match the sink's cumulative view.
+    assert_eq!(stats.lane_batched_jobs + stats.scalar_jobs, stats.tiles);
+    assert!(
+        stats.lane_batched_jobs > 0,
+        "same-class tiles of a 16-tile image lane-batch inside the window"
+    );
+    let batched: usize = stats
+        .lane_group_fill
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(k, &groups)| (k + 1) * groups)
+        .sum();
+    assert_eq!(batched, stats.lane_batched_jobs);
+    let fill = report.lane_group_fill();
+    assert!(
+        fill.iter().any(|&count| count > 0),
+        "the lane-group fill histogram is populated"
+    );
+    for (k, &groups) in stats.lane_group_fill.iter().enumerate() {
+        assert_eq!(fill[k], groups as u64, "fill-{} group count", k + 1);
+    }
+    assert_eq!(
+        report.counter(Counter::LaneBatchedJobs),
+        stats.lane_batched_jobs as u64
+    );
+    assert_eq!(
+        report.counter(Counter::ScalarJobs),
+        stats.scalar_jobs as u64
+    );
+
+    // Every pulled job closed exactly one execute span and one latency sample.
+    let pulled = report.counter(Counter::JobsPulled);
+    assert_eq!(pulled, stats.tiles as u64);
+    assert_eq!(executed_jobs(&report), pulled);
+    assert_eq!(report.histogram(Hist::JobLatencyNs).count, pulled);
+    assert_eq!(report.counter(Counter::JobsFailed), 0);
+}
+
+/// The chrome://tracing export (the same function
+/// `examples/trace_pipeline.rs` writes to disk) is structurally valid: a
+/// parseable JSON object whose `traceEvents` are complete "X" events with
+/// name/ts/dur/pid/tid, one per recorded span.
+#[test]
+fn chrome_trace_export_is_structurally_valid() {
+    let sink = TelemetrySink::new();
+    let config = instrumented_config(&sink);
+    run_sc_pipeline_with_threads(&test_image(), PipelineVariant::Synchronizer, &config, 1).unwrap();
+    let report = sink.drain();
+    let span_count = report.spans.len();
+    assert!(span_count > 0);
+
+    let trace = json::parse(&report.to_chrome_trace()).expect("trace export parses");
+    let events = trace
+        .get("traceEvents")
+        .and_then(json::Json::as_array)
+        .expect("trace has a traceEvents array");
+    assert_eq!(events.len(), span_count);
+    let stage_names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+    for event in events {
+        let name = event
+            .get("name")
+            .and_then(json::Json::as_str)
+            .expect("event has a name");
+        assert!(stage_names.contains(&name), "unknown stage {name:?}");
+        assert_eq!(
+            event.get("ph").and_then(json::Json::as_str),
+            Some("X"),
+            "spans export as complete events"
+        );
+        let ts = event
+            .get("ts")
+            .and_then(json::Json::as_f64)
+            .expect("event has a timestamp");
+        let dur = event
+            .get("dur")
+            .and_then(json::Json::as_f64)
+            .expect("event has a duration");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        assert_eq!(event.get("pid").and_then(json::Json::as_u64), Some(1));
+        assert!(event.get("tid").and_then(json::Json::as_u64).is_some());
+    }
+
+    // The JSON-lines export round-trips too: a summary line plus one line
+    // per span, every line independently parseable.
+    let jsonl = report.to_json_lines();
+    let mut lines = jsonl.lines();
+    let summary = json::parse(lines.next().expect("summary line")).expect("summary parses");
+    assert_eq!(
+        summary.get("type").and_then(json::Json::as_str),
+        Some("summary")
+    );
+    assert_eq!(
+        summary
+            .get("report")
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get(Counter::JobsPulled.name()))
+            .and_then(json::Json::as_u64),
+        Some(report.counter(Counter::JobsPulled))
+    );
+    assert_eq!(lines.count(), span_count);
+}
