@@ -15,6 +15,7 @@
 //! single-thread throughput, demonstrating that the scoped worker pool adds
 //! no meaningful overhead.
 
+use sc_bench::host_context;
 use sc_graph::{
     BatchInput, BinaryOp, CompiledGraph, Executor, Graph, ManipulatorKind, PlannerOptions,
 };
@@ -127,6 +128,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"stream_bits\": {STREAM_BITS},\n"));
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        host_context().to_string_compact()
+    ));
     json.push_str(&format!("  \"cpus\": {cpus},\n"));
     json.push_str(&format!("  \"sharded_threads\": {sharded_threads},\n"));
     json.push_str("  \"unit\": \"independent input sets per second, best of 7 samples\",\n");

@@ -244,6 +244,7 @@ fn main() {
     let doc = Json::obj(vec![
         ("stream_bits", Json::u64(STREAM_BITS as u64)),
         ("lanes", Json::u64(LANES as u64)),
+        ("host", sc_bench::host_context()),
         (
             "unit",
             Json::str(

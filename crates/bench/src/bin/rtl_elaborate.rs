@@ -18,6 +18,7 @@
 //!    `sc_hwcost` netlist of the elaborated tile must match the table-driven
 //!    bridge exactly.
 
+use sc_bench::host_context;
 use sc_graph::cost::compiled_netlist;
 use sc_graph::Executor;
 use sc_image::{planner_options, tile_graph, GrayImage, PipelineConfig, PipelineVariant};
@@ -106,6 +107,10 @@ fn main() {
     // JSON report.
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        host_context().to_string_compact()
+    ));
     json.push_str(&format!(
         "  \"tile_size\": {},\n  \"stream_length\": {},\n",
         full.tile_size, full.stream_length

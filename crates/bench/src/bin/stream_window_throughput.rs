@@ -113,6 +113,7 @@ fn main() {
     let doc = Json::obj(vec![
         ("cpus", Json::u64(cpus as u64)),
         ("threads", Json::u64(threads as u64)),
+        ("host", sc_bench::host_context()),
         ("default_window", Json::u64(default_window as u64)),
         (
             "image",

@@ -23,7 +23,7 @@
 //!   the planner and pipeline actually insert (synchronizer D = 2,
 //!   desynchronizer D = 1).
 
-use sc_bench::measure_rate as measure;
+use sc_bench::{host_context, measure_rate as measure};
 use sc_bitstream::Bitstream;
 use sc_core::{CorrelationManipulator, Desynchronizer, Synchronizer};
 use sc_image::{run_sc_pipeline_with_threads, GrayImage, PipelineConfig, PipelineVariant};
@@ -132,6 +132,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        host_context().to_string_compact()
+    ));
     json.push_str(&format!("  \"cpus\": {cpus},\n"));
     json.push_str(&format!("  \"sharded_threads\": {sharded_threads},\n"));
     json.push_str(

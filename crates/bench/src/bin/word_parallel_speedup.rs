@@ -15,6 +15,7 @@
 use sc_arith::add::ca_add;
 use sc_arith::maxmin::{ca_max, ca_max_lanes, or_max};
 use sc_arith::multiply::and_multiply;
+use sc_bench::host_context;
 use sc_bitstream::{scc, Bitstream, Probability};
 use sc_convert::DigitalToStochastic;
 use sc_core::{
@@ -279,6 +280,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"stream_bits\": {STREAM_BITS},\n"));
+    json.push_str(&format!(
+        "  \"host\": {},\n",
+        host_context().to_string_compact()
+    ));
     json.push_str("  \"unit\": \"ns per whole-stream call, median of 9 samples\",\n");
     json.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use sc_telemetry::Json;
 use std::fmt;
 
 /// The stream length used throughout the paper's evaluation.
@@ -149,6 +150,30 @@ pub fn cell1(v: f64) -> String {
     format!("{v:.1}")
 }
 
+/// The host context every `BENCH_*.json` evidence file embeds under a
+/// `"host"` key, so a committed number can be read against the machine shape
+/// that produced it: worker-thread budget, cargo profile, and the kernel
+/// word/lane geometry the engine compiled with.
+#[must_use]
+pub fn host_context() -> Json {
+    let worker_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let cargo_profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    Json::obj(vec![
+        ("worker_threads", Json::u64(worker_threads as u64)),
+        ("cargo_profile", Json::str(cargo_profile)),
+        ("word_bits", Json::u64(64)),
+        ("lanes", Json::u64(sc_core::LANES as u64)),
+        ("arch", Json::str(std::env::consts::ARCH)),
+        ("os", Json::str(std::env::consts::OS)),
+    ])
+}
+
 /// Best observed call rate (calls per second) of `f` over seven samples,
 /// with the repetition count first calibrated so each sample runs for at
 /// least ~20 ms and times reliably.
@@ -213,6 +238,22 @@ mod tests {
     fn cells_format() {
         assert_eq!(cell(0.5), "0.5000");
         assert_eq!(cell1(1234.56), "1234.6");
+    }
+
+    #[test]
+    fn host_context_records_the_machine_shape() {
+        let host = host_context();
+        assert!(host.get("worker_threads").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(host.get("word_bits").and_then(Json::as_u64), Some(64));
+        assert_eq!(
+            host.get("lanes").and_then(Json::as_u64),
+            Some(sc_core::LANES as u64)
+        );
+        let profile = host.get("cargo_profile").and_then(Json::as_str).unwrap();
+        assert!(profile == "debug" || profile == "release");
+        // The rendered fragment is itself valid JSON — the hand-assembled
+        // bench documents splice it in as text.
+        sc_telemetry::json::parse(&host.to_string_compact()).unwrap();
     }
 
     #[test]

@@ -316,8 +316,10 @@ pub struct StreamJob {
 /// [`Counter::LaneBatchedJobs`] / [`Counter::ScalarJobs`], the fill array →
 /// the sink's lane-fill distribution) in one batch at the end of the call —
 /// `StreamStats` is the per-call view and the sink is the cumulative view of
-/// **one** set of tallies, so the two reporting paths cannot drift.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// **one** set of tallies, so the two reporting paths cannot drift. The same
+/// holds per plan class: the [`StreamStats::classes`] breakdown is flushed
+/// into the sink's bounded class table at the end of the call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Total jobs pulled from the iterator.
     pub jobs: usize,
@@ -343,6 +345,51 @@ pub struct StreamStats {
     /// appear here. Invariant: `lane_batched_jobs` = Σ over `k ≥ 1` of
     /// `(k + 1) · lane_group_fill[k]`.
     pub lane_group_fill: [usize; LANES],
+    /// The same execution tallies keyed by [`CompiledGraph::plan_class`],
+    /// in class-id order — so a caller can see *which* compiled class took
+    /// the scalar path or under-filled its lane groups. Invariants: the
+    /// per-class `lane_batched_jobs` / `scalar_jobs` / `lane_group_fill`
+    /// sum (over classes) to the global fields above.
+    pub classes: Vec<PlanClassStats>,
+}
+
+/// One plan class's slice of a dispatch's [`StreamStats`] tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanClassStats {
+    /// The [`CompiledGraph::plan_class`] these tallies belong to.
+    pub plan_class: u64,
+    /// Jobs of this class executed through the lane-batched lockstep path.
+    pub lane_batched_jobs: usize,
+    /// Jobs of this class executed through the scalar path.
+    pub scalar_jobs: usize,
+    /// Lane-group fill distribution for this class (bucket-origin groups
+    /// only, like the global array).
+    pub lane_group_fill: [usize; LANES],
+}
+
+impl PlanClassStats {
+    /// Total jobs of this class the dispatch executed.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.lane_batched_jobs + self.scalar_jobs
+    }
+}
+
+impl StreamStats {
+    /// The per-class tally for `plan_class`, created on first sight. The
+    /// class list is tiny (one entry per distinct compiled template in the
+    /// dispatch), so a linear scan beats hashing.
+    fn class_mut(&mut self, plan_class: u64) -> &mut PlanClassStats {
+        if let Some(i) = self.classes.iter().position(|c| c.plan_class == plan_class) {
+            &mut self.classes[i]
+        } else {
+            self.classes.push(PlanClassStats {
+                plan_class,
+                ..PlanClassStats::default()
+            });
+            self.classes.last_mut().expect("just pushed")
+        }
+    }
 }
 
 /// Executes compiled plans over batches of input sets.
@@ -837,15 +884,18 @@ fn execute_plan_group(
     };
     let dur_ns = span.finish();
     if telemetry.is_enabled() {
+        let class = group[0].plan.plan_class();
         for _ in 0..group.len() {
             telemetry.observe(Hist::JobLatencyNs, dur_ns);
+            telemetry.class_latency(class, dur_ns);
         }
     }
     results
 }
 
 /// Executes one job solo under a [`Stage::ScalarExecute`] span, observing
-/// its duration in [`Hist::JobLatencyNs`].
+/// its duration in [`Hist::JobLatencyNs`] (globally and keyed by the job's
+/// plan class).
 fn execute_job_scalar(
     n: usize,
     job: &StreamJob,
@@ -856,6 +906,7 @@ fn execute_job_scalar(
     let dur_ns = span.finish();
     if telemetry.is_enabled() {
         telemetry.observe(Hist::JobLatencyNs, dur_ns);
+        telemetry.class_latency(job.plan.plan_class(), dur_ns);
     }
     result
 }
@@ -1063,6 +1114,7 @@ impl Executor {
                                 }
                             } else {
                                 stats.scalar_jobs += 1;
+                                stats.class_mut(job.plan.plan_class()).scalar_jobs += 1;
                                 let result = execute_job_scalar(n, &job, telemetry);
                                 failed |= result.is_err();
                                 slots[index] = Some(result);
@@ -1083,6 +1135,7 @@ impl Executor {
                 failed |= run_group_inline(n, group, &mut slots, &mut stats, telemetry);
             }
             stats.jobs = pulled;
+            stats.classes.sort_by_key(|c| c.plan_class);
             record_stream_totals(telemetry, &stats, &slots);
             let mut outputs = Vec::with_capacity(slots.len());
             for slot in slots {
@@ -1117,6 +1170,15 @@ impl Executor {
                 stats.lane_batched_jobs += group.len();
             } else {
                 stats.scalar_jobs += group.len();
+            }
+            let entry = stats.class_mut(group[0].1.plan.plan_class());
+            if grouped {
+                entry.lane_group_fill[(group.len() - 1).min(LANES - 1)] += 1;
+            }
+            if group.len() >= 2 {
+                entry.lane_batched_jobs += group.len();
+            } else {
+                entry.scalar_jobs += group.len();
             }
             submit_group_to_pool(&pool, &tx, n, group, telemetry);
         };
@@ -1177,6 +1239,7 @@ impl Executor {
             }
         }
         stats.jobs = pulled;
+        stats.classes.sort_by_key(|c| c.plan_class);
         record_stream_totals(telemetry, &stats, &slots);
         let mut outputs = Vec::with_capacity(slots.len());
         for slot in slots {
@@ -1209,6 +1272,16 @@ fn record_stream_totals(
     telemetry.add(Counter::JobsFailed, failures as u64);
     for (i, &count) in stats.lane_group_fill.iter().enumerate() {
         telemetry.lane_fill_n(i + 1, count as u64);
+    }
+    for class in &stats.classes {
+        telemetry.class_add_jobs(
+            class.plan_class,
+            class.lane_batched_jobs as u64,
+            class.scalar_jobs as u64,
+        );
+        for (i, &count) in class.lane_group_fill.iter().enumerate() {
+            telemetry.class_fill_n(class.plan_class, i + 1, count as u64);
+        }
     }
 }
 
@@ -1281,6 +1354,13 @@ fn run_group_inline(
 ) -> bool {
     let (indices, jobs): (Vec<usize>, Vec<StreamJob>) = group.into_iter().unzip();
     stats.lane_group_fill[(jobs.len() - 1).min(LANES - 1)] += 1;
+    let entry = stats.class_mut(jobs[0].plan.plan_class());
+    entry.lane_group_fill[(jobs.len() - 1).min(LANES - 1)] += 1;
+    if jobs.len() >= 2 {
+        entry.lane_batched_jobs += jobs.len();
+    } else {
+        entry.scalar_jobs += jobs.len();
+    }
     let results = if jobs.len() >= 2 {
         stats.lane_batched_jobs += jobs.len();
         execute_plan_group(n, &jobs, telemetry)
@@ -2100,6 +2180,92 @@ mod tests {
         assert_eq!(stats.peak_in_flight, 1);
         assert_eq!(stats.lane_group_fill, [0; LANES]);
         assert_eq!(stats.scalar_jobs, 9);
+    }
+
+    /// The `StreamStats.classes` breakdown partitions the global tallies on
+    /// both dispatch paths — per-class lane/scalar/fill sums reproduce the
+    /// global fields — and the sink's bounded class table carries the same
+    /// numbers plus one latency sample per job of the class.
+    #[test]
+    fn stream_stats_attribute_jobs_per_plan_class() {
+        let a = batchable_plan();
+        let b = batchable_plan(); // same shape, fresh compile → distinct class
+        assert_ne!(a.plan_class(), b.plan_class());
+        for threads in [1usize, 4] {
+            let sink = TelemetrySink::new();
+            let exec = Executor::new(64)
+                .with_threads(threads)
+                .with_telemetry(sink.clone());
+            let jobs = (0..12).map(|i| StreamJob {
+                plan: Arc::clone(if i % 3 == 0 { &a } else { &b }),
+                input: BatchInput::with_values(vec![0.4, 0.7]),
+            });
+            let (_, stats) = exec.run_stream_with_stats(jobs, usize::MAX).unwrap();
+
+            assert_eq!(stats.classes.len(), 2, "{threads} threads");
+            assert!(
+                stats
+                    .classes
+                    .windows(2)
+                    .all(|w| w[0].plan_class < w[1].plan_class),
+                "classes are sorted by id"
+            );
+            assert_eq!(
+                stats
+                    .classes
+                    .iter()
+                    .map(PlanClassStats::jobs)
+                    .sum::<usize>(),
+                stats.jobs
+            );
+            assert_eq!(
+                stats
+                    .classes
+                    .iter()
+                    .map(|c| c.lane_batched_jobs)
+                    .sum::<usize>(),
+                stats.lane_batched_jobs
+            );
+            assert_eq!(
+                stats.classes.iter().map(|c| c.scalar_jobs).sum::<usize>(),
+                stats.scalar_jobs
+            );
+            for k in 0..LANES {
+                assert_eq!(
+                    stats
+                        .classes
+                        .iter()
+                        .map(|c| c.lane_group_fill[k])
+                        .sum::<usize>(),
+                    stats.lane_group_fill[k],
+                    "fill-{} groups partition per class",
+                    k + 1
+                );
+            }
+            let jobs_of = |class: u64| {
+                stats
+                    .classes
+                    .iter()
+                    .find(|c| c.plan_class == class)
+                    .map_or(0, PlanClassStats::jobs)
+            };
+            assert_eq!(jobs_of(a.plan_class()), 4);
+            assert_eq!(jobs_of(b.plan_class()), 8);
+
+            // The sink's class table is the cumulative view of the same
+            // tallies, with a latency observation per executed job.
+            let report = sink.drain();
+            assert_eq!(report.classes().len(), 2);
+            for class in &stats.classes {
+                let reported = report.class(class.plan_class).expect("class reported");
+                assert_eq!(reported.lane_batched_jobs, class.lane_batched_jobs as u64);
+                assert_eq!(reported.scalar_jobs, class.scalar_jobs as u64);
+                assert_eq!(reported.latency.count, class.jobs() as u64);
+                for (k, &count) in class.lane_group_fill.iter().enumerate() {
+                    assert_eq!(reported.lane_group_fill[k], count as u64);
+                }
+            }
+        }
     }
 
     /// The documented window bound `peak_in_flight ≤ window.max(1)` holds on

@@ -92,8 +92,8 @@ pub mod node;
 
 pub use compile::{CompileReport, CompiledGraph, PlannerOptions, Step};
 pub use exec::{
-    balanced_spans, BatchInput, ExecJob, ExecOutput, Executor, StreamJob, StreamStats, WorkerPool,
-    DEFAULT_WINDOW_FACTOR,
+    balanced_spans, BatchInput, ExecJob, ExecOutput, Executor, PlanClassStats, StreamJob,
+    StreamStats, WorkerPool, DEFAULT_WINDOW_FACTOR,
 };
 pub use graph::{Graph, GraphError};
 pub use node::{

@@ -186,7 +186,7 @@ pub fn run_float_pipeline(image: &GrayImage) -> GrayImage {
 }
 
 /// Execution statistics of one [`run_sc_pipeline_with_stats`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Number of tiles processed.
     pub tiles: usize,
@@ -223,6 +223,14 @@ pub struct PipelineStats {
     /// `lane_group_fill[0]` counts singleton flushes (which execute on the
     /// scalar path). `lane_batched_jobs == Σ_{k≥1} (k+1)·lane_group_fill[k]`.
     pub lane_group_fill: [usize; LANES],
+    /// The execution tallies above broken down per compiled tile class
+    /// ([`sc_graph::PlanClassStats`], keyed by the cached template's
+    /// `plan_class`), in class-id order — `compilations` counts these
+    /// classes, and this names how each one's tiles actually executed, so a
+    /// slow or scalar-stuck tile class is identifiable instead of averaged
+    /// away. Per-class latency histograms live on the attached
+    /// [`TelemetrySink`]'s report ([`sc_telemetry::TelemetryReport::classes`]).
+    pub classes: Vec<sc_graph::PlanClassStats>,
 }
 
 /// A cached compiled plan for one tile class, with the select-LFSR seeds it
@@ -379,6 +387,7 @@ pub fn run_sc_pipeline_with_window(
     stats.lane_batched_jobs = stream_stats.lane_batched_jobs;
     stats.scalar_jobs = stream_stats.scalar_jobs;
     stats.lane_group_fill = stream_stats.lane_group_fill;
+    stats.classes = stream_stats.classes;
 
     // Scatter the per-tile sink values into the output image.
     let collect = config.telemetry.span(Stage::SinkCollect);

@@ -23,6 +23,19 @@
 //!   JSON ([`TelemetryReport::to_chrome_trace`]) for flamegraph-style
 //!   inspection; [`TelemetryReport::to_json`] is the machine-readable
 //!   summary the bench binaries embed in their `BENCH_*.json` evidence.
+//! * **Live observation** — [`TelemetrySink::snapshot`] reads the current
+//!   state without consuming anything, [`TelemetrySink::snapshot_delta`]
+//!   returns the change since the previous delta (counters and histograms
+//!   diffed, gauges sampled with per-interval peaks, span rings drained
+//!   incrementally), and both are safe to call from a background thread
+//!   while a dispatch is mid-flight. The [`serve`] module exposes the
+//!   current snapshot over HTTP in Prometheus text exposition format, and
+//!   the [`watch`] module evaluates registered thresholds against interval
+//!   snapshots and fires callbacks.
+//! * **Attribution** — job latency and the lane/scalar/fill tallies are
+//!   additionally keyed by `CompiledGraph::plan_class` in a bounded lock-free
+//!   class table ([`TelemetrySink::class_latency`] and friends), so a report
+//!   names *which* plan class is slow ([`TelemetryReport::classes`]).
 //!
 //! The handle is designed for **always-on plumbing with a no-op default**:
 //! [`TelemetrySink::default`] holds no allocation at all, every record method
@@ -53,6 +66,8 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod serve;
+pub mod watch;
 
 pub use json::Json;
 
@@ -276,6 +291,11 @@ pub const HIST_BUCKETS: usize = 64;
 /// kernel cannot silently truncate (wider groups clamp into the last slot).
 pub const MAX_LANE_FILL: usize = 8;
 
+/// Maximum number of distinct plan classes the attribution table tracks
+/// exactly; classes seen after every slot is claimed aggregate into one
+/// shared overflow bucket (reported with `plan_class: None`).
+pub const MAX_PLAN_CLASSES: usize = 32;
+
 /// Default per-thread span ring capacity (events). At ~40 bytes per event
 /// this bounds each recording thread at ~0.6 MiB; older events are
 /// overwritten once the ring is full and counted as dropped.
@@ -339,6 +359,108 @@ impl HistCells {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.buckets[log2_bucket(value)].fetch_add(1, Ordering::Relaxed);
     }
+
+    fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One plan class's atomic attribution cells.
+struct ClassCells {
+    /// Claimed plan-class id plus one; zero marks a free slot (plan-class
+    /// ids start at zero, so a raw id cannot be its own empty sentinel).
+    key: AtomicU64,
+    lane_batched: AtomicU64,
+    scalar: AtomicU64,
+    latency: HistCells,
+    fill: [AtomicU64; MAX_LANE_FILL],
+}
+
+impl ClassCells {
+    fn new() -> Self {
+        ClassCells {
+            key: AtomicU64::new(0),
+            lane_batched: AtomicU64::new(0),
+            scalar: AtomicU64::new(0),
+            latency: HistCells::new(),
+            fill: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn snapshot(&self, plan_class: Option<u64>) -> ClassReport {
+        ClassReport {
+            plan_class,
+            lane_batched_jobs: self.lane_batched.load(Ordering::Relaxed),
+            scalar_jobs: self.scalar.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            lane_group_fill: std::array::from_fn(|i| self.fill[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The bounded per-plan-class attribution table: [`MAX_PLAN_CLASSES`]
+/// CAS-claimed slots plus a shared overflow bucket. Lookup is a linear scan
+/// over a cache-resident array — recording stays lock-free and allocation-free
+/// on the hot path.
+struct ClassTable {
+    slots: [ClassCells; MAX_PLAN_CLASSES],
+    overflow: ClassCells,
+}
+
+impl ClassTable {
+    fn new() -> Self {
+        ClassTable {
+            slots: std::array::from_fn(|_| ClassCells::new()),
+            overflow: ClassCells::new(),
+        }
+    }
+
+    /// The cells attributed to `class`, claiming the first free slot on
+    /// first sight; once every slot is claimed, later classes share the
+    /// overflow bucket.
+    fn cells(&self, class: u64) -> &ClassCells {
+        let key = class.saturating_add(1);
+        for slot in &self.slots {
+            let current = slot.key.load(Ordering::Acquire);
+            if current == key {
+                return slot;
+            }
+            if current == 0 {
+                match slot
+                    .key
+                    .compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => return slot,
+                    Err(actual) if actual == key => return slot,
+                    Err(_) => {} // lost the race to a different class; keep scanning
+                }
+            }
+        }
+        &self.overflow
+    }
+
+    /// Every claimed class in id order, the overflow bucket (if populated)
+    /// last.
+    fn snapshot(&self) -> Vec<ClassReport> {
+        let mut classes: Vec<ClassReport> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let key = slot.key.load(Ordering::Acquire);
+                (key != 0).then(|| slot.snapshot(Some(key - 1)))
+            })
+            .collect();
+        classes.sort_by_key(|c| c.plan_class);
+        let overflow = self.overflow.snapshot(None);
+        if !overflow.is_empty() {
+            classes.push(overflow);
+        }
+        classes
+    }
 }
 
 /// Bucket index of a value: its bit length, clamped to the last bucket.
@@ -356,10 +478,26 @@ struct Inner {
     counters: [AtomicU64; Counter::ALL.len()],
     gauge_current: [AtomicU64; Gauge::ALL.len()],
     gauge_peak: [AtomicU64; Gauge::ALL.len()],
+    /// Per-interval gauge peaks, reset by each [`TelemetrySink::snapshot_delta`].
+    gauge_window_peak: [AtomicU64; Gauge::ALL.len()],
     hists: [HistCells; Hist::ALL.len()],
     lane_fill: [AtomicU64; MAX_LANE_FILL],
+    classes: ClassTable,
     /// Every thread's span ring, registered on that thread's first record.
     buffers: Mutex<Vec<Arc<Mutex<SpanBuf>>>>,
+    /// Cumulative metric values as of the previous
+    /// [`TelemetrySink::snapshot_delta`], used to diff the next one.
+    delta: Mutex<DeltaBaseline>,
+}
+
+/// The cumulative metric values captured by the previous delta snapshot.
+#[derive(Default)]
+struct DeltaBaseline {
+    elapsed_ns: u64,
+    counters: [u64; Counter::ALL.len()],
+    hists: [HistSnapshot; Hist::ALL.len()],
+    lane_fill: [u64; MAX_LANE_FILL],
+    classes: Vec<ClassReport>,
 }
 
 static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
@@ -373,6 +511,11 @@ thread_local! {
         const { RefCell::new(Vec::new()) };
 }
 
+/// Names of threads that have recorded spans, keyed by dense thread id.
+/// Registered once per thread when its id is assigned, so chrome-trace
+/// exports can label tids with real thread names.
+static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+
 fn current_thread_id() -> u32 {
     THREAD_ID.with(|cell| {
         let id = cell.get();
@@ -381,8 +524,27 @@ fn current_thread_id() -> u32 {
         }
         let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
         cell.set(id);
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{id}"), str::to_owned);
+        THREAD_NAMES
+            .lock()
+            .expect("telemetry thread-name registry lock is never poisoned")
+            .push((id, name));
         id
     })
+}
+
+/// The recorded name of the thread with the given dense id ([`SpanEvent::thread`]),
+/// if that thread has recorded any span.
+#[must_use]
+pub fn thread_name(id: u32) -> Option<String> {
+    THREAD_NAMES
+        .lock()
+        .expect("telemetry thread-name registry lock is never poisoned")
+        .iter()
+        .find(|(tid, _)| *tid == id)
+        .map(|(_, name)| name.clone())
 }
 
 impl Inner {
@@ -467,9 +629,12 @@ impl TelemetrySink {
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 gauge_current: std::array::from_fn(|_| AtomicU64::new(0)),
                 gauge_peak: std::array::from_fn(|_| AtomicU64::new(0)),
+                gauge_window_peak: std::array::from_fn(|_| AtomicU64::new(0)),
                 hists: std::array::from_fn(|_| HistCells::new()),
                 lane_fill: std::array::from_fn(|_| AtomicU64::new(0)),
+                classes: ClassTable::new(),
                 buffers: Mutex::new(Vec::new()),
+                delta: Mutex::new(DeltaBaseline::default()),
             })),
         }
     }
@@ -513,11 +678,13 @@ impl TelemetrySink {
         }
     }
 
-    /// Sets a gauge's current value, raising its peak if exceeded.
+    /// Sets a gauge's current value, raising its all-time and per-interval
+    /// peaks if exceeded.
     pub fn gauge_set(&self, gauge: Gauge, value: u64) {
         if let Some(inner) = &self.inner {
             inner.gauge_current[gauge as usize].store(value, Ordering::Relaxed);
             inner.gauge_peak[gauge as usize].fetch_max(value, Ordering::Relaxed);
+            inner.gauge_window_peak[gauge as usize].fetch_max(value, Ordering::Relaxed);
         }
     }
 
@@ -544,19 +711,150 @@ impl TelemetrySink {
         }
     }
 
+    /// Records one job-latency observation attributed to a plan class. The
+    /// global [`Hist::JobLatencyNs`] histogram is recorded separately by the
+    /// executor; this feeds the per-class breakdown
+    /// ([`TelemetryReport::classes`]).
+    pub fn class_latency(&self, plan_class: u64, latency_ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.classes.cells(plan_class).latency.observe(latency_ns);
+        }
+    }
+
+    /// Attributes `lane_batched` lane-path jobs and `scalar` scalar-path
+    /// jobs to a plan class — for callers that tally per class locally and
+    /// flush once per dispatch.
+    pub fn class_add_jobs(&self, plan_class: u64, lane_batched: u64, scalar: u64) {
+        if let Some(inner) = &self.inner {
+            if lane_batched == 0 && scalar == 0 {
+                return;
+            }
+            let cells = inner.classes.cells(plan_class);
+            if lane_batched > 0 {
+                cells
+                    .lane_batched
+                    .fetch_add(lane_batched, Ordering::Relaxed);
+            }
+            if scalar > 0 {
+                cells.scalar.fetch_add(scalar, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records `n` executed lane groups of the given fill attributed to a
+    /// plan class (the per-class mirror of [`TelemetrySink::lane_fill_n`]).
+    pub fn class_fill_n(&self, plan_class: u64, fill: usize, n: u64) {
+        if let Some(inner) = &self.inner {
+            if fill > 0 && n > 0 {
+                inner.classes.cells(plan_class).fill[fill.min(MAX_LANE_FILL) - 1]
+                    .fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Drains every thread's recorded spans into a time-sorted report,
     /// together with a snapshot of the (cumulative) counters, gauges,
-    /// histograms, and lane-fill distribution. Spans are consumed; metrics
-    /// are not reset, so back-to-back drains see monotonic counters.
+    /// histograms, lane-fill distribution, and per-class table. Spans are
+    /// consumed; metrics are not reset, so back-to-back drains see monotonic
+    /// counters. For live observation without consuming anything, use
+    /// [`TelemetrySink::snapshot`]; for interval views, use
+    /// [`TelemetrySink::snapshot_delta`].
     #[must_use]
     pub fn drain(&self) -> TelemetryReport {
         let Some(inner) = &self.inner else {
             return TelemetryReport::default();
         };
+        inner.report(true)
+    }
+
+    /// A non-destructive snapshot of the current state: spans are copied out
+    /// of the rings (a later [`TelemetrySink::drain`] still reports them),
+    /// overwrite counts are read without being reset, and metrics are the
+    /// same cumulative values a drain would return. Safe to call from a
+    /// background thread while recording threads are mid-dispatch; for a
+    /// completed run it is field-for-field equal to the final drain (modulo
+    /// `elapsed_ns`, which keeps advancing with the wall clock).
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetryReport {
+        let Some(inner) = &self.inner else {
+            return TelemetryReport::default();
+        };
+        inner.report(false)
+    }
+
+    /// The change since the previous `snapshot_delta` (or since the sink's
+    /// creation, for the first call): counters, histograms, lane-fill slots,
+    /// and per-class tallies are diffed against the previous cumulative
+    /// values; gauges report their sampled current value and their peak
+    /// within the interval; spans are drained incrementally (each delta
+    /// carries the spans recorded since the last consume, with ring
+    /// overwrite counts preserved); `elapsed_ns` is the interval length.
+    ///
+    /// A sequence of deltas therefore sums to the cumulative report:
+    /// concatenated spans, summed counters/histograms/fills, and the max
+    /// over interval gauge peaks equals the all-time peak. Concurrent
+    /// callers are serialized on an internal baseline lock.
+    #[must_use]
+    pub fn snapshot_delta(&self) -> TelemetryReport {
+        let Some(inner) = &self.inner else {
+            return TelemetryReport::default();
+        };
+        let mut baseline = inner
+            .delta
+            .lock()
+            .expect("telemetry delta baseline lock is never poisoned");
+        let now = inner.report(true);
+        let report = TelemetryReport {
+            spans: now.spans,
+            dropped_spans: now.dropped_spans,
+            elapsed_ns: now.elapsed_ns.saturating_sub(baseline.elapsed_ns),
+            counters: std::array::from_fn(|i| now.counters[i].saturating_sub(baseline.counters[i])),
+            gauges: std::array::from_fn(|i| {
+                let current = inner.gauge_current[i].load(Ordering::Relaxed);
+                // Swapping in the current value restarts the interval peak:
+                // a gauge that holds a level across deltas keeps reporting it.
+                let window_peak = inner.gauge_window_peak[i].swap(current, Ordering::Relaxed);
+                (current, window_peak.max(current))
+            }),
+            hists: std::array::from_fn(|i| now.hists[i].delta_since(&baseline.hists[i])),
+            lane_fill: std::array::from_fn(|i| {
+                now.lane_fill[i].saturating_sub(baseline.lane_fill[i])
+            }),
+            classes: now
+                .classes
+                .iter()
+                .filter_map(|cur| {
+                    let delta = match baseline
+                        .classes
+                        .iter()
+                        .find(|prev| prev.plan_class == cur.plan_class)
+                    {
+                        Some(prev) => cur.delta_since(prev),
+                        None => cur.clone(),
+                    };
+                    (!delta.is_empty()).then_some(delta)
+                })
+                .collect(),
+        };
+        *baseline = DeltaBaseline {
+            elapsed_ns: now.elapsed_ns,
+            counters: now.counters,
+            hists: now.hists,
+            lane_fill: now.lane_fill,
+            classes: now.classes,
+        };
+        report
+    }
+}
+
+impl Inner {
+    /// Collects every thread's spans (consuming them when `consume_spans`)
+    /// and the cumulative metric values into a report.
+    fn report(&self, consume_spans: bool) -> TelemetryReport {
         let mut spans = Vec::new();
         let mut dropped = 0u64;
         {
-            let buffers = inner
+            let buffers = self
                 .buffers
                 .lock()
                 .expect("telemetry buffer registry lock is never poisoned");
@@ -564,29 +862,31 @@ impl TelemetrySink {
                 let mut buf = buf
                     .lock()
                     .expect("telemetry span buffer lock is never poisoned");
-                spans.append(&mut buf.events);
-                buf.next = 0;
-                dropped += std::mem::take(&mut buf.dropped);
+                if consume_spans {
+                    spans.append(&mut buf.events);
+                    buf.next = 0;
+                    dropped += std::mem::take(&mut buf.dropped);
+                } else {
+                    spans.extend_from_slice(&buf.events);
+                    dropped += buf.dropped;
+                }
             }
         }
         spans.sort_by_key(|s| (s.start_ns, s.thread));
         TelemetryReport {
             spans,
             dropped_spans: dropped,
-            elapsed_ns: inner.epoch.elapsed().as_nanos() as u64,
-            counters: std::array::from_fn(|i| inner.counters[i].load(Ordering::Relaxed)),
+            elapsed_ns: self.epoch.elapsed().as_nanos() as u64,
+            counters: std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed)),
             gauges: std::array::from_fn(|i| {
                 (
-                    inner.gauge_current[i].load(Ordering::Relaxed),
-                    inner.gauge_peak[i].load(Ordering::Relaxed),
+                    self.gauge_current[i].load(Ordering::Relaxed),
+                    self.gauge_peak[i].load(Ordering::Relaxed),
                 )
             }),
-            hists: std::array::from_fn(|i| HistSnapshot {
-                count: inner.hists[i].count.load(Ordering::Relaxed),
-                sum: inner.hists[i].sum.load(Ordering::Relaxed),
-                buckets: std::array::from_fn(|b| inner.hists[i].buckets[b].load(Ordering::Relaxed)),
-            }),
-            lane_fill: std::array::from_fn(|i| inner.lane_fill[i].load(Ordering::Relaxed)),
+            hists: std::array::from_fn(|i| self.hists[i].snapshot()),
+            lane_fill: std::array::from_fn(|i| self.lane_fill[i].load(Ordering::Relaxed)),
+            classes: self.classes.snapshot(),
         }
     }
 }
@@ -693,6 +993,116 @@ impl HistSnapshot {
             .filter(|(_, &count)| count > 0)
             .map(|(b, &count)| (if b == 0 { 0 } else { 1u64 << (b - 1) }, count))
     }
+
+    /// The raw per-bucket counts; bucket `b`'s value range is bounded above
+    /// by [`bucket_upper_bound`]`(b)`.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// An upper bound on the `q`-quantile observation (`q` clamped to
+    /// `[0, 1]`): the inclusive upper edge of the first bucket whose
+    /// cumulative count reaches rank `ceil(q × count)`. Zero when the
+    /// histogram is empty. Resolution is the log2 bucket width, which is
+    /// what makes recording one `fetch_add` — a p99 read of `16383` means
+    /// "the 99th percentile is at most 16383".
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_upper_bound(b);
+            }
+        }
+        u64::MAX
+    }
+
+    /// This snapshot's change since an earlier snapshot of the same
+    /// histogram (saturating per cell, so a torn concurrent read cannot
+    /// underflow).
+    #[must_use]
+    pub fn delta_since(&self, baseline: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            buckets: std::array::from_fn(|b| self.buckets[b].saturating_sub(baseline.buckets[b])),
+        }
+    }
+}
+
+/// Inclusive upper value bound of log2 histogram bucket `b`: 0 for the zero
+/// bucket, `2^b - 1` in between, and `u64::MAX` for the last (clamping)
+/// bucket.
+#[must_use]
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// One plan class's slice of the execution tallies: how many jobs ran
+/// through the lane-batched vs scalar path, their latency histogram, and
+/// the lane-group fill distribution — so a report names *which* compiled
+/// class is slow, not just that something is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassReport {
+    /// The `CompiledGraph::plan_class` id, or `None` for the shared
+    /// overflow bucket (classes beyond [`MAX_PLAN_CLASSES`]).
+    pub plan_class: Option<u64>,
+    /// Jobs of this class executed through the lane-batched lockstep path.
+    pub lane_batched_jobs: u64,
+    /// Jobs of this class executed through the scalar path.
+    pub scalar_jobs: u64,
+    /// Job-latency histogram for this class.
+    pub latency: HistSnapshot,
+    /// Lane-group fill distribution for this class (`[k]` counts groups of
+    /// `k + 1` jobs).
+    pub lane_group_fill: [u64; MAX_LANE_FILL],
+}
+
+impl ClassReport {
+    /// Total jobs attributed to this class.
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        self.lane_batched_jobs + self.scalar_jobs
+    }
+
+    /// A label for display and export: the class id, or `"overflow"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.plan_class {
+            Some(id) => id.to_string(),
+            None => "overflow".to_string(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.jobs() == 0 && self.latency.count == 0 && self.lane_group_fill.iter().all(|&c| c == 0)
+    }
+
+    fn delta_since(&self, baseline: &ClassReport) -> ClassReport {
+        ClassReport {
+            plan_class: self.plan_class,
+            lane_batched_jobs: self
+                .lane_batched_jobs
+                .saturating_sub(baseline.lane_batched_jobs),
+            scalar_jobs: self.scalar_jobs.saturating_sub(baseline.scalar_jobs),
+            latency: self.latency.delta_since(&baseline.latency),
+            lane_group_fill: std::array::from_fn(|i| {
+                self.lane_group_fill[i].saturating_sub(baseline.lane_group_fill[i])
+            }),
+        }
+    }
 }
 
 /// A drained telemetry snapshot: time-sorted spans plus cumulative metrics.
@@ -711,6 +1121,7 @@ pub struct TelemetryReport {
     gauges: [(u64, u64); Gauge::ALL.len()],
     hists: [HistSnapshot; Hist::ALL.len()],
     lane_fill: [u64; MAX_LANE_FILL],
+    classes: Vec<ClassReport>,
 }
 
 impl TelemetryReport {
@@ -738,6 +1149,23 @@ impl TelemetryReport {
     #[must_use]
     pub fn lane_group_fill(&self) -> &[u64; MAX_LANE_FILL] {
         &self.lane_fill
+    }
+
+    /// The per-plan-class attribution breakdown, in class-id order with the
+    /// overflow bucket (if populated) last. Empty when the executor never
+    /// recorded class tallies (e.g. a sink used only for compile spans).
+    #[must_use]
+    pub fn classes(&self) -> &[ClassReport] {
+        &self.classes
+    }
+
+    /// One plan class's breakdown, if attributed exactly (overflowed classes
+    /// share the `plan_class: None` bucket and are not addressable by id).
+    #[must_use]
+    pub fn class(&self, plan_class: u64) -> Option<&ClassReport> {
+        self.classes
+            .iter()
+            .find(|c| c.plan_class == Some(plan_class))
     }
 
     /// `(span count, total nanoseconds)` across this report's spans of one
@@ -829,6 +1257,20 @@ impl TelemetryReport {
         if !fills.is_empty() {
             out.push_str(&format!("\n  lane-group fill: {}\n", fills.join(", ")));
         }
+        if !self.classes.is_empty() {
+            out.push_str("\n  plan classes (jobs = lane + scalar, latency p50/p99 ≤):\n");
+            for class in &self.classes {
+                out.push_str(&format!(
+                    "    class {:<10} {:>6} jobs = {} + {}  p50 ≤ {} ns  p99 ≤ {} ns\n",
+                    class.label(),
+                    class.jobs(),
+                    class.lane_batched_jobs,
+                    class.scalar_jobs,
+                    class.latency.quantile(0.5),
+                    class.latency.quantile(0.99),
+                ));
+            }
+        }
         out
     }
 
@@ -888,6 +1330,46 @@ impl TelemetryReport {
                 )
             })
             .collect();
+        let classes = self
+            .classes
+            .iter()
+            .map(|class| {
+                let buckets = class
+                    .latency
+                    .nonzero_buckets()
+                    .map(|(lo, count)| Json::Arr(vec![Json::u64(lo), Json::u64(count)]))
+                    .collect();
+                Json::obj(vec![
+                    (
+                        "plan_class",
+                        match class.plan_class {
+                            Some(id) => Json::u64(id),
+                            None => Json::str("overflow"),
+                        },
+                    ),
+                    ("lane_batched_jobs", Json::u64(class.lane_batched_jobs)),
+                    ("scalar_jobs", Json::u64(class.scalar_jobs)),
+                    (
+                        "latency",
+                        Json::obj(vec![
+                            ("count", Json::u64(class.latency.count)),
+                            ("sum", Json::u64(class.latency.sum)),
+                            ("buckets", Json::Arr(buckets)),
+                        ]),
+                    ),
+                    (
+                        "lane_group_fill",
+                        Json::Arr(
+                            class
+                                .lane_group_fill
+                                .iter()
+                                .map(|&c| Json::u64(c))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
         Json::obj(vec![
             ("elapsed_ns", Json::u64(self.elapsed_ns)),
             ("span_count", Json::u64(self.spans.len() as u64)),
@@ -900,6 +1382,7 @@ impl TelemetryReport {
                 "lane_group_fill",
                 Json::Arr(self.lane_fill.iter().map(|&c| Json::u64(c)).collect()),
             ),
+            ("classes", Json::Arr(classes)),
         ])
     }
 
@@ -933,25 +1416,42 @@ impl TelemetryReport {
     /// A chrome://tracing / Perfetto compatible trace-event document: every
     /// span becomes one complete (`"ph": "X"`) event with microsecond
     /// timestamps, the recording thread as `tid`, and the stage argument
-    /// under `args`.
+    /// under `args` — preceded by `process_name`/`thread_name` metadata
+    /// (`"ph": "M"`) events so the viewer shows real thread names instead
+    /// of bare tids.
     #[must_use]
     pub fn to_chrome_trace(&self) -> String {
-        let events = self
-            .spans
-            .iter()
-            .map(|span| {
-                Json::obj(vec![
-                    ("name", Json::str(span.stage.name())),
-                    ("cat", Json::str("sc")),
-                    ("ph", Json::str("X")),
-                    ("ts", Json::fixed(span.start_ns as f64 / 1e3, 3)),
-                    ("dur", Json::fixed(span.dur_ns as f64 / 1e3, 3)),
-                    ("pid", Json::u64(1)),
-                    ("tid", Json::u64(u64::from(span.thread))),
-                    ("args", Json::obj(vec![("arg", Json::u64(span.arg))])),
-                ])
-            })
-            .collect();
+        let mut events = vec![Json::obj(vec![
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(1)),
+            ("args", Json::obj(vec![("name", Json::str("sc-repro"))])),
+        ])];
+        let mut tids: Vec<u32> = self.spans.iter().map(|s| s.thread).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        for tid in tids {
+            let label = thread_name(tid).unwrap_or_else(|| format!("thread-{tid}"));
+            events.push(Json::obj(vec![
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::u64(1)),
+                ("tid", Json::u64(u64::from(tid))),
+                ("args", Json::obj(vec![("name", Json::Str(label))])),
+            ]));
+        }
+        events.extend(self.spans.iter().map(|span| {
+            Json::obj(vec![
+                ("name", Json::str(span.stage.name())),
+                ("cat", Json::str("sc")),
+                ("ph", Json::str("X")),
+                ("ts", Json::fixed(span.start_ns as f64 / 1e3, 3)),
+                ("dur", Json::fixed(span.dur_ns as f64 / 1e3, 3)),
+                ("pid", Json::u64(1)),
+                ("tid", Json::u64(u64::from(span.thread))),
+                ("args", Json::obj(vec![("arg", Json::u64(span.arg))])),
+            ])
+        }));
         Json::obj(vec![
             ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::str("ms")),
@@ -1163,13 +1663,190 @@ mod tests {
 
         let trace = json::parse(&report.to_chrome_trace()).unwrap();
         let events = trace.get("traceEvents").and_then(Json::as_array).unwrap();
-        assert_eq!(events.len(), 2);
-        for event in events {
+        let (meta, spans): (Vec<_>, Vec<_>) = events
+            .iter()
+            .partition(|e| e.get("ph").and_then(Json::as_str) == Some("M"));
+        assert_eq!(spans.len(), 2);
+        for event in spans {
             assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
             assert!(event.get("ts").and_then(Json::as_f64).is_some());
             assert!(event.get("dur").and_then(Json::as_f64).is_some());
             assert!(event.get("tid").and_then(Json::as_u64).is_some());
         }
+        // One process_name plus one thread_name per distinct recording tid
+        // (both spans were recorded on this test thread).
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0].get("name").and_then(Json::as_str),
+            Some("process_name")
+        );
+        assert_eq!(
+            meta[1].get("name").and_then(Json::as_str),
+            Some("thread_name")
+        );
+        assert!(meta[1]
+            .get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str)
+            .is_some());
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive_and_matches_final_drain() {
+        let sink = TelemetrySink::new();
+        sink.add(Counter::JobsPulled, 4);
+        sink.gauge_set(Gauge::QueueDepth, 3);
+        sink.observe(Hist::JobLatencyNs, 900);
+        sink.lane_fill(2);
+        sink.class_latency(7, 900);
+        sink.class_add_jobs(7, 1, 0);
+        for _ in 0..3 {
+            let _span = sink.span(Stage::ScalarExecute);
+        }
+
+        let snapshot = sink.snapshot();
+        assert_eq!(snapshot.spans.len(), 3);
+        // The snapshot consumed nothing: a second snapshot and the final
+        // drain both still see every span and the same cumulative metrics.
+        let mut drained = sink.drain();
+        assert_eq!(drained.spans, snapshot.spans);
+        drained.elapsed_ns = snapshot.elapsed_ns; // the wall clock kept advancing
+        assert_eq!(drained, snapshot, "snapshot equals the final drain");
+        // The drain did consume: nothing left afterwards.
+        assert!(sink.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn snapshot_does_not_reset_overwrite_accounting() {
+        let sink = TelemetrySink::with_span_capacity(2);
+        for _ in 0..5 {
+            let _span = sink.span(Stage::ScalarExecute);
+        }
+        let snapshot = sink.snapshot();
+        assert_eq!(snapshot.spans.len(), 2);
+        assert_eq!(snapshot.dropped_spans, 3);
+        let drained = sink.drain();
+        assert_eq!(drained.dropped_spans, 3, "snapshot left the drop count");
+        assert_eq!(sink.drain().dropped_spans, 0);
+    }
+
+    #[test]
+    fn snapshot_deltas_sum_to_cumulative() {
+        let sink = TelemetrySink::new();
+        sink.add(Counter::JobsPulled, 2);
+        sink.observe(Hist::JobLatencyNs, 100);
+        sink.gauge_set(Gauge::QueueDepth, 9);
+        sink.class_add_jobs(3, 2, 0);
+        {
+            let _span = sink.span(Stage::Dispatch);
+        }
+        let cumulative = sink.snapshot();
+
+        let first = sink.snapshot_delta();
+        assert_eq!(first.counter(Counter::JobsPulled), 2);
+        assert_eq!(first.spans.len(), 1);
+        assert_eq!(first.gauge(Gauge::QueueDepth).1, 9, "interval peak");
+
+        sink.add(Counter::JobsPulled, 5);
+        sink.observe(Hist::JobLatencyNs, 3000);
+        sink.gauge_set(Gauge::QueueDepth, 4);
+        sink.class_add_jobs(3, 0, 1);
+        sink.class_add_jobs(8, 1, 0);
+        {
+            let _span = sink.span(Stage::ScalarExecute);
+        }
+        let second = sink.snapshot_delta();
+        assert_eq!(second.counter(Counter::JobsPulled), 5, "diffed");
+        assert_eq!(second.spans.len(), 1, "only the new span");
+        assert_eq!(second.histogram(Hist::JobLatencyNs).count, 1);
+        assert_eq!(second.histogram(Hist::JobLatencyNs).sum, 3000);
+        assert_eq!(
+            second.gauge(Gauge::QueueDepth),
+            (4, 9),
+            "the gauge held 9 at the interval's start before dropping to 4, \
+             so the carried-in level is the interval peak"
+        );
+        assert_eq!(second.class(3).unwrap().scalar_jobs, 1);
+        assert_eq!(second.class(3).unwrap().lane_batched_jobs, 0, "diffed");
+        assert_eq!(second.class(8).unwrap().lane_batched_jobs, 1);
+
+        // The two deltas sum to the cumulative view at the first snapshot
+        // plus everything recorded after it.
+        assert_eq!(
+            first.counter(Counter::JobsPulled) + second.counter(Counter::JobsPulled),
+            7
+        );
+        assert_eq!(
+            first.spans.len() + second.spans.len(),
+            cumulative.spans.len() + 1
+        );
+        assert_eq!(
+            first
+                .gauge(Gauge::QueueDepth)
+                .1
+                .max(second.gauge(Gauge::QueueDepth).1),
+            sink.snapshot().gauge(Gauge::QueueDepth).1,
+            "max interval peak equals the all-time peak"
+        );
+        // An idle interval produces an all-zero delta.
+        let idle = sink.snapshot_delta();
+        assert_eq!(idle.counter(Counter::JobsPulled), 0);
+        assert!(idle.spans.is_empty());
+        assert!(idle.classes().is_empty());
+    }
+
+    #[test]
+    fn class_table_attributes_and_overflows() {
+        let sink = TelemetrySink::new();
+        // Claim every slot, then two more classes: both share the overflow
+        // bucket.
+        for class in 0..(MAX_PLAN_CLASSES as u64 + 2) {
+            sink.class_add_jobs(class, 1, 0);
+            sink.class_latency(class, 50 * (class + 1));
+        }
+        sink.class_fill_n(0, 4, 2);
+        let report = sink.drain();
+        let classes = report.classes();
+        assert_eq!(classes.len(), MAX_PLAN_CLASSES + 1);
+        for (i, class) in classes.iter().take(MAX_PLAN_CLASSES).enumerate() {
+            assert_eq!(class.plan_class, Some(i as u64), "sorted by class id");
+            assert_eq!(class.jobs(), 1);
+            assert_eq!(class.latency.count, 1);
+        }
+        let overflow = classes.last().unwrap();
+        assert_eq!(overflow.plan_class, None);
+        assert_eq!(overflow.label(), "overflow");
+        assert_eq!(overflow.jobs(), 2, "both overflowed classes aggregated");
+        assert_eq!(report.class(0).unwrap().lane_group_fill[3], 2);
+        assert!(
+            report.class(MAX_PLAN_CLASSES as u64).is_none(),
+            "overflowed"
+        );
+        // The exports carry the breakdown.
+        assert!(report.to_pretty_string().contains("plan classes"));
+        let doc = json::parse(&report.to_json().to_string_compact()).unwrap();
+        let exported = doc.get("classes").and_then(Json::as_array).unwrap();
+        assert_eq!(exported.len(), MAX_PLAN_CLASSES + 1);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(5), 31);
+        assert_eq!(bucket_upper_bound(HIST_BUCKETS - 1), u64::MAX);
+        let sink = TelemetrySink::new();
+        for _ in 0..99 {
+            sink.observe(Hist::JobLatencyNs, 3); // bucket 2, upper bound 3
+        }
+        sink.observe(Hist::JobLatencyNs, 1000); // bucket 10, upper bound 1023
+        let report = sink.drain();
+        let hist = report.histogram(Hist::JobLatencyNs);
+        assert_eq!(hist.quantile(0.5), 3);
+        assert_eq!(hist.quantile(0.99), 3);
+        assert_eq!(hist.quantile(1.0), 1023);
+        assert_eq!(hist.quantile(0.0), 3, "clamped to the first observation");
+        assert_eq!(HistSnapshot::default().quantile(0.99), 0);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Threshold watchers: user-registered conditions (p99 job latency, peak
+//! queue depth, ring-overwrite count, …) evaluated against interval
+//! snapshots, firing callbacks when breached — the alert primitive a serving
+//! tier wires to backpressure or paging.
+//!
+//! A [`Watcher`] owns a sink clone and a list of named rules. Each
+//! [`Watcher::check`] takes one [`TelemetrySink::snapshot_delta`] and
+//! evaluates every rule against it, so conditions read *interval* behaviour
+//! (the p99 of the last few seconds, not of the whole process lifetime);
+//! [`Watcher::evaluate`] runs the rules against a caller-supplied report
+//! instead, for samplers that already take deltas. [`Watcher::spawn`] moves
+//! the watcher onto a background thread that checks on a fixed period until
+//! the returned handle is dropped.
+//!
+//! ```
+//! use sc_telemetry::{watch::{Condition, Watcher}, Gauge, TelemetrySink};
+//!
+//! let sink = TelemetrySink::new();
+//! let mut watcher = Watcher::new(sink.clone());
+//! watcher.watch(
+//!     "queue backlog",
+//!     Condition::GaugePeakAbove { gauge: Gauge::QueueDepth, threshold: 10 },
+//!     |alert| eprintln!("{alert}"),
+//! );
+//! sink.gauge_set(Gauge::QueueDepth, 32);
+//! let fired = watcher.check();
+//! assert_eq!(fired.len(), 1);
+//! assert_eq!(fired[0].observed, 32);
+//! ```
+
+use crate::{Counter, Gauge, Hist, TelemetryReport, TelemetrySink};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A threshold over one report value. All conditions fire on **strictly
+/// greater than** the threshold, so a threshold of zero means "any at all".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// The `q`-quantile of a histogram (per [`crate::HistSnapshot::quantile`],
+    /// an upper bound at log2 resolution) exceeds `threshold`. With
+    /// `hist: Hist::JobLatencyNs`, `q: 0.99` this is the canonical "p99 job
+    /// latency over SLO" rule.
+    HistQuantileAbove {
+        /// The histogram to read.
+        hist: Hist,
+        /// The quantile in `[0, 1]`.
+        q: f64,
+        /// The exclusive threshold.
+        threshold: u64,
+    },
+    /// A gauge's peak (the interval peak, under [`Watcher::check`]) exceeds
+    /// `threshold`.
+    GaugePeakAbove {
+        /// The gauge to read.
+        gauge: Gauge,
+        /// The exclusive threshold.
+        threshold: u64,
+    },
+    /// A gauge's sampled current value exceeds `threshold`.
+    GaugeCurrentAbove {
+        /// The gauge to read.
+        gauge: Gauge,
+        /// The exclusive threshold.
+        threshold: u64,
+    },
+    /// A counter's value (the interval increment, under [`Watcher::check`])
+    /// exceeds `threshold`.
+    CounterAbove {
+        /// The counter to read.
+        counter: Counter,
+        /// The exclusive threshold.
+        threshold: u64,
+    },
+    /// Span-ring overwrites ([`TelemetryReport::dropped_spans`]) exceed
+    /// `threshold` — the "my rings are too small for this workload" alarm.
+    DroppedSpansAbove {
+        /// The exclusive threshold.
+        threshold: u64,
+    },
+}
+
+impl Condition {
+    /// `(observed, threshold)` of this condition against a report.
+    fn read(&self, report: &TelemetryReport) -> (u64, u64) {
+        match *self {
+            Condition::HistQuantileAbove { hist, q, threshold } => {
+                (report.histogram(hist).quantile(q), threshold)
+            }
+            Condition::GaugePeakAbove { gauge, threshold } => (report.gauge(gauge).1, threshold),
+            Condition::GaugeCurrentAbove { gauge, threshold } => (report.gauge(gauge).0, threshold),
+            Condition::CounterAbove { counter, threshold } => (report.counter(counter), threshold),
+            Condition::DroppedSpansAbove { threshold } => (report.dropped_spans, threshold),
+        }
+    }
+}
+
+/// One fired threshold: which rule, what it saw, and over which interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// The rule's registered name.
+    pub rule: String,
+    /// The observed value that breached the threshold.
+    pub observed: u64,
+    /// The registered (exclusive) threshold.
+    pub threshold: u64,
+    /// The evaluated report's `elapsed_ns` (the interval length, when the
+    /// report is a delta).
+    pub elapsed_ns: u64,
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alert [{}]: observed {} > threshold {} (over {:.3} ms)",
+            self.rule,
+            self.observed,
+            self.threshold,
+            self.elapsed_ns as f64 / 1e6,
+        )
+    }
+}
+
+struct Rule {
+    name: String,
+    condition: Condition,
+    callback: Box<dyn FnMut(&Alert) + Send>,
+}
+
+/// A set of named threshold rules over one sink's interval snapshots.
+pub struct Watcher {
+    sink: TelemetrySink,
+    rules: Vec<Rule>,
+}
+
+impl std::fmt::Debug for Watcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watcher")
+            .field(
+                "rules",
+                &self.rules.iter().map(|r| &r.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Watcher {
+    /// A watcher over `sink` with no rules.
+    #[must_use]
+    pub fn new(sink: TelemetrySink) -> Self {
+        Watcher {
+            sink,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Registers a named rule; `callback` fires (synchronously, on the
+    /// checking thread) every time a check observes the condition breached.
+    pub fn watch(
+        &mut self,
+        name: impl Into<String>,
+        condition: Condition,
+        callback: impl FnMut(&Alert) + Send + 'static,
+    ) -> &mut Self {
+        self.rules.push(Rule {
+            name: name.into(),
+            condition,
+            callback: Box::new(callback),
+        });
+        self
+    }
+
+    /// Evaluates every rule against `report`, firing callbacks for breaches,
+    /// and returns the fired alerts.
+    pub fn evaluate(&mut self, report: &TelemetryReport) -> Vec<Alert> {
+        let mut fired = Vec::new();
+        for rule in &mut self.rules {
+            let (observed, threshold) = rule.condition.read(report);
+            if observed > threshold {
+                let alert = Alert {
+                    rule: rule.name.clone(),
+                    observed,
+                    threshold,
+                    elapsed_ns: report.elapsed_ns,
+                };
+                (rule.callback)(&alert);
+                fired.push(alert);
+            }
+        }
+        fired
+    }
+
+    /// Takes one interval snapshot ([`TelemetrySink::snapshot_delta`]) and
+    /// evaluates every rule against it.
+    pub fn check(&mut self) -> Vec<Alert> {
+        let report = self.sink.snapshot_delta();
+        self.evaluate(&report)
+    }
+
+    /// Moves the watcher onto a background thread (named
+    /// `sc-telemetry-watch`) that calls [`Watcher::check`] every `period`
+    /// until the returned handle is dropped. Note the thread consumes the
+    /// sink's delta baseline: other samplers calling `snapshot_delta` on the
+    /// same sink would race it for intervals, so give a spawned watcher the
+    /// sink to itself or feed rules via [`Watcher::evaluate`] instead.
+    #[must_use]
+    pub fn spawn(mut self, period: Duration) -> WatcherHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sc-telemetry-watch".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    self.check();
+                }
+            })
+            .expect("spawning the watcher thread succeeds");
+        WatcherHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background watcher (and joins its thread) when dropped.
+#[derive(Debug)]
+pub struct WatcherHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for WatcherHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn rules_fire_only_on_breach_and_read_intervals() {
+        let sink = TelemetrySink::new();
+        let seen: Arc<Mutex<Vec<Alert>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let mut watcher = Watcher::new(sink.clone());
+        watcher
+            .watch(
+                "p99 latency",
+                Condition::HistQuantileAbove {
+                    hist: Hist::JobLatencyNs,
+                    q: 0.99,
+                    threshold: 1000,
+                },
+                move |alert| log.lock().unwrap().push(alert.clone()),
+            )
+            .watch(
+                "jobs failed",
+                Condition::CounterAbove {
+                    counter: Counter::JobsFailed,
+                    threshold: 0,
+                },
+                |_| {},
+            );
+
+        // 400 lands in the [256, 512) bucket: its upper bound 511 is what
+        // the quantile reads, safely under the 1000 ns threshold.
+        sink.observe(Hist::JobLatencyNs, 400);
+        assert!(watcher.check().is_empty(), "under threshold: no alert");
+
+        sink.observe(Hist::JobLatencyNs, 50_000);
+        let fired = watcher.check();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "p99 latency");
+        assert!(fired[0].observed > 1000);
+        assert_eq!(seen.lock().unwrap().len(), 1, "callback fired once");
+
+        // The breach was confined to its interval: a quiet next interval is
+        // clean again — the point of evaluating deltas, not cumulative state.
+        assert!(watcher.check().is_empty());
+
+        sink.add(Counter::JobsFailed, 2);
+        let fired = watcher.check();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "jobs failed");
+        assert_eq!(fired[0].observed, 2);
+    }
+
+    #[test]
+    fn dropped_span_and_gauge_rules_read_the_report() {
+        let sink = TelemetrySink::with_span_capacity(2);
+        let mut watcher = Watcher::new(sink.clone());
+        watcher
+            .watch(
+                "ring overwrites",
+                Condition::DroppedSpansAbove { threshold: 0 },
+                |_| {},
+            )
+            .watch(
+                "window occupancy now",
+                Condition::GaugeCurrentAbove {
+                    gauge: Gauge::WindowOccupancy,
+                    threshold: 4,
+                },
+                |_| {},
+            );
+        for _ in 0..5 {
+            let _span = sink.span(crate::Stage::ScalarExecute);
+        }
+        sink.gauge_set(Gauge::WindowOccupancy, 6);
+        let fired = watcher.check();
+        let rules: Vec<&str> = fired.iter().map(|a| a.rule.as_str()).collect();
+        assert_eq!(rules, vec!["ring overwrites", "window occupancy now"]);
+        assert_eq!(fired[0].observed, 3, "5 spans into a 2-slot ring");
+    }
+
+    #[test]
+    fn spawned_watcher_checks_until_dropped() {
+        let sink = TelemetrySink::new();
+        let fired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&fired);
+        let mut watcher = Watcher::new(sink.clone());
+        watcher.watch(
+            "any failure",
+            Condition::CounterAbove {
+                counter: Counter::JobsFailed,
+                threshold: 0,
+            },
+            move |_| flag.store(true, Ordering::Release),
+        );
+        let handle = watcher.spawn(Duration::from_millis(5));
+        sink.add(Counter::JobsFailed, 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !fired.load(Ordering::Acquire) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(handle);
+        assert!(fired.load(Ordering::Acquire), "the background check fired");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property test: every [`Json`] document the telemetry layer can build
+//! survives a write → parse round trip, pinning the writer's string-escaping
+//! behaviour on the edge cases that break hand-rolled emitters — quotes,
+//! backslashes, newlines, tabs, other control characters, and non-ASCII.
+
+use proptest::prelude::*;
+use sc_telemetry::json::{self, Json};
+
+/// Characters chosen to stress the escape paths: every JSON two-character
+/// escape, a sub-0x20 control character that needs `\u00XX`, DEL, a
+/// solidus (legal both raw and escaped), and multi-byte UTF-8.
+const PALETTE: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{0}', '\u{1}', '\u{1f}', '\u{7f}', '/', 'a',
+    'Z', '0', ' ', 'é', 'π', '語', '😀',
+];
+
+fn palette_string(codes: &[u16]) -> String {
+    codes
+        .iter()
+        .map(|&c| PALETTE[c as usize % PALETTE.len()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn strings_round_trip_through_write_and_parse(
+        codes in proptest::collection::vec(any::<u16>(), 0..48),
+    ) {
+        let s = palette_string(&codes);
+        let doc = Json::Str(s.clone());
+        for text in [doc.to_string_pretty(), doc.to_string_compact()] {
+            let parsed = json::parse(text.trim_end()).expect("escaped string parses");
+            prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+        }
+    }
+
+    #[test]
+    fn documents_round_trip_including_string_keys(
+        key_codes in proptest::collection::vec(any::<u16>(), 1..24),
+        value_codes in proptest::collection::vec(any::<u16>(), 0..24),
+        count in any::<u64>(),
+        signed in any::<i64>(),
+        ratio in 0.0f64..=1.0,
+        flag in any::<bool>(),
+    ) {
+        // Object keys go through the same escape writer as values, so a
+        // hostile key must survive too.
+        let key = palette_string(&key_codes);
+        let value = palette_string(&value_codes);
+        let doc = Json::Obj(vec![
+            (key, Json::str(value)),
+            ("count".to_string(), Json::u64(count)),
+            ("signed".to_string(), Json::i64(signed)),
+            ("ratio".to_string(), Json::fixed(ratio, 3)),
+            ("flag".to_string(), Json::Bool(flag)),
+            (
+                "nested".to_string(),
+                Json::Arr(vec![Json::Null, Json::u64(count), Json::str("\"\\\n")]),
+            ),
+        ]);
+        for text in [doc.to_string_pretty(), doc.to_string_compact()] {
+            let parsed = json::parse(text.trim_end()).expect("document parses");
+            prop_assert_eq!(parsed, doc.clone());
+        }
+    }
+}
