@@ -1,35 +1,46 @@
-//! The graph compiler: validation, correlation planning, fusion, scheduling.
+//! The graph compiler: public plan types and the entry point of the staged
+//! optimizer pass pipeline.
 //!
-//! Compilation proceeds in four passes:
+//! Compilation runs the pass pipeline in `crate::passes`:
 //!
-//! 1. **Validation** — wires must reference existing nodes/ports, arities
+//! 1. **validate** — wires must reference existing nodes/ports, arities
 //!    must match, sink names must be unique, and the graph must be acyclic
 //!    (Kahn topological sort; only [`crate::Graph::rewire`] can introduce a
 //!    cycle).
-//! 2. **Correlation planning** — every binary operator declares the SCC class
-//!    its inputs must have (paper Fig. 2). The planner derives the class of
-//!    each input pair *structurally*: streams from equal source specs are
-//!    positively correlated (shared-RNG, §II.B), streams from different specs
-//!    are uncorrelated, and a manipulator pins its output pair to the class it
-//!    establishes (+1 synchronizer / −1 desynchronizer / 0 decorrelator,
-//!    §III). Where a precondition is not met and
-//!    [`PlannerOptions::auto_repair`] is on, the pass inserts the
-//!    establishing manipulator in front of the operator — the paper's core
-//!    insight, applied automatically.
-//! 3. **Fusion** — maximal linear runs of manipulator nodes (each feeding
-//!    both outputs exclusively to the next) collapse into one
-//!    [`sc_core::ManipulatorChain`] step, so a run of `k` circuits makes a
-//!    single register-staged pass per 64-bit word instead of materialising
-//!    `k − 1` intermediate stream pairs.
-//! 4. **Scheduling** — nodes are laid out in topological order as a flat
-//!    step list over dense stream slots, ready for the batch executor.
+//! 2. **scc-infer** — every binary operator declares the SCC class its
+//!    inputs must have (paper Fig. 2). The pass derives the class of each
+//!    input pair *structurally*: streams from equal source specs are
+//!    positively correlated (shared-RNG, §II.B), streams from different
+//!    specs are uncorrelated, and a manipulator pins its output pair to the
+//!    class it establishes (+1 synchronizer / −1 desynchronizer / 0
+//!    decorrelator, §III). Structurally unknown pairs can be resolved by a
+//!    measured-SCC probe execution ([`PlannerOptions::measure_unknown`]).
+//! 3. **subgraph-cse** — structurally identical subgraphs (same ops, same
+//!    [`SourceSpec`]s, and therefore the same SCC classes) merge into one,
+//!    extending the executor's per-spec source sharing to whole repeated
+//!    structure.
+//! 4. **repair-placement** — where a precondition is not met and
+//!    [`PlannerOptions::auto_repair`] is on, the legal repairs are
+//!    enumerated, priced through the `sc_hwcost` bridge, and the cheapest is
+//!    applied (the paper's core insight, applied automatically — and at
+//!    minimum hardware cost).
+//! 5. **span-fusion** — maximal linear source→gate→sink spans collapse into
+//!    single [`Step::Fused`] steps; independently, maximal linear runs of
+//!    manipulator nodes collapse into one [`sc_core::ManipulatorChain`]
+//!    step at emission, so a run of `k` circuits makes a single
+//!    register-staged pass per 64-bit word.
+//! 6. **emit** — nodes are laid out in topological order as a flat step
+//!    list over dense stream slots, ready for the batch executor.
+//!
+//! Individual optimizer passes toggle through [`PassSet`]; every pass
+//! preserves bit-identity, so a fully optimized plan and a pass-disabled
+//! plan produce the same output bit for bit.
 
 use crate::graph::{Graph, GraphError};
-use crate::node::{BinaryOp, ManipulatorKind, Node, NodeOp, SccClass, UnaryFsmOp, Wire};
-use sc_bitstream::Bitstream;
+use crate::node::{BinaryOp, ManipulatorKind, NodeOp, SccClass, UnaryFsmOp};
 use sc_rng::SourceSpec;
-use sc_telemetry::{Counter, Stage, TelemetrySink};
-use std::collections::HashMap;
+use sc_telemetry::TelemetrySink;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide monotonic counter behind [`CompiledGraph::plan_class`]: every
@@ -37,8 +48,74 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// their template's class.
 static PLAN_CLASS: AtomicU64 = AtomicU64::new(0);
 
-/// Knobs of the correlation-planning pass.
-#[derive(Debug, Clone, PartialEq)]
+/// Mints the class id for a freshly compiled plan: a process-unique sequence
+/// number tagged (in the low bits) with the enabled pass set, so plans
+/// compiled under different optimizer configurations can never share a
+/// class even if a future cache grows collision-prone.
+pub(crate) fn next_plan_class(passes: PassSet) -> u64 {
+    (PLAN_CLASS.fetch_add(1, Ordering::Relaxed) << 3) | passes.bits()
+}
+
+/// Selects which optimizer passes of the compile pipeline run. The
+/// always-on stages (validate, scc-infer, repair insertion itself, emit)
+/// are not gated — only the optimizations are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PassSet {
+    /// Merge structurally identical subgraphs (subgraph-cse pass).
+    pub cse: bool,
+    /// Price repair placements through `sc_hwcost` and reuse identical
+    /// repairs instead of always inserting a fresh circuit
+    /// (repair-placement pass).
+    pub cost_repair: bool,
+    /// Collapse linear spans into [`Step::Fused`] steps and manipulator
+    /// runs into chain steps (span-fusion pass; also requires the
+    /// deprecated [`PlannerOptions::fuse`] alias to stay `true`).
+    pub fusion: bool,
+}
+
+impl Default for PassSet {
+    fn default() -> Self {
+        PassSet::all()
+    }
+}
+
+impl PassSet {
+    /// Every optimizer pass enabled (the default).
+    #[must_use]
+    pub fn all() -> Self {
+        PassSet {
+            cse: true,
+            cost_repair: true,
+            fusion: true,
+        }
+    }
+
+    /// Every optimizer pass disabled: the plain validate → infer → repair →
+    /// emit baseline.
+    #[must_use]
+    pub fn none() -> Self {
+        PassSet {
+            cse: false,
+            cost_repair: false,
+            fusion: false,
+        }
+    }
+
+    /// Compact bit encoding (3 bits), folded into
+    /// [`CompiledGraph::plan_class`].
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        u64::from(self.cse) | (u64::from(self.cost_repair) << 1) | (u64::from(self.fusion) << 2)
+    }
+}
+
+/// Knobs of the compile pipeline's planning passes.
+///
+/// `PartialEq` compares every planning knob but ignores the
+/// [`PlannerOptions::dump_ir`] debug hook (function pointer addresses are
+/// not meaningful to compare, and the hook never influences the compiled
+/// plan).
+#[derive(Debug, Clone)]
 pub struct PlannerOptions {
     /// Insert correlation-establishing manipulators where a binary operator's
     /// SCC precondition is not structurally guaranteed (default `true`).
@@ -51,7 +128,11 @@ pub struct PlannerOptions {
     pub desynchronizer_depth: u32,
     /// Shuffle-buffer depth of auto-inserted decorrelators.
     pub decorrelator_depth: usize,
-    /// Fuse linear manipulator runs into single chain steps (default `true`).
+    /// Deprecated alias for [`PassSet::fusion`], kept so callers predating
+    /// the pass pipeline keep compiling: fusion (manipulator chains and
+    /// span fusion alike) runs only when **both** this and
+    /// [`PlannerOptions::passes`]`.fusion` are `true`. New code should
+    /// leave this `true` and steer through `passes`.
     pub fuse: bool,
     /// Measured-SCC feedback: when an operator's input pair has structural
     /// class [`SccClass::Unknown`], run a short [`sc_core::SccTracker`]-style
@@ -66,6 +147,25 @@ pub struct PlannerOptions {
     /// of the images a tile pipeline will process — so repair decisions are
     /// driven by the operating point the design actually sees.
     pub probe_value: f64,
+    /// Which optimizer passes run (default: all of them).
+    pub passes: PassSet,
+    /// Debug hook: called after every executed pass with the pass name and
+    /// a pretty-printed dump of the IR it produced, for bug reports and
+    /// compiler archaeology. `None` (the default) prints nothing.
+    pub dump_ir: Option<fn(pass: &str, ir: &str)>,
+}
+
+impl PartialEq for PlannerOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.auto_repair == other.auto_repair
+            && self.synchronizer_depth == other.synchronizer_depth
+            && self.desynchronizer_depth == other.desynchronizer_depth
+            && self.decorrelator_depth == other.decorrelator_depth
+            && self.fuse == other.fuse
+            && self.measure_unknown == other.measure_unknown
+            && self.probe_value == other.probe_value
+            && self.passes == other.passes
+    }
 }
 
 impl Default for PlannerOptions {
@@ -78,6 +178,8 @@ impl Default for PlannerOptions {
             fuse: true,
             measure_unknown: None,
             probe_value: 0.5,
+            passes: PassSet::default(),
+            dump_ir: None,
         }
     }
 }
@@ -100,10 +202,73 @@ impl PlannerOptions {
             ..PlannerOptions::default()
         }
     }
+
+    /// Options with the given optimizer pass set (all other knobs default).
+    #[must_use]
+    pub fn with_passes(passes: PassSet) -> Self {
+        PlannerOptions {
+            passes,
+            ..PlannerOptions::default()
+        }
+    }
+
+    /// Whether fusion actually runs: both the modern [`PassSet::fusion`]
+    /// switch and the deprecated [`PlannerOptions::fuse`] alias must be on.
+    #[must_use]
+    pub fn fusion_enabled(&self) -> bool {
+        self.fuse && self.passes.fusion
+    }
 }
 
-/// What the planner did to a graph during compilation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// One structurally-unknown input pair whose class was resolved by a
+/// measured-SCC probe ([`PlannerOptions::measure_unknown`]). The `Display`
+/// impl reproduces the pre-structured report text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredPair {
+    /// The operator whose input pair was probed (e.g. `xor_subtract`).
+    pub label: String,
+    /// The operator's node index.
+    pub node: usize,
+    /// The measured stochastic cross-correlation, in `[-1, 1]`.
+    pub scc: f64,
+    /// Probe execution length in cycles.
+    pub probe_length: usize,
+    /// The class the measurement resolved the pair to.
+    pub class: SccClass,
+}
+
+impl fmt::Display for MeasuredPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let MeasuredPair {
+            label,
+            node,
+            scc,
+            probe_length,
+            class,
+        } = self;
+        write!(
+            f,
+            "inputs of {label} (node n{node}) measured SCC {scc:.3} over {probe_length} \
+             cycles: treating pair as {class:?}"
+        )
+    }
+}
+
+/// What one executed compile pass did to the IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassDelta {
+    /// The pass name (e.g. `subgraph-cse`).
+    pub pass: &'static str,
+    /// Nodes the pass appended (repair circuits).
+    pub nodes_added: usize,
+    /// Live nodes the pass eliminated (CSE merges).
+    pub nodes_removed: usize,
+    /// Short human-readable summary of the pass's effect.
+    pub detail: String,
+}
+
+/// What the pipeline did to a graph during compilation.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompileReport {
     /// One entry per auto-inserted repair manipulator.
     pub inserted: Vec<String>,
@@ -114,7 +279,24 @@ pub struct CompileReport {
     pub fused_runs: usize,
     /// One entry per structurally-unknown input pair whose class was resolved
     /// by a measured-SCC probe ([`PlannerOptions::measure_unknown`]).
-    pub measured: Vec<String>,
+    pub measured: Vec<MeasuredPair>,
+    /// Duplicate subgraph nodes the CSE pass merged away.
+    pub shared_subgraphs: usize,
+    /// Failing operators repaired by *reusing* an existing identical
+    /// manipulator instead of inserting a fresh one (cost-driven placement).
+    pub shared_repairs: usize,
+    /// Source-drawing steps whose [`SourceSpec`] is shared with an earlier
+    /// step — generator hardware the plan does not have to duplicate
+    /// (tallied when the CSE pass is enabled).
+    pub shared_sources: usize,
+    /// Linear spans the span-fusion pass collapsed into [`Step::Fused`]
+    /// steps.
+    pub fused_spans: usize,
+    /// Executable steps eliminated by span fusion (nodes folded into a
+    /// fused step minus the fused steps themselves).
+    pub steps_eliminated: usize,
+    /// Per-pass before/after deltas, in execution order.
+    pub pass_deltas: Vec<PassDelta>,
 }
 
 /// One executable step of a compiled plan. Slot indices address the dense
@@ -122,10 +304,10 @@ pub struct CompileReport {
 ///
 /// Steps are public so lowering backends (the `sc_rtl` gate-level elaborator
 /// in particular) can walk a plan's exact execution structure — including
-/// fused manipulator runs and planner-inserted repairs — without re-deriving
-/// it from the source graph. The enum is `#[non_exhaustive]`: consumers must
-/// handle unknown future step kinds (typically by reporting the plan as
-/// unsupported).
+/// fused manipulator runs, fused spans, and planner-inserted repairs —
+/// without re-deriving it from the source graph. The enum is
+/// `#[non_exhaustive]`: consumers must handle unknown future step kinds
+/// (typically by reporting the plan as unsupported).
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Step {
@@ -287,9 +469,17 @@ pub enum Step {
         /// Y input slot.
         y: usize,
     },
+    /// A span-fusion group: the contained steps execute back to back as one
+    /// scheduled step, in dataflow order, over the same dense slots they
+    /// would use unfused. Produced by the span-fusion pass for maximal
+    /// linear source→gate→sink spans.
+    Fused {
+        /// The collapsed steps, in scheduling (dataflow) order.
+        steps: Vec<Step>,
+    },
 }
 
-/// A validated, planned, fused, topologically ordered execution plan.
+/// A validated, planned, optimized, topologically ordered execution plan.
 ///
 /// Produced by [`Graph::compile`]; executed by [`crate::Executor`]. The plan
 /// is immutable and `Send + Sync`, so one compiled graph can drive many
@@ -304,16 +494,40 @@ pub struct CompiledGraph {
     /// Every operation the plan executes (graph nodes plus planner-inserted
     /// repairs), for introspection and the `sc_hwcost` bridge.
     ops: Vec<NodeOp>,
+    /// The optimizer pass set the plan was compiled under.
+    passes: PassSet,
     /// Template-class id: fresh per `compile` call, preserved by `Clone` and
     /// [`CompiledGraph::retarget_sources`]. Two plans of one class are
     /// structurally identical step for step (only their [`SourceSpec`]s may
     /// differ), which is what lets the executor run same-class jobs in
-    /// lockstep lanes.
+    /// lockstep lanes. The low bits encode [`PassSet::bits`].
     class: u64,
 }
 
 impl CompiledGraph {
-    /// What the planner inserted, left unrepaired, and fused.
+    /// Builds a plan from the emit stage's artifacts, minting its class id.
+    pub(crate) fn assemble(
+        steps: Vec<Step>,
+        slot_count: usize,
+        value_slots: usize,
+        stream_slots: usize,
+        report: CompileReport,
+        ops: Vec<NodeOp>,
+        passes: PassSet,
+    ) -> CompiledGraph {
+        CompiledGraph {
+            steps,
+            slot_count,
+            value_slots,
+            stream_slots,
+            report,
+            ops,
+            passes,
+            class: next_plan_class(passes),
+        }
+    }
+
+    /// What the pipeline inserted, merged, left unrepaired, and fused.
     #[must_use]
     pub fn report(&self) -> &CompileReport {
         &self.report
@@ -326,7 +540,13 @@ impl CompiledGraph {
         &self.ops
     }
 
-    /// Number of executable steps (fused runs count once).
+    /// The optimizer pass set the plan was compiled under.
+    #[must_use]
+    pub fn passes(&self) -> PassSet {
+        self.passes
+    }
+
+    /// Number of executable steps (fused runs and fused spans count once).
     #[must_use]
     pub fn step_count(&self) -> usize {
         self.steps.len()
@@ -350,7 +570,9 @@ impl CompiledGraph {
     /// [`CompiledGraph::retarget_sources`] copy of that plan. Plans of one
     /// class are structurally identical (same steps, slots, and scheduling;
     /// only source seeding may differ), so the executor can transpose a
-    /// group of same-class jobs into lanes and step them in lockstep.
+    /// group of same-class jobs into lanes and step them in lockstep. The
+    /// low three bits encode the compiled [`PassSet`], so differently
+    /// optimized builds of one graph can never collide.
     #[must_use]
     pub fn plan_class(&self) -> u64 {
         self.class
@@ -361,7 +583,9 @@ impl CompiledGraph {
     /// activation, or a counter-based max/min — so grouping same-class jobs
     /// into lanes can actually amortise an FSM dependency chain. Plans of
     /// pure bitwise ops gain nothing from lane transposition (they are
-    /// already word-parallel) and are executed solo.
+    /// already word-parallel) and are executed solo. Span fusion never
+    /// captures these step kinds, so the scan does not need to recurse into
+    /// [`Step::Fused`].
     #[must_use]
     pub fn lane_batchable(&self) -> bool {
         self.steps.iter().any(|step| {
@@ -395,6 +619,29 @@ impl CompiledGraph {
         &self,
         retarget: F,
     ) -> CompiledGraph {
+        fn swap_step<F: Fn(&SourceSpec) -> Option<SourceSpec>>(step: &mut Step, retarget: &F) {
+            match step {
+                Step::Generate { source, .. }
+                | Step::Constant { source, .. }
+                | Step::Regenerate { source, .. }
+                | Step::Divide { source, .. } => {
+                    if let Some(new) = retarget(source) {
+                        *source = new;
+                    }
+                }
+                Step::MuxAdd { select, .. } | Step::WeightedMux { select, .. } => {
+                    if let Some(new) = retarget(select) {
+                        *select = new;
+                    }
+                }
+                Step::Fused { steps } => {
+                    for sub in steps {
+                        swap_step(sub, retarget);
+                    }
+                }
+                _ => {}
+            }
+        }
         let swap = |spec: &mut SourceSpec| {
             if let Some(new) = retarget(spec) {
                 *spec = new;
@@ -402,14 +649,7 @@ impl CompiledGraph {
         };
         let mut plan = self.clone();
         for step in &mut plan.steps {
-            match step {
-                Step::Generate { source, .. }
-                | Step::Constant { source, .. }
-                | Step::Regenerate { source, .. }
-                | Step::Divide { source, .. } => swap(source),
-                Step::MuxAdd { select, .. } | Step::WeightedMux { select, .. } => swap(select),
-                _ => {}
-            }
+            swap_step(step, &retarget);
         }
         for op in &mut plan.ops {
             match op {
@@ -438,7 +678,8 @@ impl CompiledGraph {
 }
 
 impl Graph {
-    /// Compiles the graph into an executable plan.
+    /// Compiles the graph into an executable plan by running the staged
+    /// optimizer pass pipeline (see the `crate::passes` module).
     ///
     /// # Errors
     ///
@@ -451,13 +692,18 @@ impl Graph {
     }
 
     /// [`Graph::compile`] with per-pass profiling: records one
-    /// [`Stage::Compile`] span over the whole call with nested
-    /// [`Stage::CompileValidate`] / [`Stage::CompilePlan`] /
-    /// [`Stage::CompileEmit`] spans (plus one [`Stage::MeasuredProbe`] span
-    /// per planner probe execution), and on success bumps the sink's
-    /// compilation, repair-insertion, measured-probe, and fused-run
-    /// counters straight from the plan's [`CompileReport`] — the counters
-    /// are derived from the report, so the two cannot drift.
+    /// [`sc_telemetry::Stage::Compile`] span over the whole call with one
+    /// nested span per executed pass ([`sc_telemetry::Stage::CompileValidate`],
+    /// [`sc_telemetry::Stage::CompilePlan`],
+    /// [`sc_telemetry::Stage::CompileCse`],
+    /// [`sc_telemetry::Stage::CompileRepair`],
+    /// [`sc_telemetry::Stage::CompileFuse`],
+    /// [`sc_telemetry::Stage::CompileEmit`], plus one
+    /// [`sc_telemetry::Stage::MeasuredProbe`] span per planner probe
+    /// execution), and on success bumps the sink's compilation,
+    /// repair-insertion, measured-probe, and fused-run counters straight
+    /// from the plan's [`CompileReport`] — the counters are derived from
+    /// the report, so the two cannot drift.
     ///
     /// # Errors
     ///
@@ -467,557 +713,8 @@ impl Graph {
         options: &PlannerOptions,
         telemetry: &TelemetrySink,
     ) -> Result<CompiledGraph, GraphError> {
-        let _compile = telemetry.span(Stage::Compile);
-        if self.nodes.is_empty() {
-            return Err(GraphError::EmptyGraph);
-        }
-        // Pass 1: structural validation (wires are builder-validated; arity
-        // and sink uniqueness are re-checked here to cover future mutation
-        // APIs).
-        let validate = telemetry.span(Stage::CompileValidate);
-        let mut sink_names: Vec<&str> = Vec::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let Some(expected) = node.op.input_arity() {
-                if node.inputs.len() != expected {
-                    return Err(GraphError::BadArity {
-                        node: i,
-                        expected,
-                        got: node.inputs.len(),
-                    });
-                }
-            }
-            if let Some(name) = node.op.sink_name() {
-                if sink_names.contains(&name) {
-                    return Err(GraphError::DuplicateSink {
-                        name: name.to_string(),
-                    });
-                }
-                sink_names.push(name);
-            }
-        }
-
-        // Cycle check up front: the correlation planner's class derivation
-        // recurses through identity manipulators and must only ever see a DAG.
-        topo_order(&self.nodes)?;
-        drop(validate);
-
-        // Pass 2: correlation planning over a mutable copy of the node list.
-        let plan_span = telemetry.span(Stage::CompilePlan);
-        let mut nodes: Vec<Node> = self.nodes.to_vec();
-        let mut report = CompileReport::default();
-        plan_correlation(&mut nodes, options, &mut report, telemetry);
-        drop(plan_span);
-
-        let emit_span = telemetry.span(Stage::CompileEmit);
-        // Topological order recomputed after planning so inserted repair
-        // nodes participate in scheduling (insertion cannot create cycles:
-        // a repair only splices into existing edges).
-        let order = topo_order(&nodes)?;
-
-        // Pass 3 + 4: fusion and step emission.
-        let result = emit_steps(&nodes, &order, options, report);
-        drop(emit_span);
-        if telemetry.is_enabled() {
-            if let Ok(plan) = &result {
-                telemetry.add(Counter::Compilations, 1);
-                telemetry.add(Counter::RepairsInserted, plan.report.inserted.len() as u64);
-                telemetry.add(Counter::FusedRuns, plan.report.fused_runs as u64);
-            }
-        }
-        result
+        crate::passes::run_pipeline(self, options, telemetry)
     }
-}
-
-/// Kahn topological sort; errors with a node on a cycle if one exists.
-fn topo_order(nodes: &[Node]) -> Result<Vec<usize>, GraphError> {
-    let mut indegree: Vec<usize> = nodes.iter().map(|n| n.inputs.len()).collect();
-    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-    for (i, node) in nodes.iter().enumerate() {
-        for wire in &node.inputs {
-            consumers[wire.node().index()].push(i);
-        }
-    }
-    let mut ready: Vec<usize> = (0..nodes.len()).filter(|&i| indegree[i] == 0).collect();
-    // Keep deterministic (insertion-order) scheduling: treat `ready` as a
-    // min-ordered queue over node indices.
-    ready.sort_unstable();
-    let mut order = Vec::with_capacity(nodes.len());
-    while let Some(&next) = ready.first() {
-        ready.remove(0);
-        order.push(next);
-        for &consumer in &consumers[next] {
-            indegree[consumer] -= 1;
-            if indegree[consumer] == 0 {
-                let pos = ready.binary_search(&consumer).unwrap_err();
-                ready.insert(pos, consumer);
-            }
-        }
-    }
-    if order.len() != nodes.len() {
-        let node = (0..nodes.len())
-            .find(|&i| indegree[i] > 0)
-            .expect("incomplete order implies a node with remaining indegree");
-        return Err(GraphError::Cycle { node });
-    }
-    Ok(order)
-}
-
-/// Structural SCC class of a pair of wires (see the module docs for rules).
-fn pair_class(nodes: &[Node], a: Wire, b: Wire) -> SccClass {
-    if a == b {
-        return SccClass::Positive;
-    }
-    let na = &nodes[a.node().index()];
-    let nb = &nodes[b.node().index()];
-    // Unwrap identity manipulators: they preserve their input pair's class.
-    if let NodeOp::Manipulate(ManipulatorKind::Identity) = na.op {
-        return pair_class(nodes, na.inputs[a.port() as usize], b);
-    }
-    if let NodeOp::Manipulate(ManipulatorKind::Identity) = nb.op {
-        return pair_class(nodes, a, nb.inputs[b.port() as usize]);
-    }
-    // The two output ports of one manipulator carry the class it establishes.
-    if a.node() == b.node() {
-        if let NodeOp::Manipulate(kind) = &na.op {
-            return kind.output_class().unwrap_or(SccClass::Unknown);
-        }
-        return SccClass::Unknown;
-    }
-    let source_of = |op: &NodeOp| -> Option<(SourceSpec, u64)> {
-        match op {
-            NodeOp::Generate { source, skip, .. } | NodeOp::ConstStream { source, skip, .. } => {
-                Some((source.clone(), *skip))
-            }
-            _ => None,
-        }
-    };
-    // Two generated streams: equal spec + position ⇒ every comparator sample
-    // is shared ⇒ maximal positive correlation (§II.B); otherwise the sample
-    // sequences are independent ⇒ (close to) uncorrelated.
-    if let (Some(sa), Some(sb)) = (source_of(&na.op), source_of(&nb.op)) {
-        return if sa == sb {
-            SccClass::Positive
-        } else {
-            SccClass::Uncorrelated
-        };
-    }
-    // Two regenerated streams behave like generated streams of their
-    // re-encoding source.
-    if let (
-        NodeOp::Regenerate {
-            source: sa,
-            skip: ka,
-        },
-        NodeOp::Regenerate {
-            source: sb,
-            skip: kb,
-        },
-    ) = (&na.op, &nb.op)
-    {
-        return if sa == sb && ka == kb {
-            SccClass::Positive
-        } else {
-            SccClass::Uncorrelated
-        };
-    }
-    SccClass::Unknown
-}
-
-/// The correlation-planning pass: checks every tracked operator's SCC
-/// precondition and (optionally) inserts the establishing manipulator.
-fn plan_correlation(
-    nodes: &mut Vec<Node>,
-    options: &PlannerOptions,
-    report: &mut CompileReport,
-    telemetry: &TelemetrySink,
-) {
-    for i in 0..nodes.len() {
-        let Some((label, requirement)) = nodes[i].op.correlation_requirement() else {
-            continue;
-        };
-        let (a, b) = (nodes[i].inputs[0], nodes[i].inputs[1]);
-        let mut class = pair_class(nodes, a, b);
-        // Measured-SCC feedback: a structurally unknown pair (e.g. two
-        // arithmetic-operator outputs) is probed with a short execution over
-        // representative inputs, and the repair decision uses the measured
-        // class — the SccTracker-in-the-loop design the ROADMAP calls for.
-        if class == SccClass::Unknown {
-            if let Some(probe_length) = options.measure_unknown {
-                let probe_span = telemetry.span(Stage::MeasuredProbe);
-                telemetry.add(Counter::MeasuredProbes, 1);
-                let outcome = measured_class(nodes, a, b, probe_length, options.probe_value);
-                drop(probe_span);
-                if let Some((scc, measured)) = outcome {
-                    report.measured.push(format!(
-                        "inputs of {label} (node n{i}) measured SCC {scc:.3} over {probe_length} \
-                         cycles: treating pair as {measured:?}"
-                    ));
-                    class = measured;
-                }
-            }
-        }
-        if requirement.satisfied_by(class) {
-            continue;
-        }
-        let Some(kind) = requirement.establishing_manipulator(options) else {
-            continue;
-        };
-        if options.auto_repair {
-            let repair = crate::node::NodeId(nodes.len());
-            nodes.push(Node {
-                op: NodeOp::Manipulate(kind),
-                inputs: vec![a, b],
-            });
-            nodes[i].inputs[0] = Wire {
-                node: repair,
-                port: 0,
-            };
-            nodes[i].inputs[1] = Wire {
-                node: repair,
-                port: 1,
-            };
-            report.inserted.push(format!(
-                "{kind} inserted before {label} (node n{i}): inputs are {class:?}, {requirement:?} required"
-            ));
-        } else {
-            report.unsatisfied.push(format!(
-                "{label} (node n{i}) requires {requirement:?} inputs but gets {class:?}"
-            ));
-        }
-    }
-}
-
-/// Probes the actual SCC of a wire pair by compiling the current node list
-/// (auto-repair and measurement off, so this cannot recurse) with an SCC
-/// probe appended, and executing it for `probe_length` cycles over
-/// representative inputs: every digital value slot is driven at the
-/// configured [`PlannerOptions::probe_value`] stimulus and every ready-stream
-/// slot with a phase-shifted alternating stream. Returns `None` if the probe
-/// graph fails to compile or execute.
-fn measured_class(
-    nodes: &[Node],
-    a: Wire,
-    b: Wire,
-    probe_length: usize,
-    probe_value: f64,
-) -> Option<(f64, SccClass)> {
-    // Trim to the pair's ancestor cone: the probe executes only the logic
-    // that actually feeds the two wires (and none of the graph's own sinks),
-    // so each measurement costs the cone, not the whole design.
-    let mut needed = vec![false; nodes.len()];
-    let mut stack = vec![a.node().index(), b.node().index()];
-    while let Some(i) = stack.pop() {
-        if needed[i] {
-            continue;
-        }
-        needed[i] = true;
-        for wire in &nodes[i].inputs {
-            stack.push(wire.node().index());
-        }
-    }
-    // Two passes — repair nodes appended by earlier planning iterations sit
-    // at high indices but are referenced by lower-indexed consumers — so
-    // assign dense indices first, then clone with rewritten wires.
-    let mut remap = vec![usize::MAX; nodes.len()];
-    let mut count = 0usize;
-    for (i, include) in needed.iter().enumerate() {
-        if *include {
-            remap[i] = count;
-            count += 1;
-        }
-    }
-    let probe_wire = |w: Wire| Wire {
-        node: crate::node::NodeId(remap[w.node().index()]),
-        port: w.port(),
-    };
-    let mut probe_nodes: Vec<Node> = Vec::with_capacity(count + 1);
-    for (i, node) in nodes.iter().enumerate() {
-        if !needed[i] {
-            continue;
-        }
-        let mut clone = node.clone();
-        for wire in &mut clone.inputs {
-            *wire = probe_wire(*wire);
-        }
-        probe_nodes.push(clone);
-    }
-    // Sinks have no outputs, so the cone never contains one: the probe's
-    // sink name is free by construction.
-    let name = "__scc_probe".to_string();
-    probe_nodes.push(Node {
-        op: NodeOp::SccProbe { name: name.clone() },
-        inputs: vec![probe_wire(a), probe_wire(b)],
-    });
-    let probe_graph = Graph { nodes: probe_nodes };
-    let probe_options = PlannerOptions {
-        auto_repair: false,
-        measure_unknown: None,
-        fuse: false,
-        ..PlannerOptions::default()
-    };
-    let plan = probe_graph.compile(&probe_options).ok()?;
-    let input = crate::exec::BatchInput {
-        values: vec![probe_value; plan.value_slots()],
-        streams: (0..plan.stream_slots())
-            .map(|slot| Bitstream::from_fn(probe_length, |i| (i + slot) % 2 == 0))
-            .collect(),
-    };
-    let out = crate::exec::Executor::new(probe_length)
-        .run(&plan, &input)
-        .ok()?;
-    let scc = out.value(&name)?;
-    let class = if scc >= 0.5 {
-        SccClass::Positive
-    } else if scc <= -0.5 {
-        SccClass::Negative
-    } else {
-        SccClass::Uncorrelated
-    };
-    Some((scc, class))
-}
-
-/// Fusion + scheduling: walks the topological order, collapses linear
-/// manipulator runs, assigns dense slots, and emits the step list.
-fn emit_steps(
-    nodes: &[Node],
-    order: &[usize],
-    options: &PlannerOptions,
-    mut report: CompileReport,
-) -> Result<CompiledGraph, GraphError> {
-    // Count consumers of every wire to find fusible runs.
-    let mut consumer_count: HashMap<Wire, usize> = HashMap::new();
-    let mut sole_consumer: HashMap<Wire, usize> = HashMap::new();
-    for (i, node) in nodes.iter().enumerate() {
-        for wire in &node.inputs {
-            *consumer_count.entry(*wire).or_insert(0) += 1;
-            sole_consumer.insert(*wire, i);
-        }
-    }
-    let port = |i: usize, p: u8| Wire {
-        node: crate::node::NodeId(i),
-        port: p,
-    };
-    // A manipulator run `m → q` can fuse when both of m's outputs are
-    // consumed exactly once, by q's inputs 0/1 in order, and q is itself a
-    // manipulator.
-    let fuse_next = |i: usize| -> Option<usize> {
-        if !options.fuse {
-            return None;
-        }
-        let (p0, p1) = (port(i, 0), port(i, 1));
-        if consumer_count.get(&p0) != Some(&1) || consumer_count.get(&p1) != Some(&1) {
-            return None;
-        }
-        let q = *sole_consumer.get(&p0)?;
-        if sole_consumer.get(&p1) != Some(&q) {
-            return None;
-        }
-        let qn = &nodes[q];
-        if !matches!(qn.op, NodeOp::Manipulate(_)) || qn.inputs != vec![p0, p1] {
-            return None;
-        }
-        Some(q)
-    };
-
-    let mut slots: HashMap<Wire, usize> = HashMap::new();
-    let mut slot_count = 0usize;
-    let mut slot_of = |w: Wire, slots: &mut HashMap<Wire, usize>| -> usize {
-        *slots.entry(w).or_insert_with(|| {
-            let s = slot_count;
-            slot_count += 1;
-            s
-        })
-    };
-
-    let mut steps = Vec::new();
-    let mut ops = Vec::new();
-    let mut fused: Vec<bool> = vec![false; nodes.len()];
-    let mut value_slots = 0usize;
-    let mut stream_slots = 0usize;
-
-    for &i in order {
-        if fused[i] {
-            continue;
-        }
-        let node = &nodes[i];
-        ops.push(node.op.clone());
-        let inputs = &node.inputs;
-        match &node.op {
-            NodeOp::InputStream { slot } => {
-                stream_slots = stream_slots.max(slot + 1);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Input { slot: *slot, dst });
-            }
-            NodeOp::Generate { slot, source, skip } => {
-                value_slots = value_slots.max(slot + 1);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Generate {
-                    slot: *slot,
-                    source: source.clone(),
-                    skip: *skip,
-                    dst,
-                });
-            }
-            NodeOp::ConstStream {
-                probability,
-                source,
-                skip,
-            } => {
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Constant {
-                    probability: *probability,
-                    source: source.clone(),
-                    skip: *skip,
-                    dst,
-                });
-            }
-            NodeOp::Manipulate(kind) => {
-                let x = slot_of(inputs[0], &mut slots);
-                let y = slot_of(inputs[1], &mut slots);
-                let mut kinds = vec![*kind];
-                let mut last = i;
-                while let Some(next) = fuse_next(last) {
-                    fused[next] = true;
-                    let NodeOp::Manipulate(next_kind) = &nodes[next].op else {
-                        unreachable!("fuse_next only follows manipulator nodes");
-                    };
-                    let next_kind = *next_kind;
-                    ops.push(nodes[next].op.clone());
-                    kinds.push(next_kind);
-                    last = next;
-                }
-                if kinds.len() > 1 {
-                    report.fused_runs += 1;
-                }
-                let dst_x = slot_of(port(last, 0), &mut slots);
-                let dst_y = slot_of(port(last, 1), &mut slots);
-                steps.push(Step::Manipulate {
-                    kinds,
-                    x,
-                    y,
-                    dst_x,
-                    dst_y,
-                });
-            }
-            NodeOp::Regenerate { source, skip } => {
-                let src = slot_of(inputs[0], &mut slots);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Regenerate {
-                    source: source.clone(),
-                    skip: *skip,
-                    src,
-                    dst,
-                });
-            }
-            NodeOp::Not => {
-                let src = slot_of(inputs[0], &mut slots);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Not { src, dst });
-            }
-            NodeOp::Binary(op) => {
-                let x = slot_of(inputs[0], &mut slots);
-                let y = slot_of(inputs[1], &mut slots);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Binary { op: *op, x, y, dst });
-            }
-            NodeOp::UnaryFsm(op) => {
-                let src = slot_of(inputs[0], &mut slots);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::UnaryFsm { op: *op, src, dst });
-            }
-            NodeOp::Divide {
-                source,
-                skip,
-                counter_bits,
-            } => {
-                let x = slot_of(inputs[0], &mut slots);
-                let y = slot_of(inputs[1], &mut slots);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::Divide {
-                    source: source.clone(),
-                    skip: *skip,
-                    counter_bits: *counter_bits,
-                    x,
-                    y,
-                    dst,
-                });
-            }
-            NodeOp::MuxAdd { select, skip } => {
-                let x = slot_of(inputs[0], &mut slots);
-                let y = slot_of(inputs[1], &mut slots);
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::MuxAdd {
-                    select: select.clone(),
-                    skip: *skip,
-                    x,
-                    y,
-                    dst,
-                });
-            }
-            NodeOp::WeightedMux {
-                weights,
-                select,
-                skip,
-            } => {
-                let srcs: Vec<usize> = inputs.iter().map(|w| slot_of(*w, &mut slots)).collect();
-                let dst = slot_of(port(i, 0), &mut slots);
-                steps.push(Step::WeightedMux {
-                    weights: weights.clone(),
-                    select: select.clone(),
-                    skip: *skip,
-                    srcs,
-                    dst,
-                });
-            }
-            NodeOp::SinkStream { name } => {
-                let src = slot_of(inputs[0], &mut slots);
-                steps.push(Step::SinkStream {
-                    name: name.clone(),
-                    src,
-                });
-            }
-            NodeOp::SinkValue { name } => {
-                let src = slot_of(inputs[0], &mut slots);
-                steps.push(Step::SinkValue {
-                    name: name.clone(),
-                    src,
-                });
-            }
-            NodeOp::SinkCount { name } => {
-                let src = slot_of(inputs[0], &mut slots);
-                steps.push(Step::SinkCount {
-                    name: name.clone(),
-                    src,
-                });
-            }
-            NodeOp::SinkSum { name } => {
-                let srcs: Vec<usize> = inputs.iter().map(|w| slot_of(*w, &mut slots)).collect();
-                steps.push(Step::SinkSum {
-                    name: name.clone(),
-                    srcs,
-                });
-            }
-            NodeOp::SccProbe { name } => {
-                let x = slot_of(inputs[0], &mut slots);
-                let y = slot_of(inputs[1], &mut slots);
-                steps.push(Step::SccProbe {
-                    name: name.clone(),
-                    x,
-                    y,
-                });
-            }
-        }
-    }
-
-    Ok(CompiledGraph {
-        steps,
-        slot_count,
-        value_slots,
-        stream_slots,
-        report,
-        ops,
-        class: PLAN_CLASS.fetch_add(1, Ordering::Relaxed),
-    })
 }
 
 #[cfg(test)]
@@ -1083,6 +780,24 @@ mod tests {
             .compile(&PlannerOptions::default())
             .unwrap()
             .lane_batchable());
+    }
+
+    #[test]
+    fn plan_class_low_bits_encode_the_pass_set() {
+        let build = |passes: PassSet| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let z = g.binary(BinaryOp::CaAdd, x, y);
+            g.sink_value("z", z);
+            g.compile(&PlannerOptions::with_passes(passes)).unwrap()
+        };
+        let optimized = build(PassSet::all());
+        let baseline = build(PassSet::none());
+        assert_eq!(optimized.plan_class() & 0b111, PassSet::all().bits());
+        assert_eq!(baseline.plan_class() & 0b111, 0);
+        assert_eq!(optimized.passes(), PassSet::all());
+        assert_eq!(baseline.passes(), PassSet::none());
     }
 
     #[test]
@@ -1230,7 +945,10 @@ mod tests {
             measured.report().inserted
         );
         assert_eq!(measured.report().measured.len(), 1);
-        assert!(measured.report().measured[0].contains("Positive"));
+        assert_eq!(measured.report().measured[0].class, SccClass::Positive);
+        assert!(measured.report().measured[0]
+            .to_string()
+            .contains("Positive"));
     }
 
     #[test]
@@ -1248,8 +966,29 @@ mod tests {
         g.sink_value("z", z);
         let plan = g.compile(&PlannerOptions::with_measurement(256)).unwrap();
         assert_eq!(plan.report().measured.len(), 1);
-        assert!(plan.report().measured[0].contains("Uncorrelated"));
+        assert_eq!(plan.report().measured[0].class, SccClass::Uncorrelated);
+        assert!(plan.report().measured[0]
+            .to_string()
+            .contains("Uncorrelated"));
         assert_eq!(plan.report().inserted.len(), 1);
+    }
+
+    /// The structured [`MeasuredPair`] record renders exactly the legacy
+    /// report line, so log consumers see unchanged text.
+    #[test]
+    fn measured_pair_display_reproduces_legacy_text() {
+        let pair = MeasuredPair {
+            label: "xor_subtract".to_string(),
+            node: 7,
+            scc: 0.98765,
+            probe_length: 256,
+            class: SccClass::Positive,
+        };
+        assert_eq!(
+            pair.to_string(),
+            "inputs of xor_subtract (node n7) measured SCC 0.988 over 256 cycles: \
+             treating pair as Positive"
+        );
     }
 
     /// The configurable probe stimulus defaults to 0.5 and, at 0.5,
@@ -1282,7 +1021,7 @@ mod tests {
             ..PlannerOptions::with_measurement(256)
         });
         assert_eq!(shifted.report().measured.len(), 1);
-        assert!(shifted.report().measured[0].contains("Positive"));
+        assert_eq!(shifted.report().measured[0].class, SccClass::Positive);
     }
 
     #[test]
@@ -1319,13 +1058,54 @@ mod tests {
     }
 
     #[test]
+    fn retargeting_recurses_into_fused_spans() {
+        use crate::exec::{BatchInput, Executor};
+        // A linear gen → mux_add → sink graph span-fuses under the default
+        // pass set, so the MuxAdd select spec lives *inside* a Fused step;
+        // retargeting must still reach it.
+        let build = |seed: u64| {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let z = g.mux_add(x, y, SourceSpec::Lfsr { width: 16, seed });
+            g.sink_stream("z", z);
+            g.compile(&PlannerOptions::default()).unwrap()
+        };
+        let template = build(0xACE1);
+        assert!(
+            template
+                .steps()
+                .iter()
+                .any(|s| matches!(s, Step::Fused { .. })),
+            "expected the linear span to fuse: {:?}",
+            template.steps()
+        );
+        let retargeted = template.retarget_sources(|spec| match spec {
+            SourceSpec::Lfsr { width: 16, seed } if *seed == 0xACE1 => Some(SourceSpec::Lfsr {
+                width: 16,
+                seed: 0xBEEF,
+            }),
+            _ => None,
+        });
+        let direct = build(0xBEEF);
+        let input = BatchInput::with_values(vec![0.3, 0.8]);
+        let exec = Executor::new(257);
+        assert_eq!(
+            exec.run(&retargeted, &input).unwrap(),
+            exec.run(&direct, &input).unwrap()
+        );
+    }
+
+    #[test]
     fn steps_are_introspectable() {
         let mut g = Graph::new();
         let x = g.generate(0, sobol(1));
         let y = g.generate(1, sobol(2));
         let z = g.binary(BinaryOp::CaAdd, x, y);
         g.sink_value("z", z);
-        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let plan = g
+            .compile(&PlannerOptions::with_passes(PassSet::none()))
+            .unwrap();
         assert_eq!(plan.steps().len(), plan.step_count());
         assert!(plan.slot_count() >= 3);
         assert!(plan.steps().iter().any(|s| matches!(
@@ -1382,5 +1162,210 @@ mod tests {
         let plan = g.compile(&PlannerOptions::default()).unwrap();
         assert_eq!(plan.value_slots(), 4);
         assert_eq!(plan.stream_slots(), 2);
+    }
+
+    #[test]
+    fn subgraph_cse_merges_identical_subgraphs() {
+        use crate::exec::{BatchInput, Executor};
+        // Two byte-identical generate→multiply subgraphs: CSE merges both
+        // the duplicated generator and the duplicated multiply.
+        let build = || {
+            let mut g = Graph::new();
+            let a1 = g.generate(0, sobol(1));
+            let a2 = g.generate(0, sobol(1)); // duplicate of a1
+            let b = g.generate(1, sobol(2));
+            let p = g.binary(BinaryOp::AndMultiply, a1, b);
+            let q = g.binary(BinaryOp::AndMultiply, a2, b); // duplicate of p
+            g.sink_value("p", p);
+            g.sink_value("q", q);
+            g
+        };
+        let cse_only = PassSet {
+            cse: true,
+            cost_repair: false,
+            fusion: false,
+        };
+        let optimized = build()
+            .compile(&PlannerOptions::with_passes(cse_only))
+            .unwrap();
+        let baseline = build()
+            .compile(&PlannerOptions::with_passes(PassSet::none()))
+            .unwrap();
+        assert_eq!(optimized.report().shared_subgraphs, 2);
+        assert_eq!(baseline.report().shared_subgraphs, 0);
+        // 3 generates + 2 multiplies + 2 sinks, minus the two merged nodes.
+        assert_eq!(baseline.step_count(), 7);
+        assert_eq!(optimized.step_count(), 5);
+        // Bit-identity: the merged plan computes the same outputs.
+        let input = BatchInput::with_values(vec![0.7, 0.4]);
+        let exec = Executor::new(1000);
+        assert_eq!(
+            exec.run(&optimized, &input).unwrap(),
+            exec.run(&baseline, &input).unwrap()
+        );
+    }
+
+    #[test]
+    fn cost_driven_placement_reuses_identical_repairs() {
+        use crate::exec::{BatchInput, Executor};
+        // Two operators that both require Positive inputs over the same
+        // uncorrelated pair: cost-driven placement inserts one synchronizer
+        // and reuses it for the second operator (reuse is free).
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let d = g.binary(BinaryOp::XorSubtract, x, y);
+            let m = g.binary(BinaryOp::OrMax, x, y);
+            g.sink_value("diff", d);
+            g.sink_value("max", m);
+            g
+        };
+        let repair_only = PassSet {
+            cse: false,
+            cost_repair: true,
+            fusion: false,
+        };
+        let optimized = build()
+            .compile(&PlannerOptions::with_passes(repair_only))
+            .unwrap();
+        let baseline = build()
+            .compile(&PlannerOptions::with_passes(PassSet::none()))
+            .unwrap();
+        assert_eq!(baseline.report().inserted.len(), 2);
+        assert_eq!(baseline.report().shared_repairs, 0);
+        assert_eq!(optimized.report().inserted.len(), 1);
+        assert_eq!(optimized.report().shared_repairs, 1);
+        // One fewer manipulator executes and is costed.
+        assert_eq!(optimized.step_count() + 1, baseline.step_count());
+        // A second synchronizer over identical inputs computes identical
+        // streams, so sharing one is bit-identical.
+        let input = BatchInput::with_values(vec![0.3, 0.8]);
+        let exec = Executor::new(1000);
+        assert_eq!(
+            exec.run(&optimized, &input).unwrap(),
+            exec.run(&baseline, &input).unwrap()
+        );
+    }
+
+    #[test]
+    fn span_fusion_collapses_linear_spans() {
+        use crate::exec::{BatchInput, Executor};
+        // gen → not → sink is one maximal linear span: three scheduled
+        // steps collapse into a single Fused step.
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let n = g.not(x);
+            g.sink_value("inv", n);
+            g
+        };
+        let fuse_only = PassSet {
+            cse: false,
+            cost_repair: false,
+            fusion: true,
+        };
+        let optimized = build()
+            .compile(&PlannerOptions::with_passes(fuse_only))
+            .unwrap();
+        let baseline = build()
+            .compile(&PlannerOptions::with_passes(PassSet::none()))
+            .unwrap();
+        assert_eq!(baseline.step_count(), 3);
+        assert_eq!(optimized.step_count(), 1);
+        assert_eq!(optimized.report().fused_spans, 1);
+        assert_eq!(optimized.report().steps_eliminated, 2);
+        let Step::Fused { steps } = &optimized.steps()[0] else {
+            panic!("expected a fused span, got {:?}", optimized.steps());
+        };
+        assert_eq!(steps.len(), 3);
+        let input = BatchInput::with_values(vec![0.25]);
+        let exec = Executor::new(1000);
+        assert_eq!(
+            exec.run(&optimized, &input).unwrap(),
+            exec.run(&baseline, &input).unwrap()
+        );
+    }
+
+    #[test]
+    fn span_fusion_keeps_lane_batchable_steps_solo() {
+        // An FSM activation chain must not be captured by span fusion, or
+        // the executor's lane transposition would lose its targets.
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let t = g.stanh(3, x);
+        g.sink_value("t", t);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        assert!(plan.lane_batchable());
+        assert!(plan
+            .steps()
+            .iter()
+            .any(|s| matches!(s, Step::UnaryFsm { .. })));
+    }
+
+    #[test]
+    fn pass_deltas_record_the_executed_pipeline() {
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let z = g.binary(BinaryOp::XorSubtract, x, y);
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let passes: Vec<&str> = plan.report().pass_deltas.iter().map(|d| d.pass).collect();
+        assert_eq!(
+            passes,
+            vec![
+                "validate",
+                "scc-infer",
+                "subgraph-cse",
+                "repair-placement",
+                "span-fusion",
+                "emit"
+            ]
+        );
+        let repair = plan
+            .report()
+            .pass_deltas
+            .iter()
+            .find(|d| d.pass == "repair-placement")
+            .unwrap();
+        assert_eq!(repair.nodes_added, 1);
+        // Disabled passes leave no delta.
+        let baseline = g
+            .compile(&PlannerOptions::with_passes(PassSet::none()))
+            .unwrap();
+        let baseline_passes: Vec<&str> = baseline
+            .report()
+            .pass_deltas
+            .iter()
+            .map(|d| d.pass)
+            .collect();
+        assert_eq!(
+            baseline_passes,
+            vec!["validate", "scc-infer", "repair-placement", "emit"]
+        );
+    }
+
+    #[test]
+    fn dump_ir_hook_sees_every_executed_pass() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DUMPS: AtomicUsize = AtomicUsize::new(0);
+        fn record(pass: &str, ir: &str) {
+            assert!(!pass.is_empty());
+            assert!(ir.contains("n0:"), "IR dump should list nodes: {ir:?}");
+            DUMPS.fetch_add(1, Ordering::SeqCst);
+        }
+        let mut g = Graph::new();
+        let x = g.generate(0, sobol(1));
+        let y = g.generate(1, sobol(2));
+        let z = g.binary(BinaryOp::XorSubtract, x, y);
+        g.sink_value("z", z);
+        let options = PlannerOptions {
+            dump_ir: Some(record),
+            ..PlannerOptions::default()
+        };
+        g.compile(&options).unwrap();
+        // validate, scc-infer, subgraph-cse, repair-placement, span-fusion.
+        assert_eq!(DUMPS.load(Ordering::SeqCst), 5);
     }
 }

@@ -159,19 +159,26 @@ pub fn binary_netlist(op: BinaryOp) -> Netlist {
     }
 }
 
-/// Netlist of one *scheduled step* of a compiled plan. Equivalent to summing
-/// [`node_netlist`] over the step's operations, but with access to execution
-/// arity: a fused manipulator run is the sum of its chained circuits, and an
-/// APC sum sink over `k` lanes includes its `k − 1`-adder reduction tree.
+/// The dedicated sample source a step draws from, if it has one.
 #[must_use]
-pub fn step_netlist(step: &Step, converter_bits: u32) -> Netlist {
+pub fn step_source(step: &Step) -> Option<&SourceSpec> {
+    match step {
+        Step::Generate { source, .. }
+        | Step::Constant { source, .. }
+        | Step::Regenerate { source, .. }
+        | Step::Divide { source, .. } => Some(source),
+        Step::MuxAdd { select, .. } | Step::WeightedMux { select, .. } => Some(select),
+        _ => None,
+    }
+}
+
+/// Netlist of one step's *logic* — everything except its sample source
+/// (see [`step_source`]). A fused span sums its sub-steps' logic.
+#[must_use]
+pub fn step_logic_netlist(step: &Step, converter_bits: u32) -> Netlist {
     match step {
         Step::Input { .. } | Step::SinkStream { .. } => Netlist::new("wire"),
-        Step::Generate { source, .. } | Step::Constant { source, .. } => {
-            let mut n = characterize::ds_converter(converter_bits);
-            n.merge(&source_netlist(source, converter_bits));
-            n
-        }
+        Step::Generate { .. } | Step::Constant { .. } => characterize::ds_converter(converter_bits),
         Step::Manipulate { kinds, .. } => {
             let mut n = Netlist::new("manipulator-chain");
             for kind in kinds {
@@ -179,38 +186,16 @@ pub fn step_netlist(step: &Step, converter_bits: u32) -> Netlist {
             }
             n
         }
-        Step::Regenerate { source, .. } => {
-            let mut n = characterize::regeneration_unit(converter_bits);
-            n.merge(&source_netlist(source, converter_bits));
-            n
-        }
+        Step::Regenerate { .. } => characterize::regeneration_unit(converter_bits),
         Step::Not { .. } => Netlist::new("not").with(Primitive::Inverter, 1),
         Step::Binary { op, .. } => binary_netlist(*op),
         Step::UnaryFsm { op, .. } => unary_fsm_netlist(*op),
-        Step::Divide {
-            source,
-            counter_bits,
-            ..
-        } => {
-            let mut n = divider_netlist(*counter_bits);
-            n.merge(&source_netlist(source, converter_bits));
-            n
-        }
-        Step::MuxAdd { select, .. } => {
-            let mut n = characterize::mux_adder_netlist();
-            n.merge(&source_netlist(select, converter_bits));
-            n
-        }
-        Step::WeightedMux {
-            weights, select, ..
-        } => {
-            let mut n = Netlist::new("weighted-mux").with(
-                Primitive::Mux2,
-                weights.len().saturating_sub(1).max(1) as u64,
-            );
-            n.merge(&source_netlist(select, converter_bits));
-            n
-        }
+        Step::Divide { counter_bits, .. } => divider_netlist(*counter_bits),
+        Step::MuxAdd { .. } => characterize::mux_adder_netlist(),
+        Step::WeightedMux { weights, .. } => Netlist::new("weighted-mux").with(
+            Primitive::Mux2,
+            weights.len().saturating_sub(1).max(1) as u64,
+        ),
         Step::SinkValue { .. } | Step::SinkCount { .. } => {
             characterize::sd_converter(converter_bits)
         }
@@ -220,17 +205,82 @@ pub fn step_netlist(step: &Step, converter_bits: u32) -> Netlist {
         Step::SccProbe { .. } => characterize::sd_converter(converter_bits)
             .scaled("scc-probe", 3)
             .with(Primitive::And2, 1),
+        Step::Fused { steps } => {
+            let mut n = Netlist::new("fused-span");
+            for sub in steps {
+                n.merge(&step_logic_netlist(sub, converter_bits));
+            }
+            n
+        }
     }
+}
+
+/// Netlist of one *scheduled step* of a compiled plan: its logic plus its
+/// own sample source. Equivalent to summing [`node_netlist`] over the step's
+/// operations, but with access to execution arity: a fused manipulator run is
+/// the sum of its chained circuits, an APC sum sink over `k` lanes includes
+/// its `k − 1`-adder reduction tree, and a fused span is the sum of its
+/// sub-steps (so fused and unfused plans cost identically).
+#[must_use]
+pub fn step_netlist(step: &Step, converter_bits: u32) -> Netlist {
+    if let Step::Fused { steps } = step {
+        let mut n = Netlist::new("fused-span");
+        for sub in steps {
+            n.merge(&step_netlist(sub, converter_bits));
+        }
+        return n;
+    }
+    let mut n = step_logic_netlist(step, converter_bits);
+    if let Some(spec) = step_source(step) {
+        n.merge(&source_netlist(spec, converter_bits));
+    }
+    n
 }
 
 /// Netlist of everything a compiled plan executes, including auto-inserted
 /// repair manipulators, derived from the scheduled steps (see
-/// [`step_netlist`]).
+/// [`step_netlist`]). Every step is priced in full — each source-drawing
+/// step carries its own generator, the paper's per-converter baseline.
 #[must_use]
 pub fn compiled_netlist(plan: &CompiledGraph, name: &str, converter_bits: u32) -> Netlist {
     let mut total = Netlist::new(name);
     for step in plan.steps() {
         total.merge(&step_netlist(step, converter_bits));
+    }
+    total
+}
+
+/// [`compiled_netlist`] under the executor's source-sharing model: every
+/// step's logic is priced in full, but each distinct [`SourceSpec`] is priced
+/// **once** — exactly one physical sample generator per spec, which is how
+/// the executor's `SourceCache` (and the shared-RNG hardware of §II.B)
+/// actually instantiates them. This is the honest cost view for CSE'd plans,
+/// where merged subgraphs deliberately lean on repeated specs.
+#[must_use]
+pub fn compiled_netlist_shared(plan: &CompiledGraph, name: &str, converter_bits: u32) -> Netlist {
+    fn add_step<'a>(
+        step: &'a Step,
+        converter_bits: u32,
+        total: &mut Netlist,
+        seen: &mut std::collections::HashSet<&'a SourceSpec>,
+    ) {
+        if let Step::Fused { steps } = step {
+            for sub in steps {
+                add_step(sub, converter_bits, total, seen);
+            }
+            return;
+        }
+        total.merge(&step_logic_netlist(step, converter_bits));
+        if let Some(spec) = step_source(step) {
+            if seen.insert(spec) {
+                total.merge(&source_netlist(spec, converter_bits));
+            }
+        }
+    }
+    let mut total = Netlist::new(name);
+    let mut seen = std::collections::HashSet::new();
+    for step in plan.steps() {
+        add_step(step, converter_bits, &mut total, &mut seen);
     }
     total
 }
@@ -241,6 +291,14 @@ impl CompiledGraph {
     #[must_use]
     pub fn netlist(&self, name: &str) -> Netlist {
         compiled_netlist(self, name, DEFAULT_CONVERTER_BITS)
+    }
+
+    /// The plan's netlist with one physical generator per distinct source
+    /// spec, at the default converter precision (see
+    /// [`compiled_netlist_shared`]).
+    #[must_use]
+    pub fn shared_netlist(&self, name: &str) -> Netlist {
+        compiled_netlist_shared(self, name, DEFAULT_CONVERTER_BITS)
     }
 }
 
@@ -347,6 +405,48 @@ mod tests {
         assert!(
             binary_netlist(BinaryOp::CaAdd).area_um2()
                 > binary_netlist(BinaryOp::AndMin).area_um2()
+        );
+    }
+
+    /// Span fusion is cost-transparent: a fused plan's full netlist equals
+    /// its unfused twin's, cell for cell.
+    #[test]
+    fn fused_plans_cost_identically_to_unfused() {
+        use crate::PassSet;
+        let build = |passes: PassSet| {
+            let mut g = Graph::new();
+            let x = g.generate(0, SourceSpec::Sobol { dimension: 1 });
+            let y = g.generate(1, SourceSpec::Sobol { dimension: 2 });
+            let z = g.binary(BinaryOp::XorSubtract, x, y);
+            let n = g.not(z);
+            g.sink_value("z", n);
+            g.compile(&PlannerOptions::with_passes(passes)).unwrap()
+        };
+        let fused = build(PassSet::all()).netlist("fused");
+        let flat = build(PassSet::none()).netlist("flat");
+        assert!((fused.area_um2() - flat.area_um2()).abs() < 1e-9);
+        assert_eq!(fused.cell_count(), flat.cell_count());
+    }
+
+    /// The shared-source view prices each distinct spec once, so a plan
+    /// drawing twice from one spec costs one generator less than the
+    /// per-step view — and never more.
+    #[test]
+    fn shared_netlist_prices_each_source_once() {
+        let mut g = Graph::new();
+        let x = g.generate(0, SourceSpec::Sobol { dimension: 1 });
+        let y = g.generate(1, SourceSpec::Sobol { dimension: 1 }); // same spec
+        let z = g.binary(BinaryOp::OrMax, x, y); // Positive: satisfied
+        g.sink_value("z", z);
+        let plan = g.compile(&PlannerOptions::default()).unwrap();
+        let per_step = plan.netlist("per-step");
+        let shared = plan.shared_netlist("shared");
+        let rng = characterize::low_discrepancy_rng(8);
+        assert!(
+            (per_step.area_um2() - shared.area_um2() - rng.area_um2()).abs() < 1e-9,
+            "sharing should save exactly one generator: per-step {} shared {}",
+            per_step.area_um2(),
+            shared.area_um2()
         );
     }
 

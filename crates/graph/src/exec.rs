@@ -544,6 +544,14 @@ fn execute_step(
     input: &BatchInput,
     env: &mut ExecEnv,
 ) -> Result<(), GraphError> {
+    // A fused span executes its sub-steps back to back over the same slot
+    // environment — bit-identical to the unfused schedule by construction.
+    if let Step::Fused { steps } = step {
+        for sub in steps {
+            execute_step(n, sub, input, env)?;
+        }
+        return Ok(());
+    }
     let ExecEnv {
         slots,
         sources,
@@ -711,6 +719,7 @@ fn execute_step(
                 let value = scc(slot(slots, *x), slot(slots, *y));
                 out.values.insert(name.clone(), value);
             }
+            Step::Fused { .. } => unreachable!("fused spans recurse before the env borrow"),
         }
     }
     Ok(())

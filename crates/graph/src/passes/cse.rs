@@ -1,0 +1,85 @@
+//! The **subgraph-cse** pass: hash-cons of whole identical subgraphs.
+
+use super::{topo_order, Ir, Pass};
+use crate::compile::{CompileReport, PlannerOptions};
+use crate::graph::GraphError;
+use crate::node::Wire;
+use sc_telemetry::{Stage, TelemetrySink};
+use std::collections::HashMap;
+
+/// Merges structurally identical subgraphs: walking the IR in topological
+/// order, a non-sink node whose operation (full [`crate::NodeOp`] equality —
+/// same kind, parameters, [`sc_rng::SourceSpec`]s, and skips) and
+/// canonicalized inputs match an earlier live node is marked dead and every
+/// later consumer is rewired to the representative. Because duplicate
+/// subgraphs are built from the same sources at the same positions, the
+/// merged stream is bit-identical to each duplicate's stream — and the
+/// executor's existing per-spec source sharing means the plan also
+/// physically shares one sample generator per distinct spec, which the
+/// shared-cost netlist view prices.
+///
+/// Sinks are never merged (each names a distinct output), and SCC classes
+/// are unaffected: a duplicate and its representative have identical
+/// structure, so every pair class derived pre-merge still holds post-merge.
+pub(crate) struct SubgraphCse;
+
+impl Pass for SubgraphCse {
+    fn name(&self) -> &'static str {
+        "subgraph-cse"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::CompileCse
+    }
+
+    fn enabled(&self, options: &PlannerOptions) -> bool {
+        options.passes.cse
+    }
+
+    fn run(
+        &self,
+        ir: &mut Ir,
+        _options: &PlannerOptions,
+        report: &mut CompileReport,
+        _telemetry: &TelemetrySink,
+    ) -> Result<String, GraphError> {
+        let order = topo_order(&ir.nodes)?;
+        // Representative of each merged node (identity for live nodes).
+        let mut repr: Vec<usize> = (0..ir.nodes.len()).collect();
+        // Candidate buckets keyed by canonicalized inputs; ops are compared
+        // with full PartialEq inside a bucket (NodeOp carries f64 fields, so
+        // it cannot be a hash key itself). Source nodes all share the
+        // empty-input bucket; everything else buckets finely.
+        let mut buckets: HashMap<Vec<Wire>, Vec<usize>> = HashMap::new();
+        let mut merged = 0usize;
+        for &i in &order {
+            // Canonicalize this node's inputs through earlier merges
+            // (producers precede consumers in topological order).
+            let canon: Vec<Wire> = ir.nodes[i]
+                .inputs
+                .iter()
+                .map(|w| Wire {
+                    node: crate::node::NodeId(repr[w.node().index()]),
+                    port: w.port(),
+                })
+                .collect();
+            ir.nodes[i].inputs = canon.clone();
+            if ir.nodes[i].op.is_sink() {
+                continue;
+            }
+            let bucket = buckets.entry(canon).or_default();
+            if let Some(&j) = bucket
+                .iter()
+                .find(|&&j| ir.live[j] && ir.nodes[j].op == ir.nodes[i].op)
+            {
+                repr[i] = j;
+                ir.live[i] = false;
+                merged += 1;
+            } else {
+                bucket.push(i);
+            }
+        }
+        report.shared_subgraphs = merged;
+        Ok(format!("{merged} duplicate subgraph nodes merged"))
+    }
+}

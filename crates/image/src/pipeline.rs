@@ -98,6 +98,14 @@ pub struct PipelineConfig {
     /// same-class tiles) instead of recompiling per tile. `None` (the
     /// default) keeps the purely structural planner.
     pub measure_scc: Option<usize>,
+    /// Which optimizer passes of the graph-compile pipeline run on every
+    /// tile compile (subgraph CSE, cost-driven repair placement, span
+    /// fusion; default: all). Every pass is bit-identity preserving, so this
+    /// changes compile effort and plan shape, never the output image. Joins
+    /// the configuration identity (and therefore the plan-cache key's
+    /// compiled plans) because differently optimized plans are structurally
+    /// different templates.
+    pub passes: sc_graph::PassSet,
     /// Telemetry sink the whole pipeline records into: plan-cache hits and
     /// misses (with nested retarget / per-pass compile spans), the executor's
     /// dispatch, lane-group and scalar execution, worker activity, and the
@@ -115,6 +123,7 @@ impl PartialEq for PipelineConfig {
             && self.rng_bank_size == other.rng_bank_size
             && self.synchronizer_depth == other.synchronizer_depth
             && self.measure_scc == other.measure_scc
+            && self.passes == other.passes
     }
 }
 
@@ -127,6 +136,7 @@ impl Hash for PipelineConfig {
         self.rng_bank_size.hash(state);
         self.synchronizer_depth.hash(state);
         self.measure_scc.hash(state);
+        self.passes.hash(state);
     }
 }
 
@@ -151,6 +161,7 @@ impl Default for PipelineConfig {
             // regeneration accuracy; see the ablation_depth experiment.
             synchronizer_depth: 2,
             measure_scc: None,
+            passes: sc_graph::PassSet::all(),
             telemetry: TelemetrySink::disabled(),
         }
     }
@@ -166,8 +177,16 @@ impl PipelineConfig {
             rng_bank_size: 8,
             synchronizer_depth: 2,
             measure_scc: None,
+            passes: sc_graph::PassSet::all(),
             telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Selects which optimizer passes run on every tile compile.
+    #[must_use]
+    pub fn with_passes(mut self, passes: sc_graph::PassSet) -> Self {
+        self.passes = passes;
+        self
     }
 
     /// Attaches a telemetry sink; every pipeline run with this config records
@@ -231,6 +250,26 @@ pub struct PipelineStats {
     /// away. Per-class latency histograms live on the attached
     /// [`TelemetrySink`]'s report ([`sc_telemetry::TelemetryReport::classes`]).
     pub classes: Vec<sc_graph::PlanClassStats>,
+    /// Steps removed by the optimizer passes across all tile-class compiles
+    /// (summed [`sc_graph::CompileReport::steps_eliminated`]): CSE-merged
+    /// duplicates plus span-fusion collapses. Zero when
+    /// [`PipelineConfig::passes`] disables the optimizer.
+    pub steps_eliminated: usize,
+    /// Linear spans collapsed into [`sc_graph::Step::Fused`] super-steps
+    /// across all tile-class compiles (summed
+    /// [`sc_graph::CompileReport::fused_spans`]).
+    pub fused_spans: usize,
+    /// Duplicate interior subgraphs merged by CSE across all tile-class
+    /// compiles (summed [`sc_graph::CompileReport::shared_subgraphs`]).
+    pub shared_subgraphs: usize,
+    /// Correlation repairs satisfied by reusing an existing equivalent
+    /// manipulator instead of inserting a fresh one, across all tile-class
+    /// compiles (summed [`sc_graph::CompileReport::shared_repairs`]).
+    pub shared_repairs: usize,
+    /// Duplicate source generators the emitted plans share through the
+    /// executor's source cache, across all tile-class compiles (summed
+    /// [`sc_graph::CompileReport::shared_sources`]).
+    pub shared_sources: usize,
 }
 
 /// A cached compiled plan for one tile class, with the select-LFSR seeds it
@@ -501,6 +540,12 @@ fn plan_tile(
                     .compile_with_telemetry(&options, telemetry)
                     .expect("tile graphs are structurally valid by construction"),
             );
+            let report = plan.report();
+            stats.steps_eliminated += report.steps_eliminated;
+            stats.fused_spans += report.fused_spans;
+            stats.shared_subgraphs += report.shared_subgraphs;
+            stats.shared_repairs += report.shared_repairs;
+            stats.shared_sources += report.shared_sources;
             cache.insert(
                 key,
                 CachedPlan {
@@ -670,6 +715,37 @@ mod tests {
             run_sc_pipeline_with_stats(&img, PipelineVariant::Synchronizer, &config).unwrap();
         assert_eq!(stats.tiles, 3);
         assert_eq!(stats.compilations, 2);
+    }
+
+    /// The optimizer passes are purely a compile-shape lever: every variant
+    /// renders the same image with passes on or off, while the pass-on run
+    /// actually reports optimizer work and the pass-off run reports none.
+    #[test]
+    fn optimizer_passes_never_change_the_image() {
+        let img = GrayImage::gradient(8, 8);
+        let optimized = PipelineConfig::quick();
+        let baseline = PipelineConfig::quick().with_passes(sc_graph::PassSet::none());
+        for variant in PipelineVariant::all() {
+            let (opt_img, opt_stats) =
+                run_sc_pipeline_with_stats(&img, variant, &optimized).unwrap();
+            let (base_img, base_stats) =
+                run_sc_pipeline_with_stats(&img, variant, &baseline).unwrap();
+            assert_eq!(
+                opt_img, base_img,
+                "{variant:?}: optimizer passes changed the rendered image"
+            );
+            assert_eq!(
+                base_stats.steps_eliminated, 0,
+                "{variant:?}: disabled optimizer still eliminated steps"
+            );
+            assert_eq!(base_stats.fused_spans, 0);
+            assert_eq!(base_stats.shared_subgraphs, 0);
+            assert_eq!(base_stats.shared_sources, 0);
+            assert!(
+                opt_stats.steps_eliminated > 0,
+                "{variant:?}: optimized tile compiles should eliminate steps"
+            );
+        }
     }
 
     #[test]

@@ -83,11 +83,19 @@ use std::time::Instant;
 pub enum Stage {
     /// A whole `Graph::compile` call (all passes).
     Compile,
-    /// Compile pass 1: structural validation + cycle check.
+    /// Compile pass: structural validation + cycle check.
     CompileValidate,
-    /// Compile pass 2: correlation planning (repair insertion).
+    /// Compile pass: SCC inference (structural classes + measured probes).
     CompilePlan,
-    /// Compile passes 3+4: fusion, scheduling, and step emission.
+    /// Compile pass: common-subexpression elimination over identical
+    /// subgraphs.
+    CompileCse,
+    /// Compile pass: cost-driven correlation-repair placement.
+    CompileRepair,
+    /// Compile pass: span-fusion analysis (manipulator chains + linear
+    /// source→gate→sink spans).
+    CompileFuse,
+    /// Compile pass: scheduling and step emission.
     CompileEmit,
     /// One measured-SCC probe execution inside the planner.
     MeasuredProbe,
@@ -116,10 +124,13 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 18] = [
         Stage::Compile,
         Stage::CompileValidate,
         Stage::CompilePlan,
+        Stage::CompileCse,
+        Stage::CompileRepair,
+        Stage::CompileFuse,
         Stage::CompileEmit,
         Stage::MeasuredProbe,
         Stage::PlanCacheHit,
@@ -141,6 +152,9 @@ impl Stage {
             Stage::Compile => "compile",
             Stage::CompileValidate => "compile.validate",
             Stage::CompilePlan => "compile.plan",
+            Stage::CompileCse => "compile.cse",
+            Stage::CompileRepair => "compile.repair",
+            Stage::CompileFuse => "compile.fuse",
             Stage::CompileEmit => "compile.emit",
             Stage::MeasuredProbe => "compile.measured_probe",
             Stage::PlanCacheHit => "plan_cache.hit",

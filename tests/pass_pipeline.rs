@@ -1,0 +1,199 @@
+//! Bit-identity suite for the staged compile pipeline.
+//!
+//! Every optimizer pass (subgraph CSE, cost-driven repair placement, span
+//! fusion) is a pure scheduling/sharing transformation: a plan compiled with
+//! any subset of passes enabled must execute **bit-identically** to the
+//! fully-optimized plan for every sink, at awkward stream lengths (1, 63,
+//! 64, 65, 1000) that exercise partial final words. The property test draws
+//! random DAGs — duplicate subgraphs for CSE, repair-triggering binary ops
+//! for placement, linear tails for fusion — and pins all pass subsets
+//! against each other.
+
+use proptest::prelude::*;
+use sc_repro::{sc_graph, sc_rng};
+
+use sc_graph::{
+    BatchInput, BinaryOp, Executor, Graph, ManipulatorKind, PassSet, PlannerOptions, Wire,
+};
+use sc_rng::SourceSpec;
+
+/// The mandated lengths: single-bit, the word boundary, and a long
+/// non-multiple-of-64 stream.
+const LENGTHS: [usize; 5] = [1, 63, 64, 65, 1000];
+
+/// Every pass subset worth distinguishing: all, each pass disabled alone,
+/// and none.
+fn pass_sets() -> [PassSet; 5] {
+    [
+        PassSet::all(),
+        PassSet {
+            cse: false,
+            ..PassSet::all()
+        },
+        PassSet {
+            cost_repair: false,
+            ..PassSet::all()
+        },
+        PassSet {
+            fusion: false,
+            ..PassSet::all()
+        },
+        PassSet::none(),
+    ]
+}
+
+/// Ops covering every precondition family: agnostic (CaAdd/CaMax), repair
+/// to Positive (OrMax/XorSubtract), repair to Uncorrelated (AndMultiply),
+/// and repair to Negative (SaturatingAdd).
+const OPS: [BinaryOp; 6] = [
+    BinaryOp::CaAdd,
+    BinaryOp::CaMax,
+    BinaryOp::OrMax,
+    BinaryOp::XorSubtract,
+    BinaryOp::AndMultiply,
+    BinaryOp::SaturatingAdd,
+];
+
+/// Builds a random-but-valid DAG from a byte script. Each byte appends one
+/// binary node whose op and inputs are drawn from the byte; every fifth
+/// byte duplicates the node verbatim so CSE always has material to merge.
+/// All frontier wires (no consumer) are sunk so every node's bits reach an
+/// observable output.
+fn build_graph(script: &[u8]) -> Graph {
+    let mut g = Graph::new();
+    let mut wires: Vec<Wire> = vec![
+        g.generate(0, SourceSpec::Sobol { dimension: 1 }),
+        g.generate(
+            1,
+            SourceSpec::Lfsr {
+                width: 16,
+                seed: 0xACE1,
+            },
+        ),
+        g.generate(2, SourceSpec::Halton { base: 3, offset: 1 }),
+    ];
+    let mut consumed = vec![false; wires.len()];
+    for &b in script {
+        let op = OPS[b as usize % OPS.len()];
+        let a = (b as usize / 8) % wires.len();
+        let c = (b as usize / 64 + 1) % wires.len();
+        let w = g.binary(op, wires[a], wires[c]);
+        consumed[a] = true;
+        consumed[c] = true;
+        wires.push(w);
+        consumed.push(false);
+        if b % 5 == 0 {
+            // A verbatim duplicate: the CSE pass must merge it, the others
+            // must schedule it twice — either way the sinks below agree.
+            wires.push(g.binary(op, wires[a], wires[c]));
+            consumed.push(false);
+        }
+        if b % 7 == 0 {
+            let (mx, my) = g.manipulate(ManipulatorKind::Synchronizer { depth: 2 }, wires[a], w);
+            *consumed.last_mut().unwrap() = true;
+            wires.push(mx);
+            wires.push(my);
+            consumed.push(false);
+            consumed.push(false);
+        }
+    }
+    for (i, (&w, done)) in wires.iter().zip(consumed).enumerate() {
+        if !done {
+            g.sink_stream(format!("s{i}"), w);
+        }
+    }
+    g.sink_value("v", *wires.last().unwrap());
+    g
+}
+
+/// Compiles `g` under `passes` and returns every sink stream plus the value
+/// sink at length `n`.
+fn run(g: &Graph, passes: PassSet, values: &[f64], n: usize) -> Vec<(String, String)> {
+    let options = PlannerOptions {
+        passes,
+        ..PlannerOptions::default()
+    };
+    let plan = g.compile(&options).expect("script graphs are valid DAGs");
+    let out = Executor::new(n)
+        .run(&plan, &BatchInput::with_values(values.to_vec()))
+        .expect("plan executes");
+    let mut sinks: Vec<(String, String)> = out
+        .streams()
+        .map(|(name, bits)| (name.to_string(), format!("{bits:?}")))
+        .collect();
+    sinks.sort();
+    sinks.push(("v".into(), format!("{:?}", out.value("v").unwrap())));
+    sinks
+}
+
+#[test]
+fn every_pass_subset_is_bit_identical_on_a_dense_graph() {
+    // A fixed script rich enough to hit all three optimizers at once.
+    let script: Vec<u8> = (0u8..24)
+        .map(|i| i.wrapping_mul(37).wrapping_add(5))
+        .collect();
+    let g = build_graph(&script);
+    let values = [0.3, 0.7, 0.55];
+
+    // The optimizers must actually fire on this graph, otherwise the
+    // identity below is vacuous.
+    let full = g
+        .compile(&PlannerOptions::default())
+        .expect("script graph is valid");
+    let report = full.report();
+    assert!(report.shared_subgraphs > 0, "CSE should merge duplicates");
+    assert!(report.fused_spans > 0, "span fusion should collapse tails");
+    assert!(
+        report.steps_eliminated > 0,
+        "optimizer should shrink the plan"
+    );
+    let baseline = g
+        .compile(&PlannerOptions::with_passes(PassSet::none()))
+        .expect("script graph is valid");
+    assert!(
+        full.step_count() < baseline.step_count(),
+        "optimized plan ({}) should be smaller than baseline ({})",
+        full.step_count(),
+        baseline.step_count()
+    );
+
+    for &n in &LENGTHS {
+        let reference = run(&g, PassSet::all(), &values, n);
+        for passes in pass_sets() {
+            assert_eq!(
+                run(&g, passes, &values, n),
+                reference,
+                "pass subset {passes:?} diverged at n={n}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random DAGs: all pass subsets agree on every sink at every mandated
+    /// length.
+    #[test]
+    fn prop_pass_subsets_bit_identical(
+        script in proptest::collection::vec(any::<u8>(), 4..20),
+        px in 0.05f64..=0.95,
+        py in 0.05f64..=0.95,
+        pz in 0.05f64..=0.95,
+    ) {
+        let g = build_graph(&script);
+        let values = [px, py, pz];
+        for &n in &LENGTHS {
+            let reference = run(&g, PassSet::all(), &values, n);
+            for passes in pass_sets() {
+                prop_assert_eq!(
+                    run(&g, passes, &values, n),
+                    reference.clone(),
+                    "pass subset {:?} diverged at n={}",
+                    passes,
+                    n
+                );
+            }
+        }
+    }
+}

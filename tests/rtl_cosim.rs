@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use sc_bitstream::Bitstream;
 use sc_graph::{
     cost::compiled_netlist, BatchInput, BinaryOp, CompiledGraph, Executor, Graph, ManipulatorKind,
-    PlannerOptions,
+    PassSet, PlannerOptions,
 };
 use sc_hwcost::{Netlist, Primitive};
 use sc_image::{planner_options, tile_graph, GrayImage, PipelineConfig, PipelineVariant};
@@ -435,6 +435,96 @@ fn gb_ed_pipeline_lowers_cosimulates_and_costs() {
         "module gb_ed_tile",
     ] {
         assert!(verilog.contains(module), "missing {module}");
+    }
+}
+
+#[test]
+fn cosim_optimized_gb_ed_tile_matches_every_pass_subset() {
+    // Acceptance criterion for the pass pipeline: a CSE'd + span-fused
+    // GB→ED tile plan stays bit-identical — executor output AND gate-level
+    // co-simulation — to the pass-disabled baseline, for all three image
+    // pipeline variants, at 1 and 4 executor threads. (Regeneration has no
+    // gate-level lowering, so that variant pins the executor side only.)
+    let img = GrayImage::from_fn(8, 8, |x, y| {
+        0.5 * GrayImage::gaussian_blob(8, 8).get(x, y) + 0.5 * (x as f64 / 8.0)
+    });
+    let config = PipelineConfig::quick();
+    let n = config.stream_length;
+    let subsets = [PassSet::all(), PassSet::none(), {
+        PassSet {
+            fusion: false,
+            ..PassSet::all()
+        }
+    }];
+    for variant in PipelineVariant::all() {
+        let tile = tile_graph(&img, 0, 0, variant, &config, 0);
+        let plans: Vec<CompiledGraph> = subsets
+            .iter()
+            .map(|&passes| {
+                tile.graph
+                    .compile(&PlannerOptions {
+                        passes,
+                        ..planner_options(variant, &config)
+                    })
+                    .unwrap()
+            })
+            .collect();
+        // The optimized plan must actually be CSE'd and fused, not
+        // trivially equal to the baseline.
+        let report = plans[0].report();
+        // Tile pixels never share whole interior subgraphs (every weighted
+        // mux has distinct inputs), so the CSE pass's win on this graph is
+        // the shared-source audit the executor's source cache exploits.
+        assert!(
+            report.shared_subgraphs + report.shared_sources > 0,
+            "{variant:?}: tile compile should detect shared work"
+        );
+        assert!(
+            report.fused_spans > 0,
+            "{variant:?}: tile compile should fuse linear spans"
+        );
+        assert!(
+            plans[0].step_count() < plans[1].step_count(),
+            "{variant:?}: optimized plan should be strictly smaller"
+        );
+
+        let mut reference: Option<Vec<(String, u64)>> = None;
+        for (plan, passes) in plans.iter().zip(subsets) {
+            for threads in [1usize, 4] {
+                let exec = Executor::new(n)
+                    .with_threads(threads)
+                    .run(plan, &tile.input)
+                    .unwrap();
+                let pixels: Vec<(String, u64)> = tile
+                    .sinks
+                    .iter()
+                    .map(|(_, _, name)| (name.clone(), exec.value(name).expect("pixel").to_bits()))
+                    .collect();
+                match &reference {
+                    Some(expected) => assert_eq!(
+                        &pixels, expected,
+                        "{variant:?} passes={passes:?} threads={threads} diverged"
+                    ),
+                    None => reference = Some(pixels),
+                }
+            }
+            if variant != PipelineVariant::Regeneration {
+                let rtl = elaborate(plan, &tile.input, n)
+                    .unwrap()
+                    .cosimulate(&tile.input)
+                    .unwrap();
+                let pixels: Vec<(String, u64)> = tile
+                    .sinks
+                    .iter()
+                    .map(|(_, _, name)| (name.clone(), rtl.value(name).expect("pixel").to_bits()))
+                    .collect();
+                assert_eq!(
+                    Some(pixels),
+                    reference,
+                    "{variant:?} passes={passes:?}: RTL co-sim diverged from executor"
+                );
+            }
+        }
     }
 }
 
