@@ -1,0 +1,241 @@
+//! Measures the warm serving tier (`sc_image::ImageServer` over
+//! `sc_graph::Service`) against sequential one-shot pipeline calls,
+//! recording the evidence in `BENCH_serving.json`.
+//!
+//! Run with `cargo run --release -p sc_bench --bin serving_throughput`.
+//! The JSON file is written to the current directory (or to the path given
+//! as the first argument).
+//!
+//! Two claims are gated:
+//!
+//! * **Cross-request coalescing** — two whole-image requests submitted
+//!   concurrently for the same kernel must produce lane-batched groups that
+//!   mix tiles from both requests (the `CrossRequestLaneJobs` counter), i.e.
+//!   the dispatch window genuinely coalesces across request boundaries.
+//! * **Warm-tier throughput** — serving N images through one warm server
+//!   (shared worker pool, shared plan cache, multiplexed dispatch) must not
+//!   fall below N sequential `run_sc_pipeline_with_threads` calls, which
+//!   re-plan and re-spin their execution per image. On multi-core machines
+//!   the warm tier is expected to win outright; a 1-CPU machine gets a
+//!   small scheduling-noise tolerance.
+
+use sc_image::{
+    run_sc_pipeline_with_threads, GrayImage, ImageServer, PipelineConfig, PipelineVariant,
+};
+use sc_telemetry::{Counter, Json, TelemetrySink};
+use std::time::Instant;
+
+fn bench_image() -> GrayImage {
+    let blob = GrayImage::gaussian_blob(40, 40);
+    GrayImage::from_fn(40, 40, |x, y| {
+        0.6 * blob.get(x, y) + 0.4 * (x as f64 / 40.0)
+    })
+}
+
+/// One client's completed-request tallies.
+#[derive(Default)]
+struct ClientTally {
+    latencies_ns: Vec<u64>,
+    lane_batched: usize,
+    cross_request: usize,
+    tiles: usize,
+}
+
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".into());
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // On a single-CPU machine still exercise the pool path (2 workers).
+    let threads = cpus.clamp(2, 8);
+
+    // 40×40 image, 10-pixel tiles → 16 tiles per request: enough tiles that
+    // concurrent requests genuinely interleave inside the dispatch window.
+    let img = bench_image();
+    let config = PipelineConfig {
+        stream_length: 256,
+        tile_size: 10,
+        ..PipelineConfig::default()
+    };
+    let variant = PipelineVariant::Synchronizer;
+    let clients = 4usize;
+    let images_per_client = 6usize;
+    let n_images = clients * images_per_client;
+
+    // --- Sequential baseline: N one-shot pipeline calls, each re-planning
+    // its tiles and spinning its own executor.
+    let t0 = Instant::now();
+    for _ in 0..n_images {
+        std::hint::black_box(
+            run_sc_pipeline_with_threads(&img, variant, &config, threads)
+                .expect("baseline pipeline executes"),
+        );
+    }
+    let sequential_secs = t0.elapsed().as_secs_f64();
+    let sequential_ips = n_images as f64 / sequential_secs;
+
+    // --- Warm serving tier: one server, `clients` open-loop producers.
+    // Each client submits its whole batch without waiting between
+    // submissions (backpressure comes from the bounded intake), then drains
+    // its handles — so requests from different clients overlap in the
+    // dispatch window and same-class tiles coalesce across requests.
+    let sink = TelemetrySink::new();
+    let server = ImageServer::builder(variant, config.clone().with_telemetry(sink.clone()))
+        .with_threads(threads)
+        .start()
+        .expect("server starts");
+    // One warm-up image: compiles the tile classes into the shared cache so
+    // the measured window reflects steady-state serving, exactly what the
+    // warm tier exists to provide.
+    server
+        .submit(&img)
+        .expect("warm-up submit")
+        .wait()
+        .expect("warm-up completes");
+
+    let t0 = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut pending = Vec::with_capacity(images_per_client);
+                    for _ in 0..images_per_client {
+                        pending.push(server.submit(&img).expect("serving submit"));
+                    }
+                    let mut tally = ClientTally::default();
+                    for handle in pending {
+                        let response = handle.wait().expect("served image completes");
+                        tally.latencies_ns.push(response.attribution.wall_ns);
+                        tally.lane_batched += response.lane_batched_jobs;
+                        tally.cross_request += response.cross_request_lane_jobs;
+                        tally.tiles += response.tiles;
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let serving_secs = t0.elapsed().as_secs_f64();
+    let serving_ips = n_images as f64 / serving_secs;
+    let speedup = serving_ips / sequential_ips;
+
+    let mut latencies: Vec<u64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let p50_ns = quantile_ns(&latencies, 0.50);
+    let p99_ns = quantile_ns(&latencies, 0.99);
+    let total_tiles: usize = tallies.iter().map(|t| t.tiles).sum();
+    let lane_batched: usize = tallies.iter().map(|t| t.lane_batched).sum();
+    let cross_request: usize = tallies.iter().map(|t| t.cross_request).sum();
+    let cross_share = cross_request as f64 / total_tiles as f64;
+    let report = sink.drain();
+    drop(server);
+
+    println!(
+        "sequential {sequential_ips:>8.2} images/sec   warm serving {serving_ips:>8.2} \
+         images/sec   ({speedup:.2}x)"
+    );
+    println!(
+        "request latency p50 {:.2} ms   p99 {:.2} ms   cross-request lane share {:.1}% \
+         ({cross_request}/{total_tiles} tiles)",
+        p50_ns as f64 / 1e6,
+        p99_ns as f64 / 1e6,
+        cross_share * 100.0
+    );
+
+    // --- Deterministic two-request probe for the coalescing gate: a fresh
+    // single-threaded server, two same-kernel images submitted back to
+    // back — the dispatcher's round-robin intake must interleave their
+    // same-class tiles into mixed lane groups. The submit gap is
+    // microseconds against the dispatcher's 50 ms coalescing wait, but the
+    // scheduler can in principle starve the second submit, so a few
+    // attempts are allowed.
+    let mut probe_cross = 0usize;
+    for _ in 0..5 {
+        let probe_sink = TelemetrySink::new();
+        let probe =
+            ImageServer::builder(variant, config.clone().with_telemetry(probe_sink.clone()))
+                .with_threads(1)
+                .start()
+                .expect("probe server starts");
+        let a = probe.submit(&img).expect("probe submit a");
+        let b = probe.submit(&img).expect("probe submit b");
+        a.wait().expect("probe a completes");
+        b.wait().expect("probe b completes");
+        drop(probe);
+        probe_cross = probe_sink.drain().counter(Counter::CrossRequestLaneJobs) as usize;
+        if probe_cross > 0 {
+            break;
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("cpus", Json::u64(cpus as u64)),
+        ("threads", Json::u64(threads as u64)),
+        ("host", sc_bench::host_context()),
+        (
+            "workload",
+            Json::str("40x40 image, 10px tiles (16 tiles), N=256, synchronizer variant"),
+        ),
+        ("clients", Json::u64(clients as u64)),
+        ("images", Json::u64(n_images as u64)),
+        ("sequential_images_per_sec", Json::fixed(sequential_ips, 2)),
+        ("serving_images_per_sec", Json::fixed(serving_ips, 2)),
+        ("serving_vs_sequential", Json::fixed(speedup, 3)),
+        (
+            "request_latency_p50_ms",
+            Json::fixed(p50_ns as f64 / 1e6, 3),
+        ),
+        (
+            "request_latency_p99_ms",
+            Json::fixed(p99_ns as f64 / 1e6, 3),
+        ),
+        ("lane_batched_tiles", Json::u64(lane_batched as u64)),
+        ("cross_request_lane_tiles", Json::u64(cross_request as u64)),
+        ("cross_request_lane_share", Json::fixed(cross_share, 3)),
+        (
+            "probe_cross_request_lane_tiles",
+            Json::u64(probe_cross as u64),
+        ),
+        ("telemetry", report.to_json()),
+    ]);
+    std::fs::write(&out_path, doc.to_string_pretty()).expect("write BENCH_serving.json");
+    println!("\nwrote {out_path}");
+
+    // Gate 1: concurrent same-kernel requests coalesce across request
+    // boundaries (the deterministic probe; the open-loop run above usually
+    // shows a healthy share too, but its interleaving is load-dependent).
+    assert!(
+        probe_cross > 0,
+        "two concurrent same-kernel image requests produced no cross-request \
+         lane-batched tiles"
+    );
+    println!("cross-request coalescing: probe mixed {probe_cross} tiles across requests");
+
+    // Gate 2: the warm tier keeps up with (and normally beats) sequential
+    // one-shot calls. A single-CPU runner gets a small tolerance for
+    // scheduling noise; with real parallelism the warm tier must win.
+    let floor = if cpus > 1 { 1.0 } else { 0.85 };
+    assert!(
+        speedup >= floor,
+        "warm serving ({serving_ips:.2} images/s) fell below {floor:.2}x of sequential \
+         one-shot calls ({sequential_ips:.2} images/s) on {cpus} CPUs"
+    );
+    println!("warm serving holds >= {floor:.2}x sequential throughput ({speedup:.2}x)");
+}

@@ -53,7 +53,7 @@ static PLAN_CLASS: AtomicU64 = AtomicU64::new(0);
 /// compiled under different optimizer configurations can never share a
 /// class even if a future cache grows collision-prone.
 pub(crate) fn next_plan_class(passes: PassSet) -> u64 {
-    (PLAN_CLASS.fetch_add(1, Ordering::Relaxed) << 3) | passes.bits()
+    (PLAN_CLASS.fetch_add(1, Ordering::Relaxed) << 4) | passes.bits()
 }
 
 /// Selects which optimizer passes of the compile pipeline run. The
@@ -71,6 +71,10 @@ pub struct PassSet {
     /// runs into chain steps (span-fusion pass; also requires the
     /// deprecated [`PlannerOptions::fuse`] alias to stay `true`).
     pub fusion: bool,
+    /// Drop dead interior nodes — nodes no sink transitively consumes,
+    /// including inputs of CSE-merged losers that lost their last consumer —
+    /// from scheduling entirely (dead-node-elimination pass).
+    pub dce: bool,
 }
 
 impl Default for PassSet {
@@ -87,6 +91,7 @@ impl PassSet {
             cse: true,
             cost_repair: true,
             fusion: true,
+            dce: true,
         }
     }
 
@@ -98,14 +103,18 @@ impl PassSet {
             cse: false,
             cost_repair: false,
             fusion: false,
+            dce: false,
         }
     }
 
-    /// Compact bit encoding (3 bits), folded into
+    /// Compact bit encoding (4 bits), folded into
     /// [`CompiledGraph::plan_class`].
     #[must_use]
     pub fn bits(self) -> u64 {
-        u64::from(self.cse) | (u64::from(self.cost_repair) << 1) | (u64::from(self.fusion) << 2)
+        u64::from(self.cse)
+            | (u64::from(self.cost_repair) << 1)
+            | (u64::from(self.fusion) << 2)
+            | (u64::from(self.dce) << 3)
     }
 }
 
@@ -292,6 +301,9 @@ pub struct CompileReport {
     /// Linear spans the span-fusion pass collapsed into [`Step::Fused`]
     /// steps.
     pub fused_spans: usize,
+    /// Dead interior nodes the dead-node-elimination pass dropped from
+    /// scheduling (nodes no sink transitively consumes).
+    pub dead_nodes: usize,
     /// Executable steps eliminated by span fusion (nodes folded into a
     /// fused step minus the fused steps themselves).
     pub steps_eliminated: usize,
@@ -571,7 +583,7 @@ impl CompiledGraph {
     /// class are structurally identical (same steps, slots, and scheduling;
     /// only source seeding may differ), so the executor can transpose a
     /// group of same-class jobs into lanes and step them in lockstep. The
-    /// low three bits encode the compiled [`PassSet`], so differently
+    /// low four bits encode the compiled [`PassSet`], so differently
     /// optimized builds of one graph can never collide.
     #[must_use]
     pub fn plan_class(&self) -> u64 {
@@ -794,8 +806,8 @@ mod tests {
         };
         let optimized = build(PassSet::all());
         let baseline = build(PassSet::none());
-        assert_eq!(optimized.plan_class() & 0b111, PassSet::all().bits());
-        assert_eq!(baseline.plan_class() & 0b111, 0);
+        assert_eq!(optimized.plan_class() & 0b1111, PassSet::all().bits());
+        assert_eq!(baseline.plan_class() & 0b1111, 0);
         assert_eq!(optimized.passes(), PassSet::all());
         assert_eq!(baseline.passes(), PassSet::none());
     }
@@ -1182,8 +1194,7 @@ mod tests {
         };
         let cse_only = PassSet {
             cse: true,
-            cost_repair: false,
-            fusion: false,
+            ..PassSet::none()
         };
         let optimized = build()
             .compile(&PlannerOptions::with_passes(cse_only))
@@ -1222,9 +1233,8 @@ mod tests {
             g
         };
         let repair_only = PassSet {
-            cse: false,
             cost_repair: true,
-            fusion: false,
+            ..PassSet::none()
         };
         let optimized = build()
             .compile(&PlannerOptions::with_passes(repair_only))
@@ -1261,9 +1271,8 @@ mod tests {
             g
         };
         let fuse_only = PassSet {
-            cse: false,
-            cost_repair: false,
             fusion: true,
+            ..PassSet::none()
         };
         let optimized = build()
             .compile(&PlannerOptions::with_passes(fuse_only))
@@ -1318,6 +1327,7 @@ mod tests {
                 "validate",
                 "scc-infer",
                 "subgraph-cse",
+                "dead-node-elim",
                 "repair-placement",
                 "span-fusion",
                 "emit"
@@ -1347,6 +1357,49 @@ mod tests {
     }
 
     #[test]
+    fn dead_node_elim_drops_orphans_without_changing_output() {
+        // An orphaned multiply chain never reaches the sink: DCE drops it
+        // from scheduling, and the sink value is bit-identical either way.
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.generate(0, sobol(1));
+            let y = g.generate(1, sobol(2));
+            let z = g.binary(BinaryOp::XorSubtract, x, y);
+            g.sink_value("z", z);
+            let a = g.generate(2, sobol(3));
+            let b = g.generate(3, sobol(4));
+            g.binary(BinaryOp::AndMultiply, a, b); // orphan: no sink
+            g
+        };
+        let g = build();
+        let dce = g.compile(&PlannerOptions::default()).unwrap();
+        assert_eq!(dce.report().dead_nodes, 3, "orphan chain (2 gens + AND)");
+        let delta = dce
+            .report()
+            .pass_deltas
+            .iter()
+            .find(|d| d.pass == "dead-node-elim")
+            .unwrap();
+        assert_eq!(delta.nodes_removed, 3);
+        let kept = g
+            .compile(&PlannerOptions::with_passes(PassSet {
+                dce: false,
+                ..PassSet::all()
+            }))
+            .unwrap();
+        assert_eq!(kept.report().dead_nodes, 0);
+        assert!(
+            dce.steps().len() < kept.steps().len(),
+            "DCE should schedule fewer steps"
+        );
+        let exec = crate::Executor::new(256);
+        let input = crate::exec::BatchInput::with_values(vec![0.8, 0.3, 0.5, 0.5]);
+        let a = exec.run_batch(&dce, std::slice::from_ref(&input)).unwrap();
+        let b = exec.run_batch(&kept, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(a[0].value("z"), b[0].value("z"));
+    }
+
+    #[test]
     fn dump_ir_hook_sees_every_executed_pass() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static DUMPS: AtomicUsize = AtomicUsize::new(0);
@@ -1365,7 +1418,8 @@ mod tests {
             ..PlannerOptions::default()
         };
         g.compile(&options).unwrap();
-        // validate, scc-infer, subgraph-cse, repair-placement, span-fusion.
-        assert_eq!(DUMPS.load(Ordering::SeqCst), 5);
+        // validate, scc-infer, subgraph-cse, dead-node-elim,
+        // repair-placement, span-fusion.
+        assert_eq!(DUMPS.load(Ordering::SeqCst), 6);
     }
 }

@@ -161,7 +161,7 @@ pub struct WorkerPool {
 }
 
 /// A unit of pool work.
-type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+pub(crate) type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 
 struct PoolShared {
     queue: Mutex<PoolQueue>,
@@ -211,7 +211,7 @@ impl WorkerPool {
     }
 
     /// Enqueues one task for the next free worker.
-    fn submit(&self, task: PoolTask) {
+    pub(crate) fn submit(&self, task: PoolTask) {
         let depth = {
             let mut queue = self
                 .shared
@@ -770,7 +770,7 @@ fn check_pair_lengths(
 /// re-assembly, and observes the group's duration once per member job in
 /// [`Hist::JobLatencyNs`] — the group *is* each member's latency, since the
 /// lanes finish together.
-fn execute_plan_group(
+pub(crate) fn execute_plan_group(
     n: usize,
     group: &[StreamJob],
     telemetry: &TelemetrySink,
@@ -905,7 +905,7 @@ fn execute_plan_group(
 /// Executes one job solo under a [`Stage::ScalarExecute`] span, observing
 /// its duration in [`Hist::JobLatencyNs`] (globally and keyed by the job's
 /// plan class).
-fn execute_job_scalar(
+pub(crate) fn execute_job_scalar(
     n: usize,
     job: &StreamJob,
     telemetry: &TelemetrySink,

@@ -97,6 +97,7 @@ pub mod exec;
 pub mod graph;
 pub mod node;
 mod passes;
+pub mod serve;
 
 pub use compile::{
     CompileReport, CompiledGraph, MeasuredPair, PassDelta, PassSet, PlannerOptions, Step,
@@ -110,3 +111,7 @@ pub use node::{
     BinaryOp, CorrRequirement, ManipulatorKind, Node, NodeId, NodeOp, SccClass, UnaryFsmOp, Wire,
 };
 pub use sc_telemetry::{TelemetryReport, TelemetrySink};
+pub use serve::{
+    Request, RequestAttribution, RequestError, RequestHandle, RequestReport, Service,
+    ServiceConfig, SubmitError,
+};

@@ -1,0 +1,79 @@
+//! The **dead-node-elim** pass: drop nodes no sink transitively consumes.
+
+use super::{Ir, Pass};
+use crate::compile::{CompileReport, PlannerOptions};
+use crate::graph::GraphError;
+use sc_telemetry::{Stage, TelemetrySink};
+
+/// Removes dead interior nodes from scheduling: a reverse reachability walk
+/// from the live sinks marks every node some output still depends on, and
+/// everything else is taken out of the live set so emission never schedules
+/// it. This catches both orphaned nodes built but never wired to a sink and
+/// the inputs of CSE-merged losers — when subgraph-cse rewires a duplicate's
+/// consumers to the representative, the duplicate's private upstream chain
+/// loses its last consumer, and re-checking reachability here is what
+/// finally drops it.
+///
+/// Runs after subgraph-cse (so the walk sees canonicalized inputs and newly
+/// dead losers) and before repair-placement (so the planner never prices or
+/// repairs an operator that will not execute). Bit-identity holds because a
+/// dead node's stream is observable through no sink, and every source step's
+/// sample positions are fixed by its own `(SourceSpec, skip)` — removing an
+/// unrelated node cannot shift them.
+///
+/// Sink-free graphs are left untouched: with no roots the whole graph would
+/// be "dead", and compiling a sink-free graph for its structure (e.g. cost
+/// inspection) is legal today.
+pub(crate) struct DeadNodeElim;
+
+impl Pass for DeadNodeElim {
+    fn name(&self) -> &'static str {
+        "dead-node-elim"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::CompileDce
+    }
+
+    fn enabled(&self, options: &PlannerOptions) -> bool {
+        options.passes.dce
+    }
+
+    fn run(
+        &self,
+        ir: &mut Ir,
+        _options: &PlannerOptions,
+        report: &mut CompileReport,
+        _telemetry: &TelemetrySink,
+    ) -> Result<String, GraphError> {
+        let n = ir.nodes.len();
+        let mut needed = vec![false; n];
+        let mut stack: Vec<usize> = (0..n)
+            .filter(|&i| ir.live[i] && ir.nodes[i].op.is_sink())
+            .collect();
+        if stack.is_empty() {
+            return Ok("no sinks; graph kept as-is".to_string());
+        }
+        for &root in &stack {
+            needed[root] = true;
+        }
+        while let Some(i) = stack.pop() {
+            for wire in &ir.nodes[i].inputs {
+                let producer = wire.node().index();
+                if !needed[producer] {
+                    needed[producer] = true;
+                    stack.push(producer);
+                }
+            }
+        }
+        let mut dropped = 0usize;
+        for (live, keep) in ir.live.iter_mut().zip(&needed) {
+            if *live && !keep {
+                *live = false;
+                dropped += 1;
+            }
+        }
+        report.dead_nodes = dropped;
+        Ok(format!("{dropped} dead nodes dropped"))
+    }
+}

@@ -16,16 +16,19 @@
 //!    therefore the same SCC classes): duplicate nodes are merged into one
 //!    representative and their consumers rewired, extending the executor's
 //!    select-source sharing to arbitrary repeated structure.
-//! 4. **repair-placement** ([`Stage::CompileRepair`]) — where an inferred
+//! 4. **dead-node-elim** ([`Stage::CompileDce`]) — reverse reachability
+//!    from the live sinks drops orphaned interior nodes and the upstream
+//!    chains of CSE-merged losers from scheduling entirely.
+//! 5. **repair-placement** ([`Stage::CompileRepair`]) — where an inferred
 //!    class misses an operator's precondition, enumerates the legal repairs,
 //!    prices each through the `sc_hwcost` bridge, and applies the cheapest
 //!    (reusing an existing identical repair when one exists, which is free
 //!    and bit-identical).
-//! 5. **span-fusion** ([`Stage::CompileFuse`]) — groups maximal linear
+//! 6. **span-fusion** ([`Stage::CompileFuse`]) — groups maximal linear
 //!    source→gate→sink spans (single-consumer chains of non-FSM steps) so
 //!    emission collapses each group into one [`crate::Step::Fused`] step,
 //!    beyond the manipulator-chain fusion emission already performs.
-//! 6. **emit** ([`Stage::CompileEmit`]) — topological scheduling, dense
+//! 7. **emit** ([`Stage::CompileEmit`]) — topological scheduling, dense
 //!    slot assignment, manipulator-chain fusion, and step emission.
 //!
 //! Every optimizer pass preserves bit-identity: an optimized plan and its
@@ -39,6 +42,7 @@
 //! as its own span under `compile`.
 
 pub(crate) mod cse;
+pub(crate) mod dce;
 pub(crate) mod emit;
 pub(crate) mod fuse;
 pub(crate) mod infer;
@@ -156,10 +160,11 @@ pub(crate) fn run_pipeline(
     }
     let mut ir = Ir::new(graph.nodes.to_vec());
     let mut report = CompileReport::default();
-    let passes: [&dyn Pass; 5] = [
+    let passes: [&dyn Pass; 6] = [
         &validate::Validate,
         &infer::SccInfer,
         &cse::SubgraphCse,
+        &dce::DeadNodeElim,
         &repair::RepairPlacement,
         &fuse::SpanFusion,
     ];

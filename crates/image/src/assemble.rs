@@ -1,0 +1,37 @@
+//! The **results-assembly layer** of the tiled pipeline: scattering per-tile
+//! sink values back into the output image.
+//!
+//! Both execution fronts end here — the one-shot streaming pipeline after
+//! its dispatch drains, and the serving tier when a request's
+//! [`sc_graph::RequestReport`] arrives — so the scatter is one shared,
+//! telemetry-instrumented function rather than two copies.
+
+use crate::image::GrayImage;
+use sc_graph::ExecOutput;
+use sc_telemetry::{Stage, TelemetrySink};
+
+/// Scatters each tile's named sink values into the output image. `sinks[i]`
+/// holds the output coordinates of tile `i`'s value sinks and `results[i]`
+/// the tile's executed outputs, in the same tile order.
+///
+/// # Panics
+///
+/// Panics if a listed sink name is missing from its tile's output — tile
+/// graphs emit one value sink per pixel by construction, so a miss is a
+/// planner/executor contract violation, not a runtime condition.
+pub fn scatter_sinks(
+    output: &mut GrayImage,
+    sinks: &[Vec<(usize, usize, String)>],
+    results: &[ExecOutput],
+    telemetry: &TelemetrySink,
+) {
+    let _collect = telemetry.span(Stage::SinkCollect);
+    for (tile_sinks, result) in sinks.iter().zip(results) {
+        for (x, y, name) in tile_sinks {
+            let value = result
+                .value(name)
+                .expect("every tile pixel has a value sink");
+            output.set(*x, *y, value);
+        }
+    }
+}

@@ -59,13 +59,17 @@
 #![warn(missing_docs)]
 
 pub mod accelerator;
+pub mod assemble;
 pub mod edge;
 pub mod gaussian;
 pub mod graph;
 pub mod image;
 pub mod pipeline;
+pub mod planner;
+pub mod serve;
 
 pub use accelerator::{AcceleratorCost, CostBreakdown};
+pub use assemble::scatter_sinks;
 pub use edge::{roberts_cross_float, sc_edge_detector};
 pub use gaussian::{gaussian_blur_float, ScGaussianBlur, GAUSSIAN_WEIGHTS};
 pub use graph::{measured_planner_options, planner_options, tile_graph, tile_mean, TileGraph};
@@ -74,4 +78,6 @@ pub use pipeline::{
     run_float_pipeline, run_sc_pipeline, run_sc_pipeline_with_stats, run_sc_pipeline_with_threads,
     run_sc_pipeline_with_window, PipelineConfig, PipelineStats, PipelineVariant,
 };
+pub use planner::{tile_origins, PlannedTile, TilePlanner};
 pub use sc_telemetry::{TelemetryReport, TelemetrySink};
+pub use serve::{ImageHandle, ImageResponse, ImageServer, ImageServerBuilder, ImageSubmitError};

@@ -16,20 +16,15 @@
 //! processing. The pre-graph per-tile loop is retained in `crate::graph`'s
 //! tests as the bit-identity reference.
 
+use crate::assemble::scatter_sinks;
 use crate::edge::roberts_cross_float;
 use crate::gaussian::gaussian_blur_float;
-use crate::graph::{
-    blur_select_seed, edge_select_seed, measured_planner_options, planner_options, tile_graph,
-    tile_mean,
-};
 use crate::image::{GrayImage, ImageError};
+use crate::planner::TilePlanner;
 use sc_core::LANES;
-use sc_graph::{CompiledGraph, Executor, StreamJob};
-use sc_rng::SourceSpec;
-use sc_telemetry::{Counter, Stage, TelemetrySink};
-use std::collections::HashMap;
+use sc_graph::{Executor, StreamJob};
+use sc_telemetry::TelemetrySink;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
 
 /// How the accelerator handles correlation between the Gaussian-blur outputs
 /// and the edge-detector inputs.
@@ -272,20 +267,6 @@ pub struct PipelineStats {
     pub shared_sources: usize,
 }
 
-/// A cached compiled plan for one tile class, with the select-LFSR seeds it
-/// was compiled against (needed to retarget it to another tile's seeds).
-struct CachedPlan {
-    plan: Arc<CompiledGraph>,
-    blur_seed: u64,
-    edge_seed: u64,
-}
-
-/// Plan-cache key: tile width, tile height, source-bank phase (x0 mod 4,
-/// y0 mod 2), and — in measured-SCC mode — the quantised probe-stimulus
-/// bucket (`None` for the structural planner, whose plans are
-/// brightness-independent).
-type PlanKey = (usize, usize, usize, usize, Option<usize>);
-
 /// Runs the stochastic accelerator over the whole image, tile by tile, and
 /// returns the edge-magnitude output image.
 ///
@@ -375,7 +356,10 @@ pub fn run_sc_pipeline_with_window(
         return Err(ImageError::EmptyImage);
     }
     let mut output = GrayImage::filled(image.width(), image.height(), 0.0);
-    let mut cache: HashMap<PlanKey, CachedPlan> = HashMap::new();
+    // A fresh per-run planner keeps the historical unbounded per-run cache;
+    // the serving tier ([`crate::ImageServer`]) is the front that holds one
+    // planner across many requests.
+    let mut planner = TilePlanner::new(variant, config.clone());
     let mut stats = PipelineStats::default();
     let tile = config.tile_size;
 
@@ -383,16 +367,7 @@ pub fn run_sc_pipeline_with_window(
     // therefore every select seed, identical to the sequential reference
     // loop. The origin list is O(tiles) coordinates — the heavy per-tile
     // state (graph, plan, input streams) is only built inside the window.
-    let mut origins: Vec<(usize, usize)> = Vec::new();
-    let mut y0 = 0;
-    while y0 < image.height() {
-        let mut x0 = 0;
-        while x0 < image.width() {
-            origins.push((x0, y0));
-            x0 += tile;
-        }
-        y0 += tile;
-    }
+    let origins = crate::planner::tile_origins(image, tile);
 
     // Stream the tiles: the executor pulls this iterator lazily (on the
     // caller's thread, so the cache and stats need no locking) whenever the
@@ -403,16 +378,7 @@ pub fn run_sc_pipeline_with_window(
         .with_threads(threads.max(1))
         .with_telemetry(config.telemetry.clone());
     let jobs = origins.iter().enumerate().map(|(tile_index, &(x0, y0))| {
-        let planned = plan_tile(
-            image,
-            x0,
-            y0,
-            variant,
-            config,
-            tile_index as u64,
-            &mut cache,
-            &mut stats,
-        );
+        let planned = planner.plan_tile(image, x0, y0, tile_index as u64, &mut stats);
         sinks.push(planned.sinks);
         StreamJob {
             plan: planned.plan,
@@ -429,139 +395,8 @@ pub fn run_sc_pipeline_with_window(
     stats.classes = stream_stats.classes;
 
     // Scatter the per-tile sink values into the output image.
-    let collect = config.telemetry.span(Stage::SinkCollect);
-    for (tile_sinks, result) in sinks.iter().zip(&results) {
-        for (x, y, name) in tile_sinks {
-            let value = result
-                .value(name)
-                .expect("every tile pixel has a value sink");
-            output.set(*x, *y, value);
-        }
-    }
-    drop(collect);
+    scatter_sinks(&mut output, &sinks, &results, &config.telemetry);
     Ok((output, stats))
-}
-
-/// One tile ready for dispatch: its compiled (possibly cache-retargeted)
-/// plan, its input pixel values, and the output coordinates of its sinks.
-struct PlannedTile {
-    plan: Arc<CompiledGraph>,
-    input: sc_graph::BatchInput,
-    sinks: Vec<(usize, usize, String)>,
-}
-
-/// Plans one tile whose top-left corner is `(x0, y0)`: build the tile's
-/// dataflow graph and obtain a compiled plan — from the shape cache with the
-/// tile's select seeds retargeted in, or by compiling and caching.
-#[allow(clippy::too_many_arguments)]
-fn plan_tile(
-    image: &GrayImage,
-    x0: usize,
-    y0: usize,
-    variant: PipelineVariant,
-    config: &PipelineConfig,
-    tile_index: u64,
-    cache: &mut HashMap<PlanKey, CachedPlan>,
-    stats: &mut PipelineStats,
-) -> PlannedTile {
-    let telemetry = &config.telemetry;
-    stats.tiles += 1;
-    telemetry.add(Counter::Tiles, 1);
-    let tile = tile_graph(image, x0, y0, variant, config, tile_index);
-    // Cache key: the tile shape *and* the tile origin's phase in the input
-    // source-bank pattern. `pixel_bank_index` assigns each input pixel's
-    // Sobol dimension from its absolute coordinates with periods 4 (x) and
-    // 2 (y), so only tiles whose origins agree modulo those periods build
-    // identical `Generate` layouts; two equal-shape tiles at different
-    // phases must not share a plan. In measured-SCC mode the quantised
-    // probe-stimulus bucket joins the key, so tiles whose mean brightness
-    // lands in different buckets never share a measured compile.
-    let bucket = config.measure_scc.is_some().then(|| {
-        ((tile_mean(&tile.input) * MEASURE_BUCKETS as f64).floor() as usize)
-            .min(MEASURE_BUCKETS - 1)
-    });
-    let key = (
-        (x0 + config.tile_size).min(image.width()) - x0,
-        (y0 + config.tile_size).min(image.height()) - y0,
-        x0 % 4,
-        y0 % 2,
-        bucket,
-    );
-    let blur_seed = blur_select_seed(tile_index);
-    let edge_seed = edge_select_seed(tile_index);
-    // Tiles sharing a key build structurally identical graphs whose only
-    // difference is the two per-tile select-LFSR seeds, so the cached plan
-    // retargets onto this tile exactly. A (theoretical) seed collision
-    // between the blur and edge selects would make the rewrite ambiguous, so
-    // such tiles fall back to a direct compile.
-    let cached = cache
-        .get(&key)
-        .filter(|c| c.blur_seed != c.edge_seed && blur_seed != edge_seed);
-    let plan = match cached {
-        Some(c) => {
-            telemetry.add(Counter::PlanCacheHits, 1);
-            let _hit = telemetry.span(Stage::PlanCacheHit);
-            let retarget = telemetry.span(Stage::Retarget);
-            let plan = Arc::new(c.plan.retarget_sources(|spec| match spec {
-                SourceSpec::Lfsr { width: 16, seed } if *seed == c.blur_seed => {
-                    Some(SourceSpec::Lfsr {
-                        width: 16,
-                        seed: blur_seed,
-                    })
-                }
-                SourceSpec::Lfsr { width: 16, seed } if *seed == c.edge_seed => {
-                    Some(SourceSpec::Lfsr {
-                        width: 16,
-                        seed: edge_seed,
-                    })
-                }
-                _ => None,
-            }));
-            drop(retarget);
-            plan
-        }
-        None => {
-            telemetry.add(Counter::PlanCacheMisses, 1);
-            let _miss = telemetry.span(Stage::PlanCacheMiss);
-            stats.compilations += 1;
-            // Measured mode probes at the bucket's midpoint, so every tile
-            // the bucket covers sees the same planner decisions and the
-            // cached template retargets onto all of them.
-            let options = match bucket {
-                Some(b) => measured_planner_options(
-                    variant,
-                    config,
-                    (b as f64 + 0.5) / MEASURE_BUCKETS as f64,
-                ),
-                None => planner_options(variant, config),
-            };
-            let plan = Arc::new(
-                tile.graph
-                    .compile_with_telemetry(&options, telemetry)
-                    .expect("tile graphs are structurally valid by construction"),
-            );
-            let report = plan.report();
-            stats.steps_eliminated += report.steps_eliminated;
-            stats.fused_spans += report.fused_spans;
-            stats.shared_subgraphs += report.shared_subgraphs;
-            stats.shared_repairs += report.shared_repairs;
-            stats.shared_sources += report.shared_sources;
-            cache.insert(
-                key,
-                CachedPlan {
-                    plan: Arc::clone(&plan),
-                    blur_seed,
-                    edge_seed,
-                },
-            );
-            plan
-        }
-    };
-    PlannedTile {
-        plan,
-        input: tile.input,
-        sinks: tile.sinks,
-    }
 }
 
 /// Quality summary of one accelerator variant against the float reference.

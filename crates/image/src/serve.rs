@@ -1,0 +1,386 @@
+//! The image **serving front**: whole-image requests over one warm
+//! [`sc_graph::Service`].
+//!
+//! [`ImageServer`] is the long-lived counterpart of the one-shot
+//! [`crate::run_sc_pipeline`] family. It keeps three things warm across
+//! requests: the service's worker pool (no per-image thread spin-up), the
+//! shared [`TilePlanner`] (one per-class plan cache for *all* requests, so a
+//! request whose tile classes were already compiled plans in retarget time),
+//! and the service's dispatch window (tiles from concurrently submitted
+//! images coalesce into the same lane-batched groups when they share a
+//! `plan_class` — the cross-request batching the serving tier exists for).
+//!
+//! [`ImageServer::submit`] decomposes the image into per-tile
+//! [`sc_graph::StreamJob`]s (raster order, so per-request select seeds — and
+//! therefore pixels — are bit-identical to the one-shot pipeline), submits
+//! them as one [`sc_graph::Request`], and returns an [`ImageHandle`] that
+//! assembles the output image on [`ImageHandle::wait`]. Submission blocks
+//! when the service's bounded intake is full ([`ImageServer::try_submit`]
+//! fails fast instead); per-request deadlines and cancellation pass straight
+//! through to the service.
+
+use crate::assemble::scatter_sinks;
+use crate::image::{GrayImage, ImageError};
+use crate::pipeline::{PipelineConfig, PipelineStats, PipelineVariant};
+use crate::planner::{tile_origins, TilePlanner};
+use sc_graph::{
+    Request, RequestAttribution, RequestError, RequestHandle, Service, ServiceConfig, StreamJob,
+    SubmitError,
+};
+use sc_telemetry::TelemetrySink;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Builder for an [`ImageServer`]; see [`ImageServer::builder`].
+#[derive(Debug, Clone)]
+pub struct ImageServerBuilder {
+    variant: PipelineVariant,
+    config: PipelineConfig,
+    threads: Option<usize>,
+    window: Option<usize>,
+    intake_capacity: Option<usize>,
+    plan_cache_capacity: Option<usize>,
+}
+
+impl ImageServerBuilder {
+    /// Sets the worker-thread count (default: available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Sets the service dispatch-window size (default: the executor
+    /// default, `threads ×`[`sc_graph::DEFAULT_WINDOW_FACTOR`]).
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window.max(1));
+        self
+    }
+
+    /// Sets the intake capacity in *tiles* (default:
+    /// `window ×`[`sc_graph::serve::DEFAULT_INTAKE_FACTOR`]).
+    #[must_use]
+    pub fn with_intake_capacity(mut self, capacity: usize) -> Self {
+        self.intake_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Bounds the shared plan cache to `capacity` compiled tile classes with
+    /// LRU eviction ([`TilePlanner::with_capacity`]); templates held by
+    /// in-flight tiles are pinned. Default: unbounded.
+    #[must_use]
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Starts the server: spins up the warm service and the shared planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::EmptyImage`] for degenerate configurations
+    /// (zero-sized tiles or streams), mirroring the one-shot pipeline.
+    pub fn start(self) -> Result<ImageServer, ImageError> {
+        if self.config.tile_size == 0
+            || self.config.stream_length == 0
+            || self.config.rng_bank_size == 0
+        {
+            return Err(ImageError::EmptyImage);
+        }
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        let mut service_config = ServiceConfig::new(self.config.stream_length)
+            .with_threads(threads)
+            .with_telemetry(self.config.telemetry.clone());
+        if let Some(window) = self.window {
+            service_config = service_config.with_window(window);
+        }
+        if let Some(capacity) = self.intake_capacity {
+            service_config = service_config.with_intake_capacity(capacity);
+        }
+        let planner = TilePlanner::new(self.variant, self.config.clone())
+            .with_capacity(self.plan_cache_capacity);
+        Ok(ImageServer {
+            service: Service::start(service_config),
+            planner: Mutex::new(planner),
+            telemetry: self.config.telemetry.clone(),
+        })
+    }
+}
+
+/// Why an image submission did not enter the service. Unlike
+/// [`sc_graph::SubmitError`] there is no payload to hand back — the caller
+/// still owns the input image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageSubmitError {
+    /// Non-blocking submit on a full intake queue.
+    Rejected,
+    /// The deadline had already expired at submit time.
+    Expired,
+    /// The server is shutting down.
+    ShutDown,
+}
+
+impl std::fmt::Display for ImageSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageSubmitError::Rejected => write!(f, "intake queue full"),
+            ImageSubmitError::Expired => write!(f, "deadline expired at submit"),
+            ImageSubmitError::ShutDown => write!(f, "image server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ImageSubmitError {}
+
+impl From<SubmitError> for ImageSubmitError {
+    fn from(err: SubmitError) -> Self {
+        match err {
+            SubmitError::Rejected(_) => ImageSubmitError::Rejected,
+            SubmitError::Expired(_) => ImageSubmitError::Expired,
+            SubmitError::ShutDown(_) => ImageSubmitError::ShutDown,
+        }
+    }
+}
+
+/// A completed image request: the rendered output plus its serving-tier
+/// accounting (a per-image view over [`sc_graph::RequestReport`]).
+#[derive(Debug, Clone)]
+pub struct ImageResponse {
+    /// The edge-magnitude output image.
+    pub image: GrayImage,
+    /// Tiles the request decomposed into.
+    pub tiles: usize,
+    /// Wall-clock attribution across the serving stages
+    /// (submit → queue-wait → execute → assemble, summing to `wall_ns`).
+    pub attribution: RequestAttribution,
+    /// Tiles executed through the lane-batched path.
+    pub lane_batched_jobs: usize,
+    /// Tiles executed through the scalar path.
+    pub scalar_jobs: usize,
+    /// Lane-batched tiles whose group mixed tiles from two or more requests.
+    pub cross_request_lane_jobs: usize,
+    /// Planning-side accounting for this request (tiles planned, plan-cache
+    /// compilations, optimizer deltas); execution-side fields are zero —
+    /// they live in the request's lane/scalar tallies above.
+    pub planning: PipelineStats,
+}
+
+/// An in-flight image request; resolves on [`wait`](ImageHandle::wait).
+pub struct ImageHandle {
+    handle: RequestHandle,
+    sinks: Vec<Vec<(usize, usize, String)>>,
+    width: usize,
+    height: usize,
+    planning: PipelineStats,
+    telemetry: TelemetrySink,
+}
+
+impl std::fmt::Debug for ImageHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageHandle")
+            .field("id", &self.handle.id())
+            .field("tiles", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ImageHandle {
+    /// The underlying request id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.handle.id()
+    }
+
+    /// Whether the request has already finished (completed or failed).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Requests cancellation: undispatched tiles are dropped and already
+    /// completed tile results are discarded; `wait` reports
+    /// [`RequestError::Cancelled`].
+    pub fn cancel(&self) {
+        self.handle.cancel();
+    }
+
+    /// Blocks until the request resolves and assembles the output image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the request's [`RequestError`]: the deterministic
+    /// first-failing-tile error, cancellation, deadline expiry, or server
+    /// shutdown.
+    pub fn wait(self) -> Result<ImageResponse, RequestError> {
+        let report = self.handle.wait()?;
+        let mut image = GrayImage::filled(self.width, self.height, 0.0);
+        scatter_sinks(&mut image, &self.sinks, &report.outputs, &self.telemetry);
+        Ok(ImageResponse {
+            image,
+            tiles: report.outputs.len(),
+            attribution: report.attribution,
+            lane_batched_jobs: report.lane_batched_jobs,
+            scalar_jobs: report.scalar_jobs,
+            cross_request_lane_jobs: report.cross_request_lane_jobs,
+            planning: self.planning,
+        })
+    }
+}
+
+/// The warm image server; see the [module docs](self).
+pub struct ImageServer {
+    service: Service,
+    planner: Mutex<TilePlanner>,
+    telemetry: TelemetrySink,
+}
+
+impl ImageServer {
+    /// A server for one variant + configuration with default sizing; use
+    /// [`builder`](Self::builder) to size threads, window, intake, and the
+    /// plan-cache bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::EmptyImage`] for degenerate configurations.
+    pub fn start(
+        variant: PipelineVariant,
+        config: PipelineConfig,
+    ) -> Result<ImageServer, ImageError> {
+        ImageServer::builder(variant, config).start()
+    }
+
+    /// A builder with default sizing for one variant + configuration.
+    #[must_use]
+    pub fn builder(variant: PipelineVariant, config: PipelineConfig) -> ImageServerBuilder {
+        ImageServerBuilder {
+            variant,
+            config,
+            threads: None,
+            window: None,
+            intake_capacity: None,
+            plan_cache_capacity: None,
+        }
+    }
+
+    /// The telemetry sink the server (and its service) records into.
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Compiled tile classes currently held by the shared plan cache.
+    #[must_use]
+    pub fn cached_classes(&self) -> usize {
+        self.planner
+            .lock()
+            .expect("planner lock is never poisoned")
+            .cached_classes()
+    }
+
+    /// Templates evicted by the plan cache's LRU bound so far.
+    #[must_use]
+    pub fn plan_cache_evictions(&self) -> u64 {
+        self.planner
+            .lock()
+            .expect("planner lock is never poisoned")
+            .evictions()
+    }
+
+    /// Submits a whole image, blocking while the service intake is full;
+    /// producers slow down to the service's pace rather than queueing
+    /// unboundedly.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageSubmitError::ShutDown`] if the server is stopping.
+    pub fn submit(&self, image: &GrayImage) -> Result<ImageHandle, ImageSubmitError> {
+        self.submit_request(image, None, false)
+    }
+
+    /// Like [`submit`](Self::submit) with an absolute deadline: expired-at-
+    /// submit requests fail fast with [`ImageSubmitError::Expired`]; in-
+    /// flight expiry drops the request's remaining tiles.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageSubmitError::Expired`] or [`ImageSubmitError::ShutDown`].
+    pub fn submit_with_deadline(
+        &self,
+        image: &GrayImage,
+        deadline: Instant,
+    ) -> Result<ImageHandle, ImageSubmitError> {
+        self.submit_request(image, Some(deadline), false)
+    }
+
+    /// Like [`submit_with_deadline`](Self::submit_with_deadline) with a
+    /// deadline `timeout` from now.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit_with_deadline`](Self::submit_with_deadline).
+    pub fn submit_with_timeout(
+        &self,
+        image: &GrayImage,
+        timeout: Duration,
+    ) -> Result<ImageHandle, ImageSubmitError> {
+        self.submit_request(image, Some(Instant::now() + timeout), false)
+    }
+
+    /// Non-blocking submit: fails with [`ImageSubmitError::Rejected`]
+    /// instead of waiting when the intake is full, so load-shedding
+    /// producers can drop or retry on their own schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageSubmitError::Rejected`], [`ImageSubmitError::Expired`], or
+    /// [`ImageSubmitError::ShutDown`].
+    pub fn try_submit(&self, image: &GrayImage) -> Result<ImageHandle, ImageSubmitError> {
+        self.submit_request(image, None, true)
+    }
+
+    fn submit_request(
+        &self,
+        image: &GrayImage,
+        deadline: Option<Instant>,
+        non_blocking: bool,
+    ) -> Result<ImageHandle, ImageSubmitError> {
+        // Plan all tiles up front under the shared planner lock: requests
+        // plan one at a time (compilation is already amortised by the shared
+        // cache), while execution below multiplexes freely.
+        let mut planner = self.planner.lock().expect("planner lock is never poisoned");
+        let tile_size = planner.config().tile_size;
+        let origins = tile_origins(image, tile_size);
+        let mut planning = PipelineStats::default();
+        let mut jobs = Vec::with_capacity(origins.len());
+        let mut sinks = Vec::with_capacity(origins.len());
+        for (tile_index, &(x0, y0)) in origins.iter().enumerate() {
+            let planned = planner.plan_tile(image, x0, y0, tile_index as u64, &mut planning);
+            sinks.push(planned.sinks);
+            jobs.push(StreamJob {
+                plan: planned.plan,
+                input: planned.input,
+            });
+        }
+        drop(planner);
+        let mut request = Request::new(jobs);
+        request.deadline = deadline;
+        let handle = if non_blocking {
+            self.service.try_submit(request)?
+        } else {
+            self.service.submit(request)?
+        };
+        Ok(ImageHandle {
+            handle,
+            sinks,
+            width: image.width(),
+            height: image.height(),
+            planning,
+            telemetry: self.telemetry.clone(),
+        })
+    }
+}

@@ -90,6 +90,9 @@ pub enum Stage {
     /// Compile pass: common-subexpression elimination over identical
     /// subgraphs.
     CompileCse,
+    /// Compile pass: dead-node elimination (orphaned interior nodes and
+    /// newly-dead inputs of CSE-merged losers).
+    CompileDce,
     /// Compile pass: cost-driven correlation-repair placement.
     CompileRepair,
     /// Compile pass: span-fusion analysis (manipulator chains + linear
@@ -120,15 +123,27 @@ pub enum Stage {
     DeTranspose,
     /// Scattering per-tile sink values into the output image.
     SinkCollect,
+    /// Admitting one request into the serving tier's intake queue
+    /// (decomposition into tile jobs included).
+    ServeSubmit,
+    /// Time one request's jobs spent queued before their first execution
+    /// (recorded once per request with the measured duration).
+    ServeQueueWait,
+    /// One dispatcher pass that drains admitted jobs into per-class
+    /// coalescing buckets (`arg` = jobs moved).
+    ServeCoalesce,
+    /// Re-assembling one request's tile results into its response.
+    ServeAssemble,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 18] = [
+    pub const ALL: [Stage; 23] = [
         Stage::Compile,
         Stage::CompileValidate,
         Stage::CompilePlan,
         Stage::CompileCse,
+        Stage::CompileDce,
         Stage::CompileRepair,
         Stage::CompileFuse,
         Stage::CompileEmit,
@@ -143,6 +158,10 @@ impl Stage {
         Stage::WorkerPark,
         Stage::DeTranspose,
         Stage::SinkCollect,
+        Stage::ServeSubmit,
+        Stage::ServeQueueWait,
+        Stage::ServeCoalesce,
+        Stage::ServeAssemble,
     ];
 
     /// The stage's stable export name.
@@ -153,6 +172,7 @@ impl Stage {
             Stage::CompileValidate => "compile.validate",
             Stage::CompilePlan => "compile.plan",
             Stage::CompileCse => "compile.cse",
+            Stage::CompileDce => "compile.dce",
             Stage::CompileRepair => "compile.repair",
             Stage::CompileFuse => "compile.fuse",
             Stage::CompileEmit => "compile.emit",
@@ -167,6 +187,10 @@ impl Stage {
             Stage::WorkerPark => "worker.park",
             Stage::DeTranspose => "de_transpose",
             Stage::SinkCollect => "sink.collect",
+            Stage::ServeSubmit => "serve.submit",
+            Stage::ServeQueueWait => "serve.queue_wait",
+            Stage::ServeCoalesce => "serve.coalesce",
+            Stage::ServeAssemble => "serve.assemble",
         }
     }
 }
@@ -194,13 +218,28 @@ pub enum Counter {
     PlanCacheHits,
     /// Tile plans compiled fresh (and cached) by the image pipeline.
     PlanCacheMisses,
+    /// Cached tile-class templates evicted by a bounded plan cache's LRU.
+    PlanCacheEvictions,
     /// Image tiles planned.
     Tiles,
+    /// Requests admitted into the serving tier's intake queue.
+    RequestsSubmitted,
+    /// Requests that completed (successfully or with a job error).
+    RequestsCompleted,
+    /// Requests rejected by a non-blocking submit on a full intake queue.
+    RequestsRejected,
+    /// Requests cancelled before completion.
+    RequestsCancelled,
+    /// Requests whose deadline expired (at submit or in flight).
+    RequestsExpired,
+    /// Lane-batched jobs that executed in a dispatch group mixing two or
+    /// more requests (cross-request coalescing at work).
+    CrossRequestLaneJobs,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 18] = [
         Counter::JobsPulled,
         Counter::JobsFailed,
         Counter::LaneBatchedJobs,
@@ -211,7 +250,14 @@ impl Counter {
         Counter::FusedRuns,
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
+        Counter::PlanCacheEvictions,
         Counter::Tiles,
+        Counter::RequestsSubmitted,
+        Counter::RequestsCompleted,
+        Counter::RequestsRejected,
+        Counter::RequestsCancelled,
+        Counter::RequestsExpired,
+        Counter::CrossRequestLaneJobs,
     ];
 
     /// The counter's stable export name.
@@ -228,7 +274,14 @@ impl Counter {
             Counter::FusedRuns => "fused_runs",
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
             Counter::Tiles => "tiles",
+            Counter::RequestsSubmitted => "requests_submitted",
+            Counter::RequestsCompleted => "requests_completed",
+            Counter::RequestsRejected => "requests_rejected",
+            Counter::RequestsCancelled => "requests_cancelled",
+            Counter::RequestsExpired => "requests_expired",
+            Counter::CrossRequestLaneJobs => "cross_request_lane_jobs",
         }
     }
 }
@@ -241,11 +294,17 @@ pub enum Gauge {
     WindowOccupancy,
     /// Tasks queued on the worker pool.
     QueueDepth,
+    /// Tile jobs admitted to the serving tier but not yet dispatched.
+    IntakeDepth,
 }
 
 impl Gauge {
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; 2] = [Gauge::WindowOccupancy, Gauge::QueueDepth];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::WindowOccupancy,
+        Gauge::QueueDepth,
+        Gauge::IntakeDepth,
+    ];
 
     /// The gauge's stable export name.
     #[must_use]
@@ -253,6 +312,7 @@ impl Gauge {
         match self {
             Gauge::WindowOccupancy => "window_occupancy",
             Gauge::QueueDepth => "queue_depth",
+            Gauge::IntakeDepth => "intake_depth",
         }
     }
 }
@@ -272,16 +332,20 @@ pub enum Hist {
     WorkerBusyNs,
     /// Nanoseconds a pool worker spent parked between tasks.
     WorkerIdleNs,
+    /// Wall-clock nanoseconds one serving-tier request took end to end
+    /// (submit to response).
+    RequestLatencyNs,
 }
 
 impl Hist {
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::JobLatencyNs,
         Hist::WindowOccupancy,
         Hist::QueueDepth,
         Hist::WorkerBusyNs,
         Hist::WorkerIdleNs,
+        Hist::RequestLatencyNs,
     ];
 
     /// The histogram's stable export name.
@@ -293,6 +357,7 @@ impl Hist {
             Hist::QueueDepth => "queue_depth",
             Hist::WorkerBusyNs => "worker_busy_ns",
             Hist::WorkerIdleNs => "worker_idle_ns",
+            Hist::RequestLatencyNs => "request_latency_ns",
         }
     }
 }
@@ -682,6 +747,28 @@ impl TelemetrySink {
                 arg,
                 start: Instant::now(),
             }),
+        }
+    }
+
+    /// Records a span with an explicitly measured duration, ending now —
+    /// for intervals measured across threads (e.g. the serving tier's
+    /// queue-wait, whose start and end are observed by different threads),
+    /// where a scoped [`TelemetrySink::span`] guard cannot bracket the
+    /// interval. The event is attributed to the calling thread's ring.
+    pub fn record_span_ns(&self, stage: Stage, dur_ns: u64, arg: u64) {
+        if let Some(inner) = &self.inner {
+            let end_ns = inner.epoch.elapsed().as_nanos() as u64;
+            let event = SpanEvent {
+                stage,
+                thread: current_thread_id(),
+                start_ns: end_ns.saturating_sub(dur_ns),
+                dur_ns,
+                arg,
+            };
+            let buf = inner.thread_buffer();
+            buf.lock()
+                .expect("telemetry span buffer lock is never poisoned")
+                .record(event, inner.span_capacity);
         }
     }
 

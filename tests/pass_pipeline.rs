@@ -1,7 +1,8 @@
 //! Bit-identity suite for the staged compile pipeline.
 //!
-//! Every optimizer pass (subgraph CSE, cost-driven repair placement, span
-//! fusion) is a pure scheduling/sharing transformation: a plan compiled with
+//! Every optimizer pass (subgraph CSE, dead-node elimination, cost-driven
+//! repair placement, span fusion) is a pure scheduling/sharing
+//! transformation: a plan compiled with
 //! any subset of passes enabled must execute **bit-identically** to the
 //! fully-optimized plan for every sink, at awkward stream lengths (1, 63,
 //! 64, 65, 1000) that exercise partial final words. The property test draws
@@ -23,7 +24,7 @@ const LENGTHS: [usize; 5] = [1, 63, 64, 65, 1000];
 
 /// Every pass subset worth distinguishing: all, each pass disabled alone,
 /// and none.
-fn pass_sets() -> [PassSet; 5] {
+fn pass_sets() -> [PassSet; 6] {
     [
         PassSet::all(),
         PassSet {
@@ -36,6 +37,10 @@ fn pass_sets() -> [PassSet; 5] {
         },
         PassSet {
             fusion: false,
+            ..PassSet::all()
+        },
+        PassSet {
+            dce: false,
             ..PassSet::all()
         },
         PassSet::none(),
